@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one figure of the paper: it runs the scenarios,
+prints the same rows the paper plots (so the output can be compared side by
+side with the published figures), and asserts the qualitative shape.  The
+``benchmark`` fixture wraps the figure harness so ``pytest-benchmark`` also
+reports how long each reproduction takes.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+#: Measured duration (simulated seconds) for single-machine scenarios.  Long
+#: enough for stable P99 estimates (several thousand queries per run), short
+#: enough that the whole harness finishes in minutes.
+DURATION = 4.0
+WARMUP = 0.5
+SEED = 1
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

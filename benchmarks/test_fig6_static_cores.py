@@ -1,0 +1,33 @@
+"""Figure 6: statically restricting the secondary's CPU cores."""
+
+from conftest import DURATION, SEED, WARMUP, run_once
+
+from repro.experiments import figures
+from repro.experiments.reporting import print_figure
+
+
+def test_fig6_static_cores(benchmark):
+    figure = run_once(
+        benchmark, figures.fig6_static_cores, duration=DURATION, warmup=WARMUP, seed=SEED
+    )
+    print_figure(
+        "Figure 6 — static core restriction of the secondary",
+        figure.rows,
+        columns=[
+            "workload", "qps", "secondary_cores", "p50_delta_ms", "p95_delta_ms",
+            "p99_delta_ms", "secondary_cpu_pct", "idle_cpu_pct",
+        ],
+        notes=figure.notes,
+    )
+
+    for qps in (2000.0, 4000.0):
+        eight = figure.row(workload="8-cores", qps=qps)
+        # Paper: with only 8 cores the secondary cannot hurt the tail even at
+        # peak load, but it is limited to ~17% of the machine.
+        assert eight["p99_delta_ms"] < 2.0
+        assert eight["secondary_cpu_pct"] < 20.0
+    # At peak load a generous static allocation (24 cores) leaves too little
+    # headroom for the primary's bursts and the tail degrades.
+    twenty_four_peak = figure.row(workload="24-cores", qps=4000.0)
+    eight_peak = figure.row(workload="8-cores", qps=4000.0)
+    assert twenty_four_peak["p99_delta_ms"] > eight_peak["p99_delta_ms"]

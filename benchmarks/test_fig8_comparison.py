@@ -1,0 +1,45 @@
+"""Figure 8 (and Section 6.1.4's progress numbers): head-to-head comparison."""
+
+from conftest import DURATION, SEED, WARMUP, run_once
+
+from repro.experiments import figures
+from repro.experiments.reporting import print_figure
+
+
+def test_fig8_comparison(benchmark):
+    figure = run_once(
+        benchmark, figures.fig8_comparison, duration=DURATION, warmup=WARMUP, seed=SEED
+    )
+    print_figure(
+        "Figure 8 — comparison of isolation approaches (2,000 QPS, high secondary)",
+        figure.rows,
+        columns=[
+            "approach", "p99_ms", "idle_cpu_pct", "secondary_progress",
+            "relative_progress_pct", "drop_rate_pct",
+        ],
+        notes=figure.notes,
+    )
+
+    rows = {row["approach"]: row for row in figure.rows}
+    standalone = rows["standalone"]
+    no_isolation = rows["no_isolation"]
+    blind = rows["blind_isolation"]
+    cores = rows["cpu_cores"]
+    cycles = rows["cpu_cycles"]
+
+    # Figure 8a: blind isolation and static cores protect the tail; no
+    # isolation destroys it.
+    assert no_isolation["p99_ms"] > 5.0 * standalone["p99_ms"]
+    assert blind["p99_ms"] < standalone["p99_ms"] + 2.0
+    assert cores["p99_ms"] < standalone["p99_ms"] + 2.0
+
+    # Figure 8b: blind isolation leaves less CPU idle than static cores
+    # (the paper reports ~13% less idle time).
+    assert blind["idle_cpu_pct"] < cores["idle_cpu_pct"]
+
+    # Figure 8c + Section 6.1.4: progress ordering blind > cores > cycles,
+    # with cycle throttling an order of magnitude behind.
+    assert blind["secondary_progress"] > cores["secondary_progress"]
+    assert cores["secondary_progress"] > cycles["secondary_progress"]
+    assert blind["relative_progress_pct"] > 40.0
+    assert cycles["relative_progress_pct"] < 15.0

@@ -1,0 +1,29 @@
+"""The abstract's headline: 21% -> 66% average CPU utilisation at off-peak load."""
+
+from conftest import DURATION, SEED, WARMUP, run_once
+
+from repro.experiments import figures
+from repro.experiments.reporting import print_figure
+
+
+def test_headline_utilization(benchmark):
+    figure = run_once(
+        benchmark, figures.headline_utilization, duration=DURATION, warmup=WARMUP, seed=SEED
+    )
+    print_figure(
+        "Headline — average CPU utilisation with and without colocation (2,000 QPS)",
+        figure.rows,
+        columns=["configuration", "busy_cpu_pct", "primary_cpu_pct", "secondary_cpu_pct", "p99_ms"],
+        notes=figure.notes,
+    )
+
+    rows = {row["configuration"]: row for row in figure.rows}
+    standalone = rows["standalone"]
+    colocated = rows["colocated+blind-isolation"]
+
+    # Paper: ~21% busy standalone at off-peak load.
+    assert 10.0 < standalone["busy_cpu_pct"] < 35.0
+    # Paper: ~66% busy with the colocated batch job (we accept 55-90%).
+    assert colocated["busy_cpu_pct"] > 55.0
+    # And the tail is not sacrificed for it.
+    assert colocated["p99_ms"] < standalone["p99_ms"] + 2.0

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Harvesting idle cycles for big-data work — the paper's motivating scenario.
+
+Latency-sensitive clusters are provisioned for peak load plus disaster
+head-room, so their average utilisation is very low.  This example colocates
+the two batch workloads the paper discusses — a machine-learning training job
+and the HDFS machinery big-data frameworks rely on — with the IndexServe-like
+primary, all under one PerfIso controller:
+
+* CPU blind isolation keeps 8 idle buffer cores for the primary's bursts.
+* The HDFS DataNode/client traffic is capped (20 / 60 MB/s, as in the paper's
+  cluster configuration) on the shared HDD volume.
+* The memory guard and egress throttle protect RAM and the NIC.
+
+It also demonstrates two operational features: the kill switch (instantly
+lifting every restriction for debugging) and crash recovery through the
+Autopilot substrate.
+
+Run:  python examples/batch_harvesting.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.cluster.autopilot import Autopilot, ManagedService
+from repro.config.schema import (
+    BlindIsolationSpec,
+    ExperimentSpec,
+    HdfsSpec,
+    MlTrainingSpec,
+    PerfIsoSpec,
+    WorkloadSpec,
+)
+from repro.experiments.reporting import print_figure
+from repro.experiments.single_machine import SingleMachineExperiment
+
+QPS = 2000.0
+DURATION = 4.0
+WARMUP = 0.5
+
+
+def build_spec() -> ExperimentSpec:
+    perfiso = PerfIsoSpec(
+        cpu_policy="blind",
+        blind=BlindIsolationSpec(buffer_cores=8),
+    )
+    return ExperimentSpec(
+        workload=WorkloadSpec(qps=QPS, duration=DURATION, warmup=WARMUP),
+        perfiso=perfiso,
+        ml_training=MlTrainingSpec(threads=40),
+        hdfs=HdfsSpec(),
+        seed=7,
+    )
+
+
+def main() -> None:
+    baseline = SingleMachineExperiment(
+        ExperimentSpec(workload=WorkloadSpec(qps=QPS, duration=DURATION, warmup=WARMUP), seed=7),
+        "standalone",
+    ).run()
+
+    print("running colocated ML-training + HDFS under PerfIso ...")
+    experiment = SingleMachineExperiment(build_spec(), "ml-harvesting")
+    result = experiment.run()
+
+    rows = [
+        {
+            "configuration": "standalone",
+            "p99_ms": baseline.summary()["p99_ms"],
+            "machine_busy_pct": 100 - baseline.summary()["idle_cpu_pct"],
+            "minibatches_done": 0,
+        },
+        {
+            "configuration": "ML training + HDFS under PerfIso",
+            "p99_ms": result.summary()["p99_ms"],
+            "machine_busy_pct": 100 - result.summary()["idle_cpu_pct"],
+            "minibatches_done": result.secondary_progress,
+        },
+    ]
+    print_figure(
+        "Harvesting idle cycles for a machine-learning training job",
+        rows,
+        notes=[
+            f"P99 degradation: {(result.latency.p99 - baseline.latency.p99) * 1000:.2f} ms",
+            "the training job's mini-batches are work the cluster would otherwise not do",
+        ],
+    )
+
+    # ------------------------------------------------------------ kill switch
+    controller = experiment.controller
+    controller.disable()
+    print("\nkill switch engaged: secondary affinity =", controller.secondary_affinity,
+          "(None = unrestricted, as for live-site debugging)")
+    controller.enable()
+    print("re-enabled: secondary restricted to",
+          len(controller.secondary_affinity), "cores")
+
+    # --------------------------------------------------------- crash recovery
+    autopilot = Autopilot()
+    autopilot.config.publish("perfiso.json", build_spec().perfiso)
+    service = ManagedService(
+        name="perfiso",
+        machine="node-0",
+        start=lambda: None,          # the controller object already exists
+        stop=controller.stop,
+        save_state=controller.state_dict,
+        restore_state=controller.restore_state,
+    )
+    autopilot.register(service)
+    autopilot.start("node-0", "perfiso")
+    autopilot.checkpoint("node-0", "perfiso")
+    autopilot.crash_and_recover("node-0", "perfiso")
+    print(f"autopilot restarted PerfIso {service.restarts} time(s); "
+          f"restored allocation of {controller.secondary_core_count} cores from its checkpoint")
+
+
+if __name__ == "__main__":
+    main()

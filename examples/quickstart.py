@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: protect a latency-sensitive service while running batch work.
+
+This example reproduces the paper's core story on one simulated machine:
+
+1. Run the IndexServe-like primary alone and measure its tail latency.
+2. Colocate a 48-thread CPU-bound batch job with **no isolation** and watch
+   the 99th percentile collapse.
+3. Colocate the same job under **PerfIso's CPU blind isolation** (8 buffer
+   cores) and watch the tail return to the standalone level while the machine
+   runs at several times the utilisation.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.experiments import scenarios
+from repro.experiments.reporting import print_figure
+from repro.experiments.single_machine import SingleMachineExperiment
+
+QPS = 2000.0          # the paper's "average load" approximation
+DURATION = 4.0        # simulated seconds of measured traffic
+WARMUP = 0.5
+SEED = 1
+
+
+def run(spec, label):
+    print(f"running {label} ...")
+    return SingleMachineExperiment(spec, label).run()
+
+
+def main() -> None:
+    standalone = run(scenarios.standalone(qps=QPS, duration=DURATION, warmup=WARMUP, seed=SEED),
+                     "standalone")
+    unmanaged = run(scenarios.no_isolation(48, qps=QPS, duration=DURATION, warmup=WARMUP, seed=SEED),
+                    "no isolation")
+    blind = run(scenarios.blind_isolation(8, qps=QPS, duration=DURATION, warmup=WARMUP, seed=SEED),
+                "blind isolation (8 buffer cores)")
+
+    rows = []
+    for label, result in (("standalone", standalone),
+                          ("no isolation", unmanaged),
+                          ("blind isolation", blind)):
+        summary = result.summary()
+        rows.append(
+            {
+                "configuration": label,
+                "p50_ms": summary["p50_ms"],
+                "p99_ms": summary["p99_ms"],
+                "dropped_pct": summary["drop_rate_pct"],
+                "machine_busy_pct": 100.0 - summary["idle_cpu_pct"],
+                "secondary_cpu_pct": summary["secondary_cpu_pct"],
+            }
+        )
+    print_figure(
+        "Colocating a CPU-bound batch job with a latency-sensitive service",
+        rows,
+        notes=[
+            "no isolation: the batch job inflates P99 by an order of magnitude",
+            "blind isolation: P99 back to the standalone level, machine busy instead of idle",
+        ],
+    )
+
+    degradation_ms = (blind.latency.p99 - standalone.latency.p99) * 1000.0
+    print(f"\nP99 degradation under blind isolation: {degradation_ms:.2f} ms "
+          f"(paper: < 1 ms with 8 buffer cores)")
+    print(f"controller: {blind.controller_polls} idle-mask polls, "
+          f"{blind.controller_updates} affinity updates "
+          f"(poll continuously, update only on change)")
+
+
+if __name__ == "__main__":
+    main()

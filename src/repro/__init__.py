@@ -1,0 +1,48 @@
+"""PerfIso reproduction: performance isolation for latency-sensitive services.
+
+This package reproduces, in simulation, the system described in
+"PerfIso: Performance Isolation for Commercial Latency-Sensitive Services"
+(Iorgulescu et al., USENIX ATC 2018): a user-mode controller that colocates
+best-effort batch jobs with a latency-sensitive service by keeping a buffer
+of idle cores at all times (*CPU blind isolation*), plus disk, memory and
+network safeguards.
+
+The public API is organised in layers:
+
+* :mod:`repro.simulation`, :mod:`repro.hardware`, :mod:`repro.hostos` — the
+  substrate: a discrete-event kernel, the machine model and a simulated OS.
+* :mod:`repro.tenants`, :mod:`repro.workloads` — the primary (IndexServe-like)
+  service, batch-job secondaries and load generation.
+* :mod:`repro.core` — PerfIso itself: the controller, CPU blind isolation and
+  the alternative policies, DWRR I/O throttling, memory and network guards.
+* :mod:`repro.cluster` — the multi-machine serving topology (TLA/MLA fan-out).
+* :mod:`repro.experiments`, :mod:`repro.metrics` — the harnesses reproducing
+  every figure of the paper's evaluation.
+"""
+
+from .config.schema import ExperimentSpec, PerfIsoSpec
+from .core.controller import PerfIsoController
+from .core.policies import (
+    AllocationDecision,
+    BlindIsolationPolicy,
+    CpuCyclesPolicy,
+    NoIsolationPolicy,
+    StaticCoresPolicy,
+)
+from .experiments.single_machine import SingleMachineExperiment, SingleMachineResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentSpec",
+    "PerfIsoSpec",
+    "PerfIsoController",
+    "AllocationDecision",
+    "BlindIsolationPolicy",
+    "CpuCyclesPolicy",
+    "NoIsolationPolicy",
+    "StaticCoresPolicy",
+    "SingleMachineExperiment",
+    "SingleMachineResult",
+    "__version__",
+]

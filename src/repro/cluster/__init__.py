@@ -1,0 +1,29 @@
+"""Multi-machine serving cluster: layout, routing, Autopilot, large-scale models."""
+
+from .autopilot import Autopilot, ConfigStore, ManagedService
+from .largescale import (
+    CalibrationPoint,
+    ProductionClusterSimulation,
+    ProductionResult,
+    diurnal_load,
+)
+from .layout import ClusterLayout, IndexMachineInfo
+from .sampled import SampledClusterModel, SampledLayerStats
+from .simulated import ClusterResult, ClusterScenario, SimulatedCluster
+
+__all__ = [
+    "Autopilot",
+    "ConfigStore",
+    "ManagedService",
+    "CalibrationPoint",
+    "ProductionClusterSimulation",
+    "ProductionResult",
+    "diurnal_load",
+    "ClusterLayout",
+    "IndexMachineInfo",
+    "SampledClusterModel",
+    "SampledLayerStats",
+    "ClusterResult",
+    "ClusterScenario",
+    "SimulatedCluster",
+]

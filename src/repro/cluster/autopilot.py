@@ -1,0 +1,143 @@
+"""A minimal Autopilot-like service management substrate (Section 4.2).
+
+The real PerfIso is deployed as an Autopilot-managed service: Autopilot ships
+cluster-wide configuration files to every machine, starts and stops services,
+restarts them after crashes, and gives operators a kill switch.  The model
+below provides just enough of that surface to exercise PerfIso's operational
+behaviour — configuration distribution, crash recovery from persisted state,
+and cluster-wide enable/disable — without pretending to be a full cluster
+manager.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from ..config.loader import dump_json, load_json
+from ..config.schema import PerfIsoSpec
+from ..errors import ClusterError
+
+__all__ = ["ManagedService", "ConfigStore", "Autopilot"]
+
+
+@dataclass
+class ManagedService:
+    """One service instance registered with Autopilot on one machine."""
+
+    name: str
+    machine: str
+    start: Callable[[], None]
+    stop: Callable[[], None]
+    #: Optional state persistence hooks (used by PerfIso for crash recovery).
+    save_state: Optional[Callable[[], Dict[str, object]]] = None
+    restore_state: Optional[Callable[[Dict[str, object]], None]] = None
+    running: bool = False
+    restarts: int = 0
+    persisted_state: Dict[str, object] = field(default_factory=dict)
+
+
+class ConfigStore:
+    """Cluster-wide configuration files, keyed by file name.
+
+    Configurations are stored as JSON text (exactly what would be shipped to
+    machines), so the store also validates that every spec round-trips through
+    the serialisation layer.
+    """
+
+    def __init__(self) -> None:
+        self._files: Dict[str, str] = {}
+        self.pushes = 0
+
+    def publish(self, name: str, spec: object) -> None:
+        """Publish (or replace) a configuration file."""
+        self._files[name] = dump_json(spec)
+        self.pushes += 1
+
+    def fetch(self, name: str, cls: type) -> object:
+        if name not in self._files:
+            raise ClusterError(f"no configuration file named {name!r}")
+        return load_json(cls, self._files[name])
+
+    def fetch_perfiso(self, name: str = "perfiso.json") -> PerfIsoSpec:
+        return self.fetch(name, PerfIsoSpec)
+
+    def files(self) -> List[str]:
+        return sorted(self._files)
+
+
+class Autopilot:
+    """Service lifecycle + configuration distribution for a fleet of machines."""
+
+    def __init__(self) -> None:
+        self.config = ConfigStore()
+        self._services: Dict[str, ManagedService] = {}
+
+    # ------------------------------------------------------------- services
+    def register(self, service: ManagedService) -> None:
+        key = self._key(service.machine, service.name)
+        if key in self._services:
+            raise ClusterError(f"service {service.name!r} already registered on {service.machine!r}")
+        self._services[key] = service
+
+    def service(self, machine: str, name: str) -> ManagedService:
+        key = self._key(machine, name)
+        try:
+            return self._services[key]
+        except KeyError:
+            raise ClusterError(f"no service {name!r} on machine {machine!r}") from None
+
+    def services_named(self, name: str) -> List[ManagedService]:
+        return [s for s in self._services.values() if s.name == name]
+
+    def start(self, machine: str, name: str) -> None:
+        service = self.service(machine, name)
+        if service.running:
+            return
+        service.start()
+        service.running = True
+
+    def stop(self, machine: str, name: str) -> None:
+        service = self.service(machine, name)
+        if not service.running:
+            return
+        service.stop()
+        service.running = False
+
+    def start_all(self, name: str) -> None:
+        for service in self.services_named(name):
+            self.start(service.machine, service.name)
+
+    def stop_all(self, name: str) -> None:
+        for service in self.services_named(name):
+            self.stop(service.machine, service.name)
+
+    # --------------------------------------------------------- crash recovery
+    def checkpoint(self, machine: str, name: str) -> None:
+        """Persist a service's state (PerfIso stores its parameters on disk)."""
+        service = self.service(machine, name)
+        if service.save_state is not None:
+            service.persisted_state = dict(service.save_state())
+
+    def crash_and_recover(self, machine: str, name: str) -> None:
+        """Simulate a service crash followed by an Autopilot restart.
+
+        The service is stopped, restarted, and handed back the last state it
+        checkpointed — PerfIso resumes isolation without operator action.
+        """
+        service = self.service(machine, name)
+        if service.running:
+            service.stop()
+            service.running = False
+        service.restarts += 1
+        service.start()
+        service.running = True
+        if service.restore_state is not None and service.persisted_state:
+            service.restore_state(dict(service.persisted_state))
+
+    @staticmethod
+    def _key(machine: str, name: str) -> str:
+        return f"{machine}/{name}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Autopilot(services={len(self._services)}, configs={len(self.config.files())})"

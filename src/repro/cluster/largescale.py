@@ -1,0 +1,220 @@
+"""The 650-machine production experiment (Figure 10).
+
+The paper's final result shows one hour of a 650-machine IndexServe cluster
+serving live user traffic while colocated with a machine-learning training
+job: query load follows a diurnal pattern, the TLA-level P99 stays flat, and
+average CPU utilisation across the fleet sits around 70 %.
+
+Reproducing an hour of 650 machines with the detailed simulator is not
+feasible in Python, so this harness composes previously-validated pieces:
+
+* a small set of *calibration runs* of the detailed single-machine simulator
+  (blind isolation + ML-training secondary) at a handful of load points gives,
+  for each load, the local latency sample distribution and the CPU breakdown;
+* the diurnal load curve maps each time bucket to a per-machine load, whose
+  latency/CPU behaviour is interpolated from the calibration points;
+* the cluster layer (max-over-partitions aggregation) is applied with the
+  sampled model to produce the TLA-level P99 time series.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..config.schema import ClusterSpec, ExperimentSpec, MlTrainingSpec, PerfIsoSpec, WorkloadSpec
+from ..errors import ExperimentError
+from ..experiments.single_machine import SingleMachineExperiment
+from ..metrics.timeseries import TimeSeriesSet
+from .sampled import SampledClusterModel
+
+__all__ = ["diurnal_load", "CalibrationPoint", "ProductionClusterSimulation", "ProductionResult"]
+
+
+def diurnal_load(peak_qps: float = 4000.0, trough_qps: float = 1600.0,
+                 period: float = 3600.0) -> Callable[[float], float]:
+    """A smooth one-period diurnal per-machine load curve.
+
+    The returned callable maps simulation time (seconds) to per-machine QPS;
+    over ``period`` seconds the load falls from the peak to the trough and
+    climbs back, approximating the hour-long window shown in Figure 10.
+    """
+    if peak_qps <= trough_qps:
+        raise ExperimentError("peak_qps must exceed trough_qps")
+    mid = (peak_qps + trough_qps) / 2.0
+    amplitude = (peak_qps - trough_qps) / 2.0
+    return lambda t: mid + amplitude * math.cos(2.0 * math.pi * t / period)
+
+
+@dataclass
+class CalibrationPoint:
+    """Per-machine behaviour measured at one load level."""
+
+    qps: float
+    latency_samples: np.ndarray
+    primary_cpu: float
+    secondary_cpu: float
+    os_cpu: float
+
+    @property
+    def busy_cpu(self) -> float:
+        return self.primary_cpu + self.secondary_cpu + self.os_cpu
+
+
+@dataclass
+class ProductionResult:
+    """Time series reproducing the three panels of Figure 10."""
+
+    times: List[float]
+    qps: List[float]
+    tla_p99_ms: List[float]
+    cpu_utilization_pct: List[float]
+    mean_cpu_utilization_pct: float
+    max_tla_p99_ms: float
+
+    def as_timeseries(self) -> TimeSeriesSet:
+        series = TimeSeriesSet()
+        load = series.series("qps", "queries/s")
+        p99 = series.series("tla_p99_ms", "ms")
+        cpu = series.series("cpu_pct", "%")
+        for t, q, lat, util in zip(self.times, self.qps, self.tla_p99_ms, self.cpu_utilization_pct):
+            load.append(t, q)
+            p99.append(t, lat)
+            cpu.append(t, util)
+        return series
+
+
+class ProductionClusterSimulation:
+    """Figure 10: an hour of a 650-machine cluster under diurnal live load."""
+
+    def __init__(
+        self,
+        cluster: Optional[ClusterSpec] = None,
+        calibration_qps: Sequence[float] = (1500.0, 2500.0, 3500.0, 4000.0),
+        calibration_duration: float = 3.0,
+        calibration_warmup: float = 0.5,
+        seed: int = 7,
+        buffer_cores: int = 8,
+    ) -> None:
+        if len(calibration_qps) < 2:
+            raise ExperimentError("need at least two calibration load points to interpolate")
+        # 650 machines ~= 25 partitions x 2 rows of index servers plus TLAs.
+        self._cluster = cluster if cluster is not None else ClusterSpec(
+            partitions=25, rows=2, tla_machines=50
+        )
+        self._calibration_qps = sorted(calibration_qps)
+        self._calibration_duration = calibration_duration
+        self._calibration_warmup = calibration_warmup
+        self._seed = seed
+        self._buffer_cores = buffer_cores
+        self._points: List[CalibrationPoint] = []
+
+    # ------------------------------------------------------------ calibration
+    def calibrate(self) -> List[CalibrationPoint]:
+        """Run the detailed single-machine simulator at each load point."""
+        points: List[CalibrationPoint] = []
+        for index, qps in enumerate(self._calibration_qps):
+            spec = ExperimentSpec(
+                workload=WorkloadSpec(
+                    qps=qps,
+                    duration=self._calibration_duration,
+                    warmup=self._calibration_warmup,
+                ),
+                perfiso=PerfIsoSpec(cpu_policy="blind"),
+                ml_training=MlTrainingSpec(),
+                seed=self._seed + index,
+            )
+            spec = dataclasses.replace(
+                spec,
+                perfiso=dataclasses.replace(
+                    spec.perfiso, blind=dataclasses.replace(spec.perfiso.blind, buffer_cores=self._buffer_cores)
+                ),
+            )
+            experiment = SingleMachineExperiment(spec, scenario=f"fig10-calibration-{int(qps)}")
+            result = experiment.run()
+            samples = experiment.primary.collector.samples()
+            if samples.size == 0:
+                raise ExperimentError(f"calibration at {qps} QPS produced no latency samples")
+            points.append(
+                CalibrationPoint(
+                    qps=qps,
+                    latency_samples=samples,
+                    primary_cpu=result.cpu.primary,
+                    secondary_cpu=result.cpu.secondary,
+                    os_cpu=result.cpu.os,
+                )
+            )
+        self._points = points
+        return points
+
+    # -------------------------------------------------------------- execution
+    def run(
+        self,
+        duration: float = 3600.0,
+        bucket: float = 60.0,
+        load_curve: Optional[Callable[[float], float]] = None,
+        requests_per_bucket: int = 4000,
+    ) -> ProductionResult:
+        """Produce the Figure 10 time series."""
+        if not self._points:
+            self.calibrate()
+        if load_curve is None:
+            load_curve = diurnal_load()
+        rng = np.random.default_rng(self._seed)
+        times: List[float] = []
+        qps_series: List[float] = []
+        p99_series: List[float] = []
+        cpu_series: List[float] = []
+        buckets = int(duration / bucket)
+        for index in range(buckets):
+            t = index * bucket
+            per_machine_qps = max(1.0, float(load_curve(t)))
+            samples, busy = self._interpolate(per_machine_qps)
+            model = SampledClusterModel(
+                self._cluster, samples, seed=self._seed + index, machine_skew_sigma=0.03
+            )
+            layer = model.simulate(requests_per_bucket)
+            # Small measurement noise so the series looks like a real fleet
+            # rather than a smooth analytic curve.
+            noise = float(rng.normal(0.0, 0.01))
+            times.append(t)
+            qps_series.append(per_machine_qps * self._cluster.rows)
+            p99_series.append(layer.tla.as_millis()["p99_ms"])
+            cpu_series.append(max(0.0, min(100.0, (busy + noise) * 100.0)))
+        return ProductionResult(
+            times=times,
+            qps=qps_series,
+            tla_p99_ms=p99_series,
+            cpu_utilization_pct=cpu_series,
+            mean_cpu_utilization_pct=float(np.mean(cpu_series)) if cpu_series else 0.0,
+            max_tla_p99_ms=float(np.max(p99_series)) if p99_series else 0.0,
+        )
+
+    # ------------------------------------------------------------- internals
+    def _interpolate(self, qps: float) -> tuple:
+        """Blend the two nearest calibration points for the requested load."""
+        points = self._points
+        if qps <= points[0].qps:
+            return points[0].latency_samples, points[0].busy_cpu
+        if qps >= points[-1].qps:
+            return points[-1].latency_samples, points[-1].busy_cpu
+        upper_index = next(i for i, p in enumerate(points) if p.qps >= qps)
+        lower = points[upper_index - 1]
+        upper = points[upper_index]
+        weight = (qps - lower.qps) / (upper.qps - lower.qps)
+        # Latency: mix samples from the two points in proportion to the weight.
+        lower_count = int(round((1.0 - weight) * 1000))
+        upper_count = 1000 - lower_count
+        rng = np.random.default_rng(int(qps))
+        mixed = np.concatenate(
+            [
+                rng.choice(lower.latency_samples, size=max(lower_count, 1)),
+                rng.choice(upper.latency_samples, size=max(upper_count, 1)),
+            ]
+        )
+        busy = (1.0 - weight) * lower.busy_cpu + weight * upper.busy_cpu
+        return mixed, busy

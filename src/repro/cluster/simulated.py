@@ -1,0 +1,338 @@
+"""Event-driven multi-machine cluster simulation (Figure 3 / Section 6.2).
+
+Every IndexServe machine is a full single-machine simulation (hardware,
+kernel, primary, secondaries, PerfIso) sharing one event engine.  Requests
+enter at a top-level aggregator (TLA), are load-balanced round-robin across
+rows, forwarded to a mid-level aggregator (MLA, which is one of the row's
+IndexServe machines), fanned out to every partition in the row, aggregated at
+the MLA (a real CPU burst on that colocated machine), and returned via the
+TLA.  Latency is measured at the three levels the paper reports: local
+IndexServe, MLA, and TLA.
+
+The TLA machines are dedicated (not colocated), so they are modelled as pure
+processing delays rather than full machine simulations; the colocation
+effects the experiment studies all live on the IndexServe machines.
+
+Simulating 44 machines at 4,000 QPS each is expensive in pure Python, so the
+harness defaults to a scaled-down cluster (fewer partitions).  Per-machine
+load — what determines interference — is independent of the partition count,
+because every machine of a row serves every request routed to that row.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config.schema import (
+    ClusterSpec,
+    CpuBullySpec,
+    DiskBullySpec,
+    ExperimentSpec,
+    HdfsSpec,
+    PerfIsoSpec,
+)
+from ..config.validation import validate_cluster, validate_experiment
+from ..core.controller import PerfIsoController
+from ..errors import ClusterError
+from ..hardware.machine import Machine
+from ..hostos.syscalls import Kernel
+from ..hostos.thread import cpu_phase
+from ..metrics.cpu import CpuBreakdown, CpuUtilizationSampler
+from ..metrics.latency import LatencyCollector, LatencyStats
+from ..simulation.engine import SimulationEngine
+from ..simulation.events import EventPriority
+from ..simulation.randomness import RandomStreams
+from ..tenants.base import SecondaryTenant
+from ..tenants.cpu_bully import CpuBullyTenant
+from ..tenants.disk_bully import DiskBullyTenant
+from ..tenants.hdfs import HdfsTenant
+from ..tenants.indexserve import IndexServeTenant, QueryOutcome
+from ..workloads.arrival import OpenLoopClient
+from ..workloads.query_trace import QueryTrace
+from .layout import ClusterLayout, IndexMachineInfo
+
+__all__ = ["ClusterScenario", "ClusterResult", "SimulatedCluster"]
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """Configuration of one cluster experiment."""
+
+    cluster: ClusterSpec = field(default_factory=ClusterSpec)
+    node: ExperimentSpec = field(default_factory=ExperimentSpec)
+    perfiso: Optional[PerfIsoSpec] = None
+    cpu_bully: Optional[CpuBullySpec] = None
+    disk_bully: Optional[DiskBullySpec] = None
+    hdfs: Optional[HdfsSpec] = None
+    total_qps: float = 8000.0
+    duration: float = 5.0
+    warmup: float = 1.0
+    seed: int = 1
+
+
+@dataclass
+class ClusterResult:
+    """Latency per layer plus fleet-averaged CPU utilisation."""
+
+    scenario: str
+    local_latency: LatencyStats
+    mla_latency: LatencyStats
+    tla_latency: LatencyStats
+    cpu: CpuBreakdown
+    requests_submitted: int
+    requests_completed: int
+    per_machine_p99: Dict[str, float]
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "local_avg_ms": self.local_latency.as_millis()["mean_ms"],
+            "local_p95_ms": self.local_latency.as_millis()["p95_ms"],
+            "local_p99_ms": self.local_latency.as_millis()["p99_ms"],
+            "mla_avg_ms": self.mla_latency.as_millis()["mean_ms"],
+            "mla_p95_ms": self.mla_latency.as_millis()["p95_ms"],
+            "mla_p99_ms": self.mla_latency.as_millis()["p99_ms"],
+            "tla_avg_ms": self.tla_latency.as_millis()["mean_ms"],
+            "tla_p95_ms": self.tla_latency.as_millis()["p95_ms"],
+            "tla_p99_ms": self.tla_latency.as_millis()["p99_ms"],
+            "primary_cpu_pct": self.cpu.primary * 100.0,
+            "secondary_cpu_pct": self.cpu.secondary * 100.0,
+            "idle_cpu_pct": self.cpu.idle * 100.0,
+        }
+
+
+class _IndexNode:
+    """Runtime state of one IndexServe machine in the cluster."""
+
+    def __init__(
+        self,
+        info: IndexMachineInfo,
+        engine: SimulationEngine,
+        scenario: ClusterScenario,
+        streams: RandomStreams,
+        warmup_end: float,
+    ) -> None:
+        self.info = info
+        node_streams = streams.spawn(info.name)
+        spec = scenario.node
+        self.machine = Machine(engine, spec.machine, name=info.name, rng=node_streams.stream("disks"))
+        self.kernel = Kernel(engine, self.machine, spec.scheduler)
+        self.collector = LatencyCollector(warmup_end=warmup_end)
+        self.primary = IndexServeTenant(
+            self.kernel,
+            spec.indexserve,
+            rng=node_streams.stream("indexserve"),
+            collector=self.collector,
+            name=f"indexserve-{info.name}",
+        )
+        self.primary.start()
+        self.sampler = CpuUtilizationSampler(engine, self.kernel, interval=1.0, warmup_end=warmup_end)
+        self.sampler.start()
+        self.secondaries: List[SecondaryTenant] = []
+        if scenario.cpu_bully is not None:
+            self.secondaries.append(CpuBullyTenant(self.kernel, scenario.cpu_bully))
+        if scenario.disk_bully is not None:
+            self.secondaries.append(
+                DiskBullyTenant(self.kernel, scenario.disk_bully, rng=node_streams.stream("disk-bully"))
+            )
+        if scenario.hdfs is not None:
+            self.secondaries.append(
+                HdfsTenant(self.kernel, scenario.hdfs, rng=node_streams.stream("hdfs"))
+            )
+        self.controller: Optional[PerfIsoController] = None
+        if scenario.perfiso is not None:
+            self.controller = PerfIsoController(self.kernel, scenario.perfiso)
+            self.controller.observe_primary(self.primary.process)
+        for secondary in self.secondaries:
+            secondary.start()
+            if self.controller is not None:
+                self.controller.manage(secondary)
+        if self.controller is not None:
+            self.controller.start()
+
+
+class _RequestState:
+    """Per-request fan-out bookkeeping at the MLA."""
+
+    __slots__ = ("remaining", "mla_start", "tla_start", "mla_node", "request_id")
+
+    def __init__(self, request_id: int, remaining: int, tla_start: float, mla_start: float, mla_node: _IndexNode) -> None:
+        self.request_id = request_id
+        self.remaining = remaining
+        self.tla_start = tla_start
+        self.mla_start = mla_start
+        self.mla_node = mla_node
+
+
+class SimulatedCluster:
+    """Builds and runs the event-driven cluster experiment."""
+
+    def __init__(self, scenario: ClusterScenario, name: str = "cluster") -> None:
+        validate_cluster(scenario.cluster)
+        validate_experiment(scenario.node)
+        self._scenario = scenario
+        self._name = name
+        self.engine = SimulationEngine()
+        self._streams = RandomStreams(scenario.seed)
+        self._layout = ClusterLayout(scenario.cluster)
+        warmup_end = scenario.warmup
+        self._nodes: Dict[str, _IndexNode] = {
+            info.name: _IndexNode(info, self.engine, scenario, self._streams, warmup_end)
+            for info in self._layout.index_machines
+        }
+        self._mla_collector = LatencyCollector(warmup_end=warmup_end)
+        self._tla_collector = LatencyCollector(warmup_end=warmup_end)
+        self._trace = QueryTrace(
+            scenario.node.indexserve,
+            size=min(50_000, max(2000, int(scenario.total_qps * (scenario.duration + scenario.warmup) / 4))),
+            rng=self._streams.stream("cluster-trace"),
+        )
+        self._next_row = 0
+        self._next_mla = 0
+        self._next_request = 0
+        self.requests_submitted = 0
+        self.requests_completed = 0
+
+    @property
+    def layout(self) -> ClusterLayout:
+        return self._layout
+
+    @property
+    def nodes(self) -> Dict[str, _IndexNode]:
+        return dict(self._nodes)
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> ClusterResult:
+        scenario = self._scenario
+        client = OpenLoopClient(
+            self.engine,
+            self._trace,
+            qps=scenario.total_qps,
+            duration=scenario.duration + scenario.warmup,
+            submit=self._submit_request,
+            rng=self._streams.stream("cluster-arrivals"),
+        )
+        client.start()
+        self.engine.run(until=scenario.duration + scenario.warmup)
+        return self._collect()
+
+    # ------------------------------------------------------------- internals
+    def _submit_request(self, query, arrival_time: float) -> None:
+        self.requests_submitted += 1
+        request_id = self._next_request
+        self._next_request += 1
+        cluster = self._scenario.cluster
+        # TLA receive + processing, then forward to the chosen row's MLA.
+        row = self._next_row
+        self._next_row = (self._next_row + 1) % cluster.rows
+        row_machines = self._layout.machines_in_row(row)
+        mla_info = row_machines[self._next_mla % len(row_machines)]
+        self._next_mla += 1
+        delay_to_mla = cluster.network_hop_latency + cluster.tla_aggregation_cost + cluster.network_hop_latency
+        self.engine.schedule(
+            delay_to_mla,
+            self._mla_receive,
+            query,
+            request_id,
+            arrival_time,
+            row_machines,
+            mla_info.name,
+            priority=EventPriority.TENANT,
+        )
+
+    def _mla_receive(
+        self,
+        query,
+        request_id: int,
+        tla_start: float,
+        row_machines: List[IndexMachineInfo],
+        mla_name: str,
+    ) -> None:
+        cluster = self._scenario.cluster
+        mla_node = self._nodes[mla_name]
+        state = _RequestState(
+            request_id=request_id,
+            remaining=len(row_machines),
+            tla_start=tla_start,
+            mla_start=self.engine.now,
+            mla_node=mla_node,
+        )
+        for info in row_machines:
+            node = self._nodes[info.name]
+            hop = 0.0 if info.name == mla_name else cluster.network_hop_latency
+            self.engine.schedule(
+                hop,
+                self._local_submit,
+                node,
+                query,
+                state,
+                priority=EventPriority.TENANT,
+            )
+
+    def _local_submit(self, node: _IndexNode, query, state: _RequestState) -> None:
+        node.primary.submit(
+            query,
+            callback=lambda outcome, s=state, n=node: self._local_done(n, s, outcome),
+        )
+
+    def _local_done(self, node: _IndexNode, state: _RequestState, outcome: QueryOutcome) -> None:
+        cluster = self._scenario.cluster
+        hop = 0.0 if node is state.mla_node else cluster.network_hop_latency
+        self.engine.schedule(hop, self._mla_response, state, priority=EventPriority.TENANT)
+
+    def _mla_response(self, state: _RequestState) -> None:
+        state.remaining -= 1
+        if state.remaining > 0:
+            return
+        # All partitions answered: run the aggregation burst on the MLA machine.
+        mla_node = state.mla_node
+        mla_node.kernel.spawn_thread(
+            mla_node.primary.process,
+            [cpu_phase(self._scenario.cluster.mla_aggregation_cost)],
+            name=f"mla-agg-{state.request_id}",
+            on_complete=lambda _t, s=state: self._mla_done(s),
+        )
+
+    def _mla_done(self, state: _RequestState) -> None:
+        cluster = self._scenario.cluster
+        now = self.engine.now
+        self._mla_collector.record(now, now - state.mla_start)
+        # Response travels MLA -> TLA, TLA aggregates, responds to the client.
+        delay = cluster.network_hop_latency + cluster.tla_aggregation_cost
+        self.engine.schedule(delay, self._tla_done, state, priority=EventPriority.TENANT)
+
+    def _tla_done(self, state: _RequestState) -> None:
+        now = self.engine.now
+        self._tla_collector.record(now, now - state.tla_start)
+        self.requests_completed += 1
+
+    def _collect(self) -> ClusterResult:
+        locals_stats = [node.collector.stats() for node in self._nodes.values()]
+        # Pool every machine's post-warm-up samples for the "Local IndexServe"
+        # bars, exactly as the paper averages across IndexServe machines.
+        pooled = LatencyCollector()
+        for node in self._nodes.values():
+            pooled.extend(node.collector.samples())
+        breakdowns = [node.sampler.overall() for node in self._nodes.values()]
+        count = len(breakdowns) or 1
+        cpu = CpuBreakdown(
+            primary=sum(b.primary for b in breakdowns) / count,
+            secondary=sum(b.secondary for b in breakdowns) / count,
+            os=sum(b.os for b in breakdowns) / count,
+            idle=sum(b.idle for b in breakdowns) / count,
+        )
+        per_machine_p99 = {
+            name: node.collector.stats().p99 for name, node in self._nodes.items()
+        }
+        if not locals_stats:
+            raise ClusterError("cluster produced no local latency statistics")
+        return ClusterResult(
+            scenario=self._name,
+            local_latency=pooled.stats(),
+            mla_latency=self._mla_collector.stats(),
+            tla_latency=self._tla_collector.stats(),
+            cpu=cpu,
+            requests_submitted=self.requests_submitted,
+            requests_completed=self.requests_completed,
+            per_machine_p99=per_machine_p99,
+        )

@@ -1,0 +1,506 @@
+"""Typed configuration schema for machines, tenants, PerfIso and experiments.
+
+Every tunable in the simulator lives in one of the frozen dataclasses below.
+Default values reproduce the hardware and software configuration reported in
+Section 5.2/5.3 of the paper (two-socket Xeon E5-2673 v3, 48 logical cores,
+128 GB RAM, 4x SSD + 4x HDD striped volumes, IndexServe with a ~110 GB cache,
+an 8-buffer-core blind-isolation PerfIso deployment).
+
+The dataclasses are immutable so a configuration can be shared between the
+many components of one experiment without defensive copying; use
+``dataclasses.replace`` to derive variants.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..errors import ConfigError
+from ..units import GIB, MB, micros, millis
+
+__all__ = [
+    "DiskSpec",
+    "VolumeSpec",
+    "NicSpec",
+    "MachineSpec",
+    "SchedulerSpec",
+    "IndexServeSpec",
+    "CpuBullySpec",
+    "DiskBullySpec",
+    "HdfsSpec",
+    "MlTrainingSpec",
+    "BlindIsolationSpec",
+    "StaticCoreSpec",
+    "CpuCycleSpec",
+    "IoThrottleSpec",
+    "MemoryGuardSpec",
+    "NetworkThrottleSpec",
+    "PerfIsoSpec",
+    "WorkloadSpec",
+    "ClusterSpec",
+    "ExperimentSpec",
+]
+
+
+# --------------------------------------------------------------------------- hardware
+@dataclass(frozen=True)
+class DiskSpec:
+    """A single physical disk device.
+
+    Parameters mirror a simple service-time model: a request costs
+    ``base_latency`` plus ``size / bandwidth``, and at most ``max_queue_depth``
+    requests are serviced concurrently (the rest wait in a FIFO queue).
+    """
+
+    kind: str = "ssd"
+    capacity_bytes: int = 500 * GIB
+    base_latency: float = micros(80)
+    bandwidth_bytes_per_s: float = 450 * MB
+    max_queue_depth: int = 32
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("ssd", "hdd"):
+            raise ConfigError(f"disk kind must be 'ssd' or 'hdd', got {self.kind!r}")
+        if self.base_latency < 0 or self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError("disk latency must be >= 0 and bandwidth > 0")
+        if self.max_queue_depth < 1:
+            raise ConfigError("disk max_queue_depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class VolumeSpec:
+    """A striped volume made of ``count`` identical disks."""
+
+    name: str
+    disk: DiskSpec
+    count: int = 4
+    stripe_bytes: int = 64 * 1024
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ConfigError(f"volume {self.name!r} needs at least one disk")
+        if self.stripe_bytes < 4096:
+            raise ConfigError(f"volume {self.name!r} stripe must be >= 4 KiB")
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """Network interface card."""
+
+    bandwidth_bytes_per_s: float = 1250 * MB  # 10 GbE
+    base_latency: float = micros(30)
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_s <= 0:
+            raise ConfigError("NIC bandwidth must be positive")
+
+
+def _default_ssd_volume() -> VolumeSpec:
+    return VolumeSpec(name="ssd", disk=DiskSpec(kind="ssd"), count=4)
+
+
+def _default_hdd_volume() -> VolumeSpec:
+    return VolumeSpec(
+        name="hdd",
+        disk=DiskSpec(
+            kind="hdd",
+            capacity_bytes=2048 * GIB,
+            base_latency=millis(6.0),
+            bandwidth_bytes_per_s=160 * MB,
+            max_queue_depth=8,
+        ),
+        count=4,
+    )
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """The production server of Section 5.2."""
+
+    sockets: int = 2
+    cores_per_socket: int = 12
+    threads_per_core: int = 2
+    memory_bytes: int = 128 * GIB
+    ssd_volume: VolumeSpec = field(default_factory=_default_ssd_volume)
+    hdd_volume: VolumeSpec = field(default_factory=_default_hdd_volume)
+    nic: NicSpec = field(default_factory=NicSpec)
+
+    def __post_init__(self) -> None:
+        if self.sockets < 1 or self.cores_per_socket < 1 or self.threads_per_core < 1:
+            raise ConfigError("machine topology counts must all be >= 1")
+        if self.memory_bytes <= 0:
+            raise ConfigError("machine memory must be positive")
+
+    @property
+    def logical_cores(self) -> int:
+        """Total number of logical cores (the paper's ``48``)."""
+        return self.sockets * self.cores_per_socket * self.threads_per_core
+
+    @property
+    def physical_cores(self) -> int:
+        return self.sockets * self.cores_per_socket
+
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """Parameters of the simulated OS thread scheduler.
+
+    ``quantum`` is the time slice after which a running thread is requeued if
+    other runnable threads are eligible for its core (the default approximates
+    the long quantum Windows Server uses).  ``context_switch_cost`` is charged
+    to the OS category on every dispatch.  ``rate_interval`` is the enforcement
+    window for job-object CPU rate control (the alternative isolation mechanism
+    of Section 6.1.4).  ``smt_slowdown`` is the throughput factor a thread
+    retains when the sibling hyper-thread of its physical core is also busy.
+    ``placement`` selects how newly-ready threads are queued when no idle core
+    is available: ``"per_core"`` models real per-processor ready queues (a
+    waiting thread is stuck behind one specific core's running thread);
+    ``"global"`` is an idealised single queue kept for ablation studies.
+    """
+
+    quantum: float = millis(120)
+    context_switch_cost: float = micros(5)
+    rate_interval: float = millis(100)
+    wakeup_latency: float = micros(5)
+    smt_slowdown: float = 0.90
+    placement: str = "per_core"
+
+    def __post_init__(self) -> None:
+        if self.quantum <= 0:
+            raise ConfigError("scheduler quantum must be positive")
+        if self.context_switch_cost < 0 or self.wakeup_latency < 0:
+            raise ConfigError("scheduler overheads must be >= 0")
+        if self.rate_interval <= 0:
+            raise ConfigError("rate enforcement interval must be positive")
+        if not 0.1 <= self.smt_slowdown <= 1.0:
+            raise ConfigError("smt_slowdown must be in [0.1, 1.0]")
+        if self.placement not in ("per_core", "global"):
+            raise ConfigError("placement must be 'per_core' or 'global'")
+
+
+# --------------------------------------------------------------------------- tenants
+@dataclass(frozen=True)
+class IndexServeSpec:
+    """Synthetic stand-in for Bing IndexServe (the primary tenant).
+
+    The defaults are calibrated so a standalone machine reproduces the paper's
+    baseline: median query latency ~4 ms, P99 ~12 ms, and CPU ~20 % / ~40 %
+    busy at 2,000 / 4,000 QPS (Figure 4).
+    """
+
+    #: Mean number of worker threads spawned per query.
+    workers_per_query_mean: float = 4.0
+    #: Hard cap on workers per query (the paper observes up to 15 ready
+    #: threads in a 5 microsecond window).
+    workers_per_query_max: int = 15
+    #: Minimum number of workers per query.
+    workers_per_query_min: int = 2
+    #: Log-normal service-time parameters for one worker's CPU burst.
+    worker_service_mu_ms: float = -0.60
+    worker_service_sigma: float = 1.05
+    #: Upper bound on a single worker burst (seconds).
+    worker_service_cap: float = millis(30)
+    #: CPU cost of parsing / dispatching a query (runs on one thread).
+    parse_cost: float = micros(300)
+    #: CPU cost of merging worker results after the last worker finishes.
+    aggregate_cost: float = micros(800)
+    #: Probability that a worker needs an SSD read (index cache miss).
+    cache_miss_rate: float = 0.35
+    #: Size of the SSD read issued on a cache miss.
+    cache_miss_read_bytes: int = 128 * 1024
+    #: Query timeout: queries slower than this are counted as dropped.
+    timeout: float = millis(500)
+    #: Fixed memory footprint of the in-memory index cache.
+    memory_footprint_bytes: int = 110 * GIB
+    #: Bytes written to the (HDD) log volume per query (asynchronous).
+    log_bytes_per_query: int = 2 * 1024
+    #: Response payload size sent back over the NIC.
+    response_bytes: int = 16 * 1024
+    #: Adaptive parallelism: when the number of in-flight queries exceeds
+    #: ``adaptive_threshold`` the service splits the largest index-lookup
+    #: chunks across extra workers (target-driven parallelism in the style of
+    #: TPC [15]), trading extra threads and a little per-worker overhead for
+    #: lower latency.  This is the compensation behaviour the paper observes
+    #: in Section 6.1.2: under interference the primary's CPU usage rises.
+    adaptive_parallelism: bool = True
+    adaptive_threshold: int = 24
+    adaptive_extra_workers: int = 4
+    adaptive_split_overhead: float = micros(60)
+
+    def __post_init__(self) -> None:
+        if not (self.workers_per_query_min
+                <= self.workers_per_query_mean
+                <= self.workers_per_query_max):
+            raise ConfigError("workers_per_query_min <= mean <= max must hold")
+        if not 0.0 <= self.cache_miss_rate <= 1.0:
+            raise ConfigError("cache_miss_rate must be a probability")
+        if self.timeout <= 0:
+            raise ConfigError("query timeout must be positive")
+
+
+@dataclass(frozen=True)
+class CpuBullySpec:
+    """The CPU-intensive secondary micro-benchmark of Section 5.3."""
+
+    threads: int = 48
+    #: CPU work per progress "iteration"; progress is reported as iterations.
+    iteration_cost: float = millis(1.0)
+    memory_bytes: int = 1 * GIB
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ConfigError("cpu bully needs at least one thread")
+        if self.iteration_cost <= 0:
+            raise ConfigError("cpu bully iteration cost must be positive")
+
+
+@dataclass(frozen=True)
+class DiskBullySpec:
+    """DiskSPD-like disk bully (sequential, synchronous, mixed read/write)."""
+
+    threads: int = 4
+    read_fraction: float = 0.33
+    request_bytes: int = 8 * 1024
+    queue_depth: int = 1
+    cpu_per_request: float = micros(20)
+    memory_bytes: int = 512 * 1024 * 1024
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.read_fraction <= 1.0:
+            raise ConfigError("read_fraction must be a probability")
+        if self.threads < 1 or self.queue_depth < 1:
+            raise ConfigError("disk bully threads and queue depth must be >= 1")
+
+
+@dataclass(frozen=True)
+class HdfsSpec:
+    """HDFS DataNode + client colocated on every IndexServe machine."""
+
+    replication_bandwidth_limit: float = 20 * MB
+    client_bandwidth_limit: float = 60 * MB
+    request_bytes: int = 4 * 1024 * 1024
+    cpu_fraction: float = 0.05
+    memory_bytes: int = 2 * GIB
+
+    def __post_init__(self) -> None:
+        if self.replication_bandwidth_limit <= 0 or self.client_bandwidth_limit <= 0:
+            raise ConfigError("HDFS bandwidth limits must be positive")
+        if not 0.0 <= self.cpu_fraction <= 1.0:
+            raise ConfigError("HDFS cpu_fraction must be in [0, 1]")
+
+
+@dataclass(frozen=True)
+class MlTrainingSpec:
+    """Machine-learning training batch job used in the Figure 10 experiment."""
+
+    threads: int = 40
+    minibatch_cpu_cost: float = millis(8)
+    minibatch_read_bytes: int = 8 * 1024 * 1024
+    reads_per_minibatch: float = 0.1
+    memory_bytes: int = 8 * GIB
+
+    def __post_init__(self) -> None:
+        if self.threads < 1:
+            raise ConfigError("ml training needs at least one thread")
+
+
+# --------------------------------------------------------------------------- PerfIso
+@dataclass(frozen=True)
+class BlindIsolationSpec:
+    """CPU blind isolation (Section 3.1)."""
+
+    buffer_cores: int = 8
+    min_secondary_cores: int = 0
+    #: Maximum number of cores added/removed per controller update; ``0``
+    #: means "adjust by the full measured difference" (the paper's behaviour).
+    max_step: int = 0
+
+    def __post_init__(self) -> None:
+        if self.buffer_cores < 0:
+            raise ConfigError("buffer_cores must be >= 0")
+        if self.min_secondary_cores < 0:
+            raise ConfigError("min_secondary_cores must be >= 0")
+        if self.max_step < 0:
+            raise ConfigError("max_step must be >= 0")
+
+
+@dataclass(frozen=True)
+class StaticCoreSpec:
+    """Static core restriction (the 'CPU cores' alternative of Section 6.1.4)."""
+
+    secondary_cores: int = 8
+
+    def __post_init__(self) -> None:
+        if self.secondary_cores < 0:
+            raise ConfigError("secondary_cores must be >= 0")
+
+
+@dataclass(frozen=True)
+class CpuCycleSpec:
+    """CPU cycle (rate) restriction (the 'CPU cycles' alternative)."""
+
+    cpu_fraction: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.cpu_fraction <= 1.0:
+            raise ConfigError("cpu_fraction must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class IoThrottleSpec:
+    """Deficit-weighted-round-robin I/O throttling (Section 4.1)."""
+
+    enabled: bool = True
+    #: Weight per tenant class; higher weight means a larger share.
+    weights: Tuple[Tuple[str, float], ...] = (("primary", 8.0), ("secondary", 1.0))
+    #: Guaranteed minimum IOPS for the primary.
+    primary_min_iops: float = 2000.0
+    #: Hard caps applied to the secondary on the shared (HDD) volume.
+    secondary_bandwidth_limit: float = 100 * MB
+    secondary_iops_limit: float = 0.0  # 0 disables the IOPS cap
+    #: Moving-average window used for the IOPS estimate (seconds).
+    window: float = 1.0
+    #: How often the throttler recomputes deficits and adjusts priorities.
+    adjust_interval: float = 0.25
+
+    def weight_map(self) -> Dict[str, float]:
+        return dict(self.weights)
+
+    def __post_init__(self) -> None:
+        if self.window <= 0 or self.adjust_interval <= 0:
+            raise ConfigError("IO throttle window and adjust interval must be positive")
+        for name, weight in self.weights:
+            if weight <= 0:
+                raise ConfigError(f"IO weight for {name!r} must be positive")
+
+
+@dataclass(frozen=True)
+class MemoryGuardSpec:
+    """Memory footprint guard (Section 3.2): kill the secondary under pressure."""
+
+    enabled: bool = True
+    #: Keep at least this much memory free for the primary and the OS.
+    reserved_bytes: int = 4 * GIB
+    check_interval: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.reserved_bytes < 0:
+            raise ConfigError("reserved_bytes must be >= 0")
+        if self.check_interval <= 0:
+            raise ConfigError("check_interval must be positive")
+
+
+@dataclass(frozen=True)
+class NetworkThrottleSpec:
+    """Egress network throttling of the secondary (Section 3.2)."""
+
+    enabled: bool = True
+    secondary_bandwidth_limit: float = 100 * MB
+    low_priority: bool = True
+
+    def __post_init__(self) -> None:
+        if self.secondary_bandwidth_limit <= 0:
+            raise ConfigError("secondary egress bandwidth limit must be positive")
+
+
+@dataclass(frozen=True)
+class PerfIsoSpec:
+    """Top-level PerfIso service configuration (Section 4)."""
+
+    #: Which CPU policy to run: 'blind', 'static_cores', 'cpu_cycles' or 'none'.
+    cpu_policy: str = "blind"
+    blind: BlindIsolationSpec = field(default_factory=BlindIsolationSpec)
+    static_cores: StaticCoreSpec = field(default_factory=StaticCoreSpec)
+    cpu_cycles: CpuCycleSpec = field(default_factory=CpuCycleSpec)
+    io_throttle: IoThrottleSpec = field(default_factory=IoThrottleSpec)
+    memory_guard: MemoryGuardSpec = field(default_factory=MemoryGuardSpec)
+    network_throttle: NetworkThrottleSpec = field(default_factory=NetworkThrottleSpec)
+    #: How often the controller polls the idle-core mask.
+    poll_interval: float = millis(1)
+    #: Whether the controller starts enabled (the "kill switch" of Section 4.2).
+    enabled: bool = True
+
+    VALID_POLICIES = ("blind", "static_cores", "cpu_cycles", "none")
+
+    def __post_init__(self) -> None:
+        if self.cpu_policy not in self.VALID_POLICIES:
+            raise ConfigError(
+                f"cpu_policy must be one of {self.VALID_POLICIES}, got {self.cpu_policy!r}"
+            )
+        if self.poll_interval <= 0:
+            raise ConfigError("poll_interval must be positive")
+
+
+# --------------------------------------------------------------------------- workload
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """Open-loop query workload replayed against the primary (Section 5.3)."""
+
+    qps: float = 2000.0
+    duration: float = 10.0
+    warmup: float = 1.0
+    #: Number of distinct queries in the synthetic trace.
+    trace_queries: int = 50_000
+    arrival_process: str = "poisson"
+
+    def __post_init__(self) -> None:
+        if self.qps <= 0:
+            raise ConfigError("qps must be positive")
+        if self.duration <= 0 or self.warmup < 0:
+            raise ConfigError("duration must be > 0 and warmup >= 0")
+        if self.arrival_process not in ("poisson", "uniform"):
+            raise ConfigError("arrival_process must be 'poisson' or 'uniform'")
+
+    @property
+    def total_time(self) -> float:
+        return self.warmup + self.duration
+
+
+# --------------------------------------------------------------------------- cluster
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The 75-machine IndexServe cluster of Section 5.3 / Figure 3."""
+
+    partitions: int = 22
+    rows: int = 2
+    tla_machines: int = 31
+    network_hop_latency: float = micros(200)
+    mla_aggregation_cost: float = micros(400)
+    tla_aggregation_cost: float = micros(300)
+    #: Request timeout measured at the TLA.
+    request_timeout: float = millis(500)
+
+    def __post_init__(self) -> None:
+        if self.partitions < 1 or self.rows < 1 or self.tla_machines < 1:
+            raise ConfigError("cluster dimensions must all be >= 1")
+
+    @property
+    def index_machines(self) -> int:
+        return self.partitions * self.rows
+
+    @property
+    def total_machines(self) -> int:
+        return self.index_machines + self.tla_machines
+
+
+# --------------------------------------------------------------------------- experiment
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """Everything needed to run one single-machine colocation experiment."""
+
+    machine: MachineSpec = field(default_factory=MachineSpec)
+    scheduler: SchedulerSpec = field(default_factory=SchedulerSpec)
+    indexserve: IndexServeSpec = field(default_factory=IndexServeSpec)
+    workload: WorkloadSpec = field(default_factory=WorkloadSpec)
+    perfiso: Optional[PerfIsoSpec] = None
+    cpu_bully: Optional[CpuBullySpec] = None
+    disk_bully: Optional[DiskBullySpec] = None
+    hdfs: Optional[HdfsSpec] = None
+    ml_training: Optional[MlTrainingSpec] = None
+    seed: int = 1
+
+    def replace(self, **changes) -> "ExperimentSpec":
+        """Return a copy with ``changes`` applied (thin dataclasses.replace wrapper)."""
+        return dataclasses.replace(self, **changes)

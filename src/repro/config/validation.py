@@ -1,0 +1,109 @@
+"""Cross-field validation of experiment configurations.
+
+Individual dataclasses validate their own fields in ``__post_init__``; this
+module checks the *relationships between* components that only make sense at
+experiment-assembly time (e.g. the secondary's static core allocation cannot
+exceed the machine's core count, the primary's memory footprint must fit in
+RAM, buffer cores must leave at least one core for the primary).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..errors import ConfigError
+from .schema import ClusterSpec, ExperimentSpec
+
+__all__ = ["validate_experiment", "validate_cluster", "collect_warnings"]
+
+
+def validate_experiment(spec: ExperimentSpec) -> None:
+    """Raise :class:`ConfigError` if ``spec`` is internally inconsistent."""
+    cores = spec.machine.logical_cores
+    memory = spec.machine.memory_bytes
+
+    if spec.indexserve.memory_footprint_bytes >= memory:
+        raise ConfigError(
+            "primary memory footprint "
+            f"({spec.indexserve.memory_footprint_bytes} B) does not fit in machine memory "
+            f"({memory} B)"
+        )
+    if spec.indexserve.workers_per_query_max > cores * 4:
+        raise ConfigError(
+            "workers_per_query_max is implausibly large for the machine "
+            f"({spec.indexserve.workers_per_query_max} workers, {cores} cores)"
+        )
+
+    if spec.perfiso is not None:
+        perfiso = spec.perfiso
+        if perfiso.cpu_policy == "blind":
+            if perfiso.blind.buffer_cores >= cores:
+                raise ConfigError(
+                    f"buffer_cores ({perfiso.blind.buffer_cores}) must be smaller than the "
+                    f"machine's logical core count ({cores})"
+                )
+            if perfiso.blind.min_secondary_cores > cores - perfiso.blind.buffer_cores:
+                raise ConfigError(
+                    "min_secondary_cores cannot exceed cores remaining after the buffer"
+                )
+        if perfiso.cpu_policy == "static_cores":
+            if perfiso.static_cores.secondary_cores > cores:
+                raise ConfigError(
+                    f"static secondary core allocation ({perfiso.static_cores.secondary_cores}) "
+                    f"exceeds machine core count ({cores})"
+                )
+        if perfiso.poll_interval > spec.workload.duration:
+            raise ConfigError("PerfIso poll interval is longer than the experiment itself")
+
+    if spec.cpu_bully is not None and spec.cpu_bully.threads > cores * 8:
+        raise ConfigError(
+            f"cpu bully thread count ({spec.cpu_bully.threads}) is implausibly large "
+            f"for {cores} cores"
+        )
+
+    secondary_memory = 0
+    for tenant in (spec.cpu_bully, spec.disk_bully, spec.hdfs, spec.ml_training):
+        if tenant is not None:
+            secondary_memory += tenant.memory_bytes
+    if spec.indexserve.memory_footprint_bytes + secondary_memory > memory * 1.5:
+        raise ConfigError(
+            "combined tenant memory footprint is more than 1.5x machine memory; "
+            "the experiment would only measure swapping behaviour the simulator does not model"
+        )
+
+    if spec.workload.warmup >= spec.workload.total_time:
+        raise ConfigError("warmup must leave measurable time in the experiment")
+
+
+def validate_cluster(spec: ClusterSpec) -> None:
+    """Raise :class:`ConfigError` if a cluster layout is inconsistent."""
+    if spec.rows > spec.partitions * 4:
+        raise ConfigError("more rows than is plausible for the number of partitions")
+    if spec.request_timeout <= spec.network_hop_latency * 4:
+        raise ConfigError("request timeout must exceed round-trip network overheads")
+
+
+def collect_warnings(spec: ExperimentSpec) -> List[str]:
+    """Return non-fatal configuration smells, useful in example scripts."""
+    warnings: List[str] = []
+    cores = spec.machine.logical_cores
+    if spec.perfiso is not None and spec.perfiso.cpu_policy == "blind":
+        buffer_cores = spec.perfiso.blind.buffer_cores
+        if buffer_cores < 4:
+            warnings.append(
+                f"buffer_cores={buffer_cores} is below the paper's recommended minimum (4); "
+                "tail latency may degrade under bursts"
+            )
+        if buffer_cores > cores // 2:
+            warnings.append(
+                f"buffer_cores={buffer_cores} reserves more than half the machine; the "
+                "secondary will make little progress"
+            )
+    if spec.workload.qps > 6000:
+        warnings.append(
+            f"qps={spec.workload.qps} is well above the paper's provisioned peak (4,000); "
+            "the primary alone may saturate the machine"
+        )
+    if spec.workload.duration < 2.0:
+        warnings.append("experiment duration under 2 s gives noisy tail-latency estimates")
+    return warnings

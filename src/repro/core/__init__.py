@@ -1,0 +1,33 @@
+"""PerfIso itself: the controller, CPU policies and resource throttles."""
+
+from .controller import PerfIsoController
+from .io_throttle import DwrrIoThrottler, ProcessIoState
+from .memory_guard import MemoryGuard
+from .network_throttle import NetworkThrottle
+from .policies import (
+    AllocationDecision,
+    BlindIsolationPolicy,
+    CpuCyclesPolicy,
+    CpuIsolationPolicy,
+    NoIsolationPolicy,
+    StaticCoresPolicy,
+    build_policy,
+)
+from .profiling import BufferCoreProfiler, BurstProfile
+
+__all__ = [
+    "PerfIsoController",
+    "DwrrIoThrottler",
+    "ProcessIoState",
+    "MemoryGuard",
+    "NetworkThrottle",
+    "AllocationDecision",
+    "BlindIsolationPolicy",
+    "CpuCyclesPolicy",
+    "CpuIsolationPolicy",
+    "NoIsolationPolicy",
+    "StaticCoresPolicy",
+    "build_policy",
+    "BufferCoreProfiler",
+    "BurstProfile",
+]

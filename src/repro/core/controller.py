@@ -1,0 +1,242 @@
+"""The PerfIso user-mode controller service (Section 4).
+
+The controller owns one job object holding every secondary-tenant process on
+the machine and drives four mechanisms:
+
+* the CPU isolation policy (blind isolation by default), fed by a tight poll
+  loop over the idle-core syscall — polling is continuous, but the job object
+  is only *updated* when the policy asks for a change (the poll/update split
+  the paper emphasises, because pointless updates are themselves harmful);
+* the DWRR disk I/O throttler;
+* the memory guard;
+* the egress network throttle.
+
+It also implements the operational features the paper calls out for
+production deployment: a kill switch that instantly removes every restriction
+(debugging aid), full recoverability from a serialisable state snapshot, and
+runtime reconfiguration from cluster-wide configuration pushes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Optional
+
+from ..config.schema import PerfIsoSpec
+from ..errors import IsolationError
+from ..hostos.jobobject import JobObject
+from ..hostos.process import OsProcess, TenantCategory
+from ..hostos.syscalls import Kernel
+from ..simulation.events import EventPriority
+from ..tenants.base import SecondaryTenant
+from .io_throttle import DwrrIoThrottler
+from .memory_guard import MemoryGuard
+from .network_throttle import NetworkThrottle
+from .policies import AllocationDecision, CpuIsolationPolicy, build_policy
+
+__all__ = ["PerfIsoController"]
+
+
+class PerfIsoController:
+    """One machine's PerfIso service instance."""
+
+    JOB_NAME = "perfiso-secondary"
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        spec: Optional[PerfIsoSpec] = None,
+        io_volume: str = "hdd",
+    ) -> None:
+        self._kernel = kernel
+        self._spec = spec if spec is not None else PerfIsoSpec()
+        self._job: JobObject = kernel.create_job_object(self.JOB_NAME)
+        self._policy: CpuIsolationPolicy = build_policy(
+            self._spec.cpu_policy,
+            blind=self._spec.blind,
+            static_cores=self._spec.static_cores,
+            cpu_cycles=self._spec.cpu_cycles,
+        )
+        self._io_throttler = DwrrIoThrottler(kernel, self._spec.io_throttle, volume=io_volume)
+        self._memory_guard = MemoryGuard(kernel, self._spec.memory_guard, self._job)
+        self._network_throttle = NetworkThrottle(kernel, self._spec.network_throttle)
+        self._enabled = self._spec.enabled
+        self._running = False
+        self._current_core_count: Optional[int] = None
+        # statistics
+        self.polls = 0
+        self.updates_applied = 0
+        self.core_count_history: List[int] = []
+
+    # ------------------------------------------------------------ properties
+    @property
+    def spec(self) -> PerfIsoSpec:
+        return self._spec
+
+    @property
+    def job(self) -> JobObject:
+        return self._job
+
+    @property
+    def policy(self) -> CpuIsolationPolicy:
+        return self._policy
+
+    @property
+    def io_throttler(self) -> DwrrIoThrottler:
+        return self._io_throttler
+
+    @property
+    def memory_guard(self) -> MemoryGuard:
+        return self._memory_guard
+
+    @property
+    def network_throttle(self) -> NetworkThrottle:
+        return self._network_throttle
+
+    @property
+    def enabled(self) -> bool:
+        return self._enabled
+
+    @property
+    def secondary_core_count(self) -> Optional[int]:
+        """Number of cores the secondary may currently use (None = all)."""
+        return self._current_core_count
+
+    @property
+    def secondary_affinity(self) -> Optional[FrozenSet[int]]:
+        return self._job.cpu_affinity
+
+    # ------------------------------------------------------------ membership
+    def manage(self, tenant: SecondaryTenant) -> None:
+        """Place a secondary tenant under PerfIso's job object."""
+        tenant.attach_to_job(self._job)
+        for process in tenant.processes():
+            self._register_process(process)
+
+    def manage_process(self, process: OsProcess) -> None:
+        """Place a single secondary process under PerfIso's control."""
+        if process.category == TenantCategory.PRIMARY:
+            raise IsolationError("the primary tenant is never placed under PerfIso's job object")
+        self._job.assign(process)
+        self._register_process(process)
+
+    def observe_primary(self, process: OsProcess) -> None:
+        """Register the primary for I/O measurement (never restricted)."""
+        self._io_throttler.register(process)
+
+    def _register_process(self, process: OsProcess) -> None:
+        if self._spec.io_throttle.enabled:
+            self._io_throttler.register(process)
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Apply the initial policy and begin the poll loop."""
+        if self._running:
+            raise IsolationError("PerfIso controller started twice")
+        self._running = True
+        if self._enabled:
+            self._apply(self._policy.initial_decision(self._kernel.logical_cores))
+            self._io_throttler.start()
+            self._memory_guard.start()
+            self._network_throttle.start()
+        self._kernel.engine.schedule(
+            self._spec.poll_interval, self._poll, priority=EventPriority.CONTROLLER
+        )
+
+    def stop(self) -> None:
+        self._running = False
+        self._io_throttler.stop()
+        self._memory_guard.stop()
+        self._network_throttle.stop()
+
+    # ------------------------------------------------------------ kill switch
+    def disable(self) -> None:
+        """The kill switch: immediately lift every restriction (Section 4.2)."""
+        self._enabled = False
+        self._job.set_cpu_affinity(None)
+        self._job.set_cpu_rate(None)
+        self._current_core_count = None
+        self._io_throttler.stop()
+        self._memory_guard.stop()
+        self._network_throttle.stop()
+
+    def enable(self) -> None:
+        """Re-enable isolation after the kill switch was used."""
+        if self._enabled:
+            return
+        self._enabled = True
+        self._apply(self._policy.initial_decision(self._kernel.logical_cores))
+        if self._running:
+            self._io_throttler.start()
+            self._memory_guard.start()
+            self._network_throttle.start()
+
+    # -------------------------------------------------------- reconfiguration
+    def update_spec(self, spec: PerfIsoSpec) -> None:
+        """Apply a new cluster-wide configuration at runtime."""
+        self._spec = spec
+        self._policy = build_policy(
+            spec.cpu_policy,
+            blind=spec.blind,
+            static_cores=spec.static_cores,
+            cpu_cycles=spec.cpu_cycles,
+        )
+        if self._enabled and self._running:
+            self._apply(self._policy.initial_decision(self._kernel.logical_cores))
+
+    def state_dict(self) -> Dict[str, object]:
+        """Serialisable controller state, for crash recovery via Autopilot."""
+        return {
+            "enabled": self._enabled,
+            "cpu_policy": self._spec.cpu_policy,
+            "current_core_count": self._current_core_count,
+            "updates_applied": self.updates_applied,
+        }
+
+    def restore_state(self, state: Dict[str, object]) -> None:
+        """Resume after a crash: re-apply the last known allocation."""
+        self._enabled = bool(state.get("enabled", True))
+        core_count = state.get("current_core_count")
+        if self._enabled and core_count is not None:
+            self._apply(AllocationDecision(core_count=int(core_count)))
+
+    # ------------------------------------------------------------- internals
+    def _poll(self) -> None:
+        if not self._running:
+            return
+        self.polls += 1
+        if self._enabled:
+            idle = self._kernel.idle_core_count()
+            decision = self._policy.poll_decision(
+                self._kernel.logical_cores, idle, self._current_core_count
+            )
+            if decision is not None:
+                self._apply(decision)
+        self._kernel.engine.schedule(
+            self._spec.poll_interval, self._poll, priority=EventPriority.CONTROLLER
+        )
+
+    def _apply(self, decision: AllocationDecision) -> None:
+        self.updates_applied += 1
+        if decision.unrestricted:
+            self._job.set_cpu_affinity(None)
+            self._job.set_cpu_rate(None)
+            self._current_core_count = None
+            return
+        if decision.cpu_rate is not None:
+            self._job.set_cpu_affinity(None)
+            self._job.set_cpu_rate(decision.cpu_rate)
+            self._current_core_count = None
+            return
+        count = decision.core_count
+        order = self._kernel.machine.topology.secondary_allocation_order()
+        allowed = frozenset(order[:count])
+        self._job.set_cpu_rate(None)
+        self._job.set_cpu_affinity(allowed)
+        self._current_core_count = count
+        self.core_count_history.append(count)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PerfIsoController(policy={self._policy.name}, enabled={self._enabled}, "
+            f"cores={self._current_core_count})"
+        )

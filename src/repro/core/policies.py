@@ -1,0 +1,193 @@
+"""CPU isolation policies.
+
+PerfIso's CPU policy decides, at every controller poll, how much CPU the
+secondary job object may use.  Four policies are provided, matching the
+paper's evaluation matrix (Section 6.1):
+
+* :class:`BlindIsolationPolicy` — the paper's contribution.  Keep ``B`` idle
+  cores at all times by growing/shrinking the secondary's core allocation
+  based purely on the idle-core count (no SLOs, no model of the primary).
+* :class:`StaticCoresPolicy` — restrict the secondary to a fixed core subset.
+* :class:`CpuCyclesPolicy` — restrict the secondary to a fixed share of total
+  CPU cycles (duty-cycle rate control).
+* :class:`NoIsolationPolicy` — the uncontrolled baseline.
+
+Policies are pure decision functions; applying a decision to the job object
+is the controller's job, which keeps the policies trivially unit-testable.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from ..config.schema import BlindIsolationSpec, CpuCycleSpec, StaticCoreSpec
+from ..errors import IsolationError
+
+__all__ = [
+    "AllocationDecision",
+    "CpuIsolationPolicy",
+    "BlindIsolationPolicy",
+    "StaticCoresPolicy",
+    "CpuCyclesPolicy",
+    "NoIsolationPolicy",
+    "build_policy",
+]
+
+
+@dataclass(frozen=True)
+class AllocationDecision:
+    """What the secondary job object should be limited to.
+
+    Exactly one of the knobs is meaningful per policy: a core count (affinity
+    restriction), a CPU rate fraction, or "unrestricted".
+    """
+
+    core_count: Optional[int] = None
+    cpu_rate: Optional[float] = None
+    unrestricted: bool = False
+
+    def __post_init__(self) -> None:
+        set_knobs = sum(
+            [self.core_count is not None, self.cpu_rate is not None, self.unrestricted]
+        )
+        if set_knobs != 1:
+            raise IsolationError(
+                "an AllocationDecision must set exactly one of core_count, cpu_rate, "
+                "unrestricted"
+            )
+        if self.core_count is not None and self.core_count < 0:
+            raise IsolationError("core_count must be >= 0")
+        if self.cpu_rate is not None and not 0.0 < self.cpu_rate <= 1.0:
+            raise IsolationError("cpu_rate must be in (0, 1]")
+
+
+class CpuIsolationPolicy(abc.ABC):
+    """Interface of a CPU isolation policy."""
+
+    name = "abstract"
+
+    @abc.abstractmethod
+    def initial_decision(self, total_cores: int) -> AllocationDecision:
+        """Allocation to apply when the controller starts."""
+
+    @abc.abstractmethod
+    def poll_decision(
+        self, total_cores: int, idle_cores: int, current_core_count: Optional[int]
+    ) -> Optional[AllocationDecision]:
+        """Allocation to apply after observing ``idle_cores``; ``None`` = no change."""
+
+
+class BlindIsolationPolicy(CpuIsolationPolicy):
+    """CPU blind isolation (Section 3.1).
+
+    Let ``I`` be the observed number of idle cores and ``B`` the configured
+    buffer.  If ``I < B`` the secondary's core count ``S`` is decreased by the
+    shortfall; if ``I > B`` it is increased by the surplus.  ``S`` is clamped
+    to ``[min_secondary_cores, total - B]``.
+    """
+
+    name = "blind"
+
+    def __init__(self, spec: BlindIsolationSpec) -> None:
+        self._spec = spec
+
+    @property
+    def buffer_cores(self) -> int:
+        return self._spec.buffer_cores
+
+    def max_secondary(self, total_cores: int) -> int:
+        return max(self._spec.min_secondary_cores, total_cores - self._spec.buffer_cores)
+
+    def initial_decision(self, total_cores: int) -> AllocationDecision:
+        if self._spec.buffer_cores >= total_cores:
+            raise IsolationError(
+                f"buffer ({self._spec.buffer_cores}) must be smaller than the machine "
+                f"({total_cores} cores)"
+            )
+        return AllocationDecision(core_count=self.max_secondary(total_cores))
+
+    def poll_decision(
+        self, total_cores: int, idle_cores: int, current_core_count: Optional[int]
+    ) -> Optional[AllocationDecision]:
+        if current_core_count is None:
+            current_core_count = self.max_secondary(total_cores)
+        buffer_cores = self._spec.buffer_cores
+        delta = idle_cores - buffer_cores
+        if delta == 0:
+            return None
+        if self._spec.max_step:
+            delta = max(-self._spec.max_step, min(self._spec.max_step, delta))
+        target = current_core_count + delta
+        target = max(self._spec.min_secondary_cores, min(self.max_secondary(total_cores), target))
+        if target == current_core_count:
+            return None
+        return AllocationDecision(core_count=target)
+
+
+class StaticCoresPolicy(CpuIsolationPolicy):
+    """Fixed core-subset restriction (the 'CPU cores' alternative)."""
+
+    name = "static_cores"
+
+    def __init__(self, spec: StaticCoreSpec) -> None:
+        self._spec = spec
+
+    def initial_decision(self, total_cores: int) -> AllocationDecision:
+        count = min(self._spec.secondary_cores, total_cores)
+        return AllocationDecision(core_count=count)
+
+    def poll_decision(
+        self, total_cores: int, idle_cores: int, current_core_count: Optional[int]
+    ) -> Optional[AllocationDecision]:
+        return None
+
+
+class CpuCyclesPolicy(CpuIsolationPolicy):
+    """Fixed CPU duty-cycle restriction (the 'CPU cycles' alternative)."""
+
+    name = "cpu_cycles"
+
+    def __init__(self, spec: CpuCycleSpec) -> None:
+        self._spec = spec
+
+    def initial_decision(self, total_cores: int) -> AllocationDecision:
+        return AllocationDecision(cpu_rate=self._spec.cpu_fraction)
+
+    def poll_decision(
+        self, total_cores: int, idle_cores: int, current_core_count: Optional[int]
+    ) -> Optional[AllocationDecision]:
+        return None
+
+
+class NoIsolationPolicy(CpuIsolationPolicy):
+    """The uncontrolled baseline: the secondary competes freely."""
+
+    name = "none"
+
+    def initial_decision(self, total_cores: int) -> AllocationDecision:
+        return AllocationDecision(unrestricted=True)
+
+    def poll_decision(
+        self, total_cores: int, idle_cores: int, current_core_count: Optional[int]
+    ) -> Optional[AllocationDecision]:
+        return None
+
+
+def build_policy(
+    cpu_policy: str,
+    blind: Optional[BlindIsolationSpec] = None,
+    static_cores: Optional[StaticCoreSpec] = None,
+    cpu_cycles: Optional[CpuCycleSpec] = None,
+) -> CpuIsolationPolicy:
+    """Construct the policy named by ``cpu_policy`` from its spec."""
+    if cpu_policy == "blind":
+        return BlindIsolationPolicy(blind if blind is not None else BlindIsolationSpec())
+    if cpu_policy == "static_cores":
+        return StaticCoresPolicy(static_cores if static_cores is not None else StaticCoreSpec())
+    if cpu_policy == "cpu_cycles":
+        return CpuCyclesPolicy(cpu_cycles if cpu_cycles is not None else CpuCycleSpec())
+    if cpu_policy == "none":
+        return NoIsolationPolicy()
+    raise IsolationError(f"unknown cpu policy {cpu_policy!r}")

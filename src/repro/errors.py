@@ -1,0 +1,44 @@
+"""Exception hierarchy for the PerfIso reproduction library.
+
+All exceptions raised by :mod:`repro` derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while still
+being able to distinguish configuration problems from simulation problems.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the library."""
+
+
+class ConfigError(ReproError):
+    """A configuration value is missing, malformed, or inconsistent."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an invalid state."""
+
+
+class SchedulerError(SimulationError):
+    """The simulated OS scheduler detected an invariant violation."""
+
+
+class ResourceError(SimulationError):
+    """A simulated hardware resource was used incorrectly (e.g. double free)."""
+
+
+class TenantError(ReproError):
+    """A tenant (primary or secondary workload) was misconfigured or misused."""
+
+
+class IsolationError(ReproError):
+    """The PerfIso controller or one of its policies was misused."""
+
+
+class ClusterError(ReproError):
+    """A cluster-level component (routing, aggregation, deployment) failed."""
+
+
+class ExperimentError(ReproError):
+    """An experiment harness was configured inconsistently."""

@@ -1,0 +1,19 @@
+"""Experiment harnesses reproducing the paper's evaluation."""
+
+from . import figures, scenarios
+from .comparison import ComparisonResult, ComparisonRow, IsolationComparison
+from .reporting import format_figure, format_table, print_figure
+from .single_machine import SingleMachineExperiment, SingleMachineResult
+
+__all__ = [
+    "figures",
+    "scenarios",
+    "ComparisonResult",
+    "ComparisonRow",
+    "IsolationComparison",
+    "format_figure",
+    "format_table",
+    "print_figure",
+    "SingleMachineExperiment",
+    "SingleMachineResult",
+]

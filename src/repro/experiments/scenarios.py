@@ -1,0 +1,180 @@
+"""Scenario builders: one function per configuration evaluated in the paper.
+
+Every scenario returns a fully-populated :class:`ExperimentSpec`; the figure
+harnesses (:mod:`repro.experiments.figures`) and the benchmarks compose these
+into the paper's tables.  All scenarios share the same machine, primary and
+workload parameters so results are directly comparable — only the secondary
+and the isolation policy change.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from ..config.schema import (
+    BlindIsolationSpec,
+    CpuBullySpec,
+    CpuCycleSpec,
+    DiskBullySpec,
+    ExperimentSpec,
+    HdfsSpec,
+    IoThrottleSpec,
+    PerfIsoSpec,
+    StaticCoreSpec,
+    WorkloadSpec,
+)
+from ..units import MB
+
+__all__ = [
+    "AVERAGE_LOAD_QPS",
+    "PEAK_LOAD_QPS",
+    "MID_BULLY_THREADS",
+    "HIGH_BULLY_THREADS",
+    "base_spec",
+    "standalone",
+    "no_isolation",
+    "blind_isolation",
+    "static_cores",
+    "cpu_cycles",
+    "disk_bound_with_throttling",
+]
+
+#: The paper's approximation of average and peak per-machine load (Section 5.3).
+AVERAGE_LOAD_QPS = 2000.0
+PEAK_LOAD_QPS = 4000.0
+#: "mid" = 24 bully threads, "high" = 48 bully threads (Section 6.1.2).
+MID_BULLY_THREADS = 24
+HIGH_BULLY_THREADS = 48
+
+
+def base_spec(
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """The shared machine / primary / workload configuration."""
+    return ExperimentSpec(
+        workload=WorkloadSpec(qps=qps, duration=duration, warmup=warmup),
+        seed=seed,
+    )
+
+
+def _with_workload(spec: ExperimentSpec, qps: float, duration: float, warmup: float, seed: int) -> ExperimentSpec:
+    return dataclasses.replace(
+        spec,
+        workload=WorkloadSpec(qps=qps, duration=duration, warmup=warmup),
+        seed=seed,
+    )
+
+
+def standalone(
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """IndexServe running alone (the baseline of Section 6.1.1)."""
+    return base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+
+
+def no_isolation(
+    bully_threads: int = HIGH_BULLY_THREADS,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Colocation with an unrestricted CPU bully (Section 6.1.2)."""
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    return dataclasses.replace(spec, cpu_bully=CpuBullySpec(threads=bully_threads))
+
+
+def blind_isolation(
+    buffer_cores: int = 8,
+    bully_threads: int = HIGH_BULLY_THREADS,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """CPU blind isolation with the given buffer (Section 6.1.3)."""
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    perfiso = PerfIsoSpec(
+        cpu_policy="blind",
+        blind=BlindIsolationSpec(buffer_cores=buffer_cores),
+    )
+    return dataclasses.replace(
+        spec, cpu_bully=CpuBullySpec(threads=bully_threads), perfiso=perfiso
+    )
+
+
+def static_cores(
+    secondary_cores: int = 8,
+    bully_threads: int = HIGH_BULLY_THREADS,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Static core restriction of the secondary (Section 6.1.4)."""
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    perfiso = PerfIsoSpec(
+        cpu_policy="static_cores",
+        static_cores=StaticCoreSpec(secondary_cores=secondary_cores),
+    )
+    return dataclasses.replace(
+        spec, cpu_bully=CpuBullySpec(threads=bully_threads), perfiso=perfiso
+    )
+
+
+def cpu_cycles(
+    cpu_fraction: float = 0.05,
+    bully_threads: int = HIGH_BULLY_THREADS,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Static CPU cycle (duty-cycle) restriction of the secondary (Section 6.1.4)."""
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    perfiso = PerfIsoSpec(
+        cpu_policy="cpu_cycles",
+        cpu_cycles=CpuCycleSpec(cpu_fraction=cpu_fraction),
+    )
+    return dataclasses.replace(
+        spec, cpu_bully=CpuBullySpec(threads=bully_threads), perfiso=perfiso
+    )
+
+
+def disk_bound_with_throttling(
+    qps: float = PEAK_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+    bandwidth_limit: Optional[float] = 100 * MB,
+    iops_limit: float = 0.0,
+    buffer_cores: int = 8,
+) -> ExperimentSpec:
+    """Disk-bound secondary (disk bully + HDFS) with PerfIso I/O throttling.
+
+    Mirrors the cluster experiment's per-machine configuration (Section 6.2,
+    Figure 9c): blind isolation for CPU plus disk throttling of the secondary
+    on the shared HDD volume.
+    """
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    perfiso = PerfIsoSpec(
+        cpu_policy="blind",
+        blind=BlindIsolationSpec(buffer_cores=buffer_cores),
+        io_throttle=IoThrottleSpec(
+            secondary_bandwidth_limit=bandwidth_limit if bandwidth_limit else 100 * MB,
+            secondary_iops_limit=iops_limit,
+        ),
+    )
+    return dataclasses.replace(
+        spec,
+        disk_bully=DiskBullySpec(),
+        hdfs=HdfsSpec(),
+        perfiso=perfiso,
+    )

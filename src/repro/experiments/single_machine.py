@@ -1,0 +1,206 @@
+"""Single-machine colocation experiments (Section 6.1).
+
+This module assembles one machine — hardware, kernel, primary, secondaries,
+optionally PerfIso — replays an open-loop query workload against it, and
+returns the measurements the paper reports: query latency percentiles, the
+Primary/Secondary/OS/Idle CPU breakdown, dropped queries and the secondary's
+progress.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..config.schema import ExperimentSpec
+from ..config.validation import validate_experiment
+from ..core.controller import PerfIsoController
+from ..errors import ExperimentError
+from ..hardware.machine import Machine
+from ..hostos.syscalls import Kernel
+from ..metrics.cpu import CpuBreakdown, CpuUtilizationSampler
+from ..metrics.latency import LatencyCollector, LatencyStats
+from ..simulation.engine import SimulationEngine
+from ..simulation.randomness import RandomStreams
+from ..tenants.base import SecondaryTenant
+from ..tenants.cpu_bully import CpuBullyTenant
+from ..tenants.disk_bully import DiskBullyTenant
+from ..tenants.hdfs import HdfsTenant
+from ..tenants.indexserve import IndexServeTenant
+from ..tenants.ml_training import MlTrainingTenant
+from ..workloads.arrival import OpenLoopClient
+from ..workloads.query_trace import QueryTrace
+
+__all__ = ["SingleMachineResult", "SingleMachineExperiment"]
+
+
+@dataclass
+class SingleMachineResult:
+    """Measurements from one single-machine run."""
+
+    scenario: str
+    qps: float
+    duration: float
+    latency: LatencyStats
+    cpu: CpuBreakdown
+    cpu_timeseries: List[Dict[str, float]]
+    queries_submitted: int
+    queries_completed: int
+    queries_dropped: int
+    secondary_progress: float
+    secondary_cpu_seconds: float
+    controller_polls: int = 0
+    controller_updates: int = 0
+    secondary_core_history: List[int] = field(default_factory=list)
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.queries_completed + self.queries_dropped
+        return self.queries_dropped / total if total else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dictionary used by the benchmark harness tables."""
+        row: Dict[str, float] = {
+            "qps": self.qps,
+            "p50_ms": self.latency.as_millis()["p50_ms"],
+            "p95_ms": self.latency.as_millis()["p95_ms"],
+            "p99_ms": self.latency.as_millis()["p99_ms"],
+            "drop_rate_pct": self.drop_rate * 100.0,
+            "primary_cpu_pct": self.cpu.primary * 100.0,
+            "secondary_cpu_pct": self.cpu.secondary * 100.0,
+            "os_cpu_pct": self.cpu.os * 100.0,
+            "idle_cpu_pct": self.cpu.idle * 100.0,
+            "secondary_progress": self.secondary_progress,
+        }
+        row.update(self.extra)
+        return row
+
+
+class SingleMachineExperiment:
+    """Builds and runs one single-machine colocation experiment."""
+
+    def __init__(self, spec: ExperimentSpec, scenario: str = "custom") -> None:
+        validate_experiment(spec)
+        self._spec = spec
+        self._scenario = scenario
+        # Assembled on run(); kept as attributes so tests can inspect them.
+        self.engine: Optional[SimulationEngine] = None
+        self.kernel: Optional[Kernel] = None
+        self.primary: Optional[IndexServeTenant] = None
+        self.controller: Optional[PerfIsoController] = None
+        self.secondaries: List[SecondaryTenant] = []
+
+    @property
+    def spec(self) -> ExperimentSpec:
+        return self._spec
+
+    # ------------------------------------------------------------------- run
+    def run(self) -> SingleMachineResult:
+        spec = self._spec
+        streams = RandomStreams(spec.seed)
+        engine = SimulationEngine()
+        machine = Machine(engine, spec.machine, name="node-0", rng=streams.stream("disks"))
+        kernel = Kernel(engine, machine, spec.scheduler)
+        self.engine, self.kernel = engine, kernel
+
+        warmup_end = spec.workload.warmup
+        collector = LatencyCollector(warmup_end=warmup_end)
+        primary = IndexServeTenant(
+            kernel, spec.indexserve, rng=streams.stream("indexserve"), collector=collector
+        )
+        primary.start()
+        self.primary = primary
+
+        trace = QueryTrace(
+            spec.indexserve,
+            size=min(spec.workload.trace_queries, max(1000, int(spec.workload.qps * spec.workload.total_time))),
+            rng=streams.stream("trace"),
+        )
+        client = OpenLoopClient(
+            engine,
+            trace,
+            qps=spec.workload.qps,
+            duration=spec.workload.total_time,
+            submit=lambda query, arrival: primary.submit(query, arrival),
+            rng=streams.stream("arrivals"),
+            arrival_process=spec.workload.arrival_process,
+        )
+
+        secondaries = self._build_secondaries(kernel, streams)
+        self.secondaries = secondaries
+
+        controller: Optional[PerfIsoController] = None
+        if spec.perfiso is not None:
+            controller = PerfIsoController(kernel, spec.perfiso)
+            controller.observe_primary(primary.process)
+            self.controller = controller
+
+        sampler = CpuUtilizationSampler(engine, kernel, interval=0.5, warmup_end=warmup_end)
+        sampler.start()
+
+        # Start everything: secondaries first (they are immediately placed
+        # under the controller), then the controller, then the load.
+        for secondary in secondaries:
+            secondary.start()
+            if controller is not None:
+                controller.manage(secondary)
+        if controller is not None:
+            controller.start()
+        client.start()
+
+        engine.run(until=spec.workload.total_time)
+
+        return self._collect(collector, sampler, client)
+
+    # ------------------------------------------------------------- internals
+    def _build_secondaries(self, kernel: Kernel, streams: RandomStreams) -> List[SecondaryTenant]:
+        spec = self._spec
+        secondaries: List[SecondaryTenant] = []
+        if spec.cpu_bully is not None:
+            secondaries.append(CpuBullyTenant(kernel, spec.cpu_bully))
+        if spec.disk_bully is not None:
+            secondaries.append(
+                DiskBullyTenant(kernel, spec.disk_bully, rng=streams.stream("disk-bully"))
+            )
+        if spec.hdfs is not None:
+            secondaries.append(HdfsTenant(kernel, spec.hdfs, rng=streams.stream("hdfs")))
+        if spec.ml_training is not None:
+            secondaries.append(
+                MlTrainingTenant(kernel, spec.ml_training, rng=streams.stream("ml-training"))
+            )
+        return secondaries
+
+    def _collect(
+        self,
+        collector: LatencyCollector,
+        sampler: CpuUtilizationSampler,
+        client: OpenLoopClient,
+    ) -> SingleMachineResult:
+        if self.kernel is None or self.primary is None:
+            raise ExperimentError("experiment has not been run")
+        spec = self._spec
+        secondary_cpu = sum(
+            process.cpu_time
+            for secondary in self.secondaries
+            for process in secondary.processes()
+        )
+        progress = sum(secondary.progress() for secondary in self.secondaries)
+        result = SingleMachineResult(
+            scenario=self._scenario,
+            qps=spec.workload.qps,
+            duration=spec.workload.duration,
+            latency=collector.stats(),
+            cpu=sampler.overall(),
+            cpu_timeseries=sampler.timeseries(),
+            queries_submitted=client.submitted,
+            queries_completed=self.primary.completed,
+            queries_dropped=self.primary.dropped,
+            secondary_progress=progress,
+            secondary_cpu_seconds=secondary_cpu,
+        )
+        if self.controller is not None:
+            result.controller_polls = self.controller.polls
+            result.controller_updates = self.controller.updates_applied
+            result.secondary_core_history = list(self.controller.core_count_history)
+        return result

@@ -1,0 +1,18 @@
+"""Hardware substrate: CPU topology, memory, disks, NIC and the machine."""
+
+from .disk import DiskDevice, IoRequest, StripedVolume
+from .machine import Machine
+from .memory import MemorySubsystem
+from .nic import NetworkInterface
+from .topology import CpuTopology, LogicalCoreInfo
+
+__all__ = [
+    "DiskDevice",
+    "IoRequest",
+    "StripedVolume",
+    "Machine",
+    "MemorySubsystem",
+    "NetworkInterface",
+    "CpuTopology",
+    "LogicalCoreInfo",
+]

@@ -1,0 +1,81 @@
+"""Physical memory accounting.
+
+PerfIso's memory management (Section 3.2) is deliberately simple: the primary
+has a fixed working set that must always fit, the secondary's footprint is
+capped, and when free memory gets very low the secondary is killed.  The
+model below therefore tracks allocations per owner without simulating paging.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ResourceError
+
+__all__ = ["MemorySubsystem"]
+
+
+class MemorySubsystem:
+    """Tracks per-owner physical memory reservations on one machine."""
+
+    def __init__(self, capacity_bytes: int) -> None:
+        if capacity_bytes <= 0:
+            raise ResourceError("memory capacity must be positive")
+        self._capacity = int(capacity_bytes)
+        self._allocations: Dict[str, int] = {}
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self._capacity
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(self._allocations.values())
+
+    @property
+    def free_bytes(self) -> int:
+        return self._capacity - self.used_bytes
+
+    def usage_of(self, owner: str) -> int:
+        """Bytes currently reserved by ``owner`` (0 if unknown)."""
+        return self._allocations.get(owner, 0)
+
+    def owners(self) -> Dict[str, int]:
+        """Snapshot of every owner's reservation."""
+        return dict(self._allocations)
+
+    def allocate(self, owner: str, size_bytes: int, *, allow_overcommit: bool = False) -> None:
+        """Reserve ``size_bytes`` for ``owner``.
+
+        Raises :class:`ResourceError` when the machine does not have enough
+        free memory, unless ``allow_overcommit`` is set (used by tests that
+        exercise the memory guard's kill path).
+        """
+        if size_bytes < 0:
+            raise ResourceError("cannot allocate a negative amount of memory")
+        if not allow_overcommit and size_bytes > self.free_bytes:
+            raise ResourceError(
+                f"allocation of {size_bytes} B for {owner!r} exceeds free memory "
+                f"({self.free_bytes} B)"
+            )
+        self._allocations[owner] = self._allocations.get(owner, 0) + int(size_bytes)
+
+    def release(self, owner: str, size_bytes: int) -> None:
+        """Release ``size_bytes`` previously reserved by ``owner``."""
+        current = self._allocations.get(owner, 0)
+        if size_bytes < 0 or size_bytes > current:
+            raise ResourceError(
+                f"{owner!r} cannot release {size_bytes} B (holds {current} B)"
+            )
+        remaining = current - int(size_bytes)
+        if remaining:
+            self._allocations[owner] = remaining
+        else:
+            self._allocations.pop(owner, None)
+
+    def release_all(self, owner: str) -> int:
+        """Release everything held by ``owner`` and return the amount freed."""
+        return self._allocations.pop(owner, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"MemorySubsystem(used={self.used_bytes}/{self._capacity})"

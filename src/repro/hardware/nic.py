@@ -1,0 +1,135 @@
+"""Network interface with priority-aware egress scheduling.
+
+PerfIso throttles the *outbound* traffic of the secondary and marks it
+low-priority so the primary's responses are never queued behind bulk batch
+traffic (Section 3.2).  The model is a single transmit link shared by a
+high-priority queue (primary) and a low-priority queue (secondary), plus an
+optional token-bucket rate cap applied to the low-priority class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+from ..config.schema import NicSpec
+from ..errors import ResourceError
+from ..simulation.engine import SimulationEngine
+from ..simulation.events import EventPriority
+
+__all__ = ["NetworkInterface"]
+
+
+class NetworkInterface:
+    """Egress link of one machine."""
+
+    HIGH = "high"
+    LOW = "low"
+
+    def __init__(self, engine: SimulationEngine, spec: NicSpec) -> None:
+        self._engine = engine
+        self._spec = spec
+        self._busy = False
+        self._queues: Dict[str, Deque[Tuple[str, int, Optional[Callable[[], None]]]]] = {
+            self.HIGH: deque(),
+            self.LOW: deque(),
+        }
+        # Token bucket for the low-priority class; None means uncapped.
+        self._low_rate_limit: Optional[float] = None
+        self._low_tokens = 0.0
+        self._low_last_refill = 0.0
+        # statistics
+        self.bytes_sent: Dict[str, int] = {}
+        self.packets_sent: Dict[str, int] = {}
+        self.busy_time = 0.0
+
+    @property
+    def spec(self) -> NicSpec:
+        return self._spec
+
+    @property
+    def queued_packets(self) -> int:
+        return len(self._queues[self.HIGH]) + len(self._queues[self.LOW])
+
+    def set_low_priority_rate_limit(self, bytes_per_second: Optional[float]) -> None:
+        """Cap the low-priority (secondary) egress rate; ``None`` removes it."""
+        if bytes_per_second is not None and bytes_per_second <= 0:
+            raise ResourceError("egress rate limit must be positive or None")
+        self._low_rate_limit = bytes_per_second
+        self._low_tokens = 0.0
+        self._low_last_refill = self._engine.now
+
+    def send(
+        self,
+        owner: str,
+        size_bytes: int,
+        *,
+        priority: str = HIGH,
+        callback: Optional[Callable[[], None]] = None,
+    ) -> None:
+        """Queue ``size_bytes`` for transmission on behalf of ``owner``."""
+        if priority not in (self.HIGH, self.LOW):
+            raise ResourceError(f"priority must be 'high' or 'low', got {priority!r}")
+        if size_bytes <= 0:
+            raise ResourceError("packet size must be positive")
+        self._queues[priority].append((owner, int(size_bytes), callback))
+        if not self._busy:
+            self._transmit_next()
+
+    # ------------------------------------------------------------- internals
+    def _refill_low_tokens(self) -> None:
+        if self._low_rate_limit is None:
+            return
+        now = self._engine.now
+        elapsed = now - self._low_last_refill
+        self._low_last_refill = now
+        # Debt-based bucket: sending a packet may push the balance negative;
+        # the class is then paused until the balance recovers to zero.  The
+        # positive balance is capped at 50 ms of burst so idle periods do not
+        # accumulate unbounded credit.
+        burst = self._low_rate_limit * 0.05
+        self._low_tokens = min(burst, self._low_tokens + elapsed * self._low_rate_limit)
+
+    def _transmit_next(self) -> None:
+        queue_name = None
+        if self._queues[self.HIGH]:
+            queue_name = self.HIGH
+        elif self._queues[self.LOW]:
+            self._refill_low_tokens()
+            if self._low_rate_limit is None or self._low_tokens >= 0:
+                queue_name = self.LOW
+            else:
+                # In debt: wait until the balance recovers to zero.
+                delay = -self._low_tokens / self._low_rate_limit
+                self._busy = True
+                self._engine.schedule(
+                    delay, self._resume_after_throttle, priority=EventPriority.HARDWARE
+                )
+                return
+        if queue_name is None:
+            self._busy = False
+            return
+        owner, size_bytes, callback = self._queues[queue_name].popleft()
+        if queue_name == self.LOW and self._low_rate_limit is not None:
+            self._low_tokens -= size_bytes
+        self._busy = True
+        duration = self._spec.base_latency + size_bytes / self._spec.bandwidth_bytes_per_s
+        self.busy_time += duration
+        self.bytes_sent[owner] = self.bytes_sent.get(owner, 0) + size_bytes
+        self.packets_sent[owner] = self.packets_sent.get(owner, 0) + 1
+        self._engine.schedule(
+            duration, self._transmit_done, callback, priority=EventPriority.HARDWARE
+        )
+
+    def _resume_after_throttle(self) -> None:
+        self._busy = False
+        self._transmit_next()
+
+    def _transmit_done(self, callback: Optional[Callable[[], None]]) -> None:
+        self._busy = False
+        if callback is not None:
+            callback()
+        self._transmit_next()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"NetworkInterface(queued={self.queued_packets}, busy={self._busy})"

@@ -1,0 +1,24 @@
+"""The simulated operating system: threads, scheduler, job objects, I/O, syscalls."""
+
+from .accounting import CpuAccounting, CpuSnapshot
+from .iostack import IoStack
+from .jobobject import JobObject
+from .process import OsProcess, TenantCategory
+from .scheduler import Scheduler
+from .syscalls import Kernel
+from .thread import SimThread, ThreadState, cpu_phase, io_phase
+
+__all__ = [
+    "CpuAccounting",
+    "CpuSnapshot",
+    "IoStack",
+    "JobObject",
+    "OsProcess",
+    "TenantCategory",
+    "Scheduler",
+    "Kernel",
+    "SimThread",
+    "ThreadState",
+    "cpu_phase",
+    "io_phase",
+]

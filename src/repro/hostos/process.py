@@ -1,0 +1,80 @@
+"""Simulated OS processes.
+
+A process groups threads, owns memory, accumulates CPU and I/O statistics and
+may be placed in a :class:`~repro.hostos.jobobject.JobObject` so PerfIso can
+restrict it (affinity, CPU rate, memory) without knowing anything about the
+code it runs — exactly the interface the paper relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, TYPE_CHECKING
+
+from ..errors import SchedulerError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .jobobject import JobObject
+    from .thread import SimThread
+
+__all__ = ["TenantCategory", "OsProcess"]
+
+
+class TenantCategory:
+    """Well-known tenant categories used for CPU accounting."""
+
+    PRIMARY = "primary"
+    SECONDARY = "secondary"
+    SYSTEM = "os"
+
+    ALL = (PRIMARY, SECONDARY, SYSTEM)
+
+
+class OsProcess:
+    """One OS process (a primary service, a batch job, or a system daemon)."""
+
+    def __init__(self, pid: int, name: str, category: str, created_at: float) -> None:
+        if category not in TenantCategory.ALL:
+            raise SchedulerError(
+                f"process category must be one of {TenantCategory.ALL}, got {category!r}"
+            )
+        self.pid = pid
+        self.name = name
+        self.category = category
+        self.created_at = created_at
+        self.job: Optional["JobObject"] = None
+        self.threads: List["SimThread"] = []
+        self.alive = True
+        # resource usage
+        self.memory_bytes = 0
+        self.cpu_time = 0.0
+        self.io_requests_completed = 0
+        self.io_bytes_completed = 0
+        self.io_requests_by_volume: Dict[str, int] = {}
+        self.io_bytes_by_volume: Dict[str, int] = {}
+
+    # -------------------------------------------------------------- threads
+    def register_thread(self, thread: "SimThread") -> None:
+        if not self.alive:
+            raise SchedulerError(f"cannot add a thread to dead process {self.name!r}")
+        self.threads.append(thread)
+
+    def live_threads(self) -> List["SimThread"]:
+        return [t for t in self.threads if not t.terminated]
+
+    # ------------------------------------------------------------ accounting
+    def charge_cpu(self, seconds: float) -> None:
+        self.cpu_time += seconds
+
+    def charge_io(self, volume: str, size_bytes: int) -> None:
+        self.io_requests_completed += 1
+        self.io_bytes_completed += size_bytes
+        self.io_requests_by_volume[volume] = self.io_requests_by_volume.get(volume, 0) + 1
+        self.io_bytes_by_volume[volume] = (
+            self.io_bytes_by_volume.get(volume, 0) + size_bytes
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"OsProcess({self.name!r}, pid={self.pid}, category={self.category}, "
+            f"threads={len(self.threads)}, alive={self.alive})"
+        )

@@ -1,0 +1,575 @@
+"""The simulated multicore thread scheduler.
+
+This is the substrate the whole reproduction rests on.  It deliberately models
+an *ordinary* work-conserving OS scheduler — the kind PerfIso must live with
+because changing the production kernel is off the table (Section 3.1):
+
+* Round-robin time slicing with a fixed quantum.
+* **Per-core ready queues with wake-time placement** (the default): a thread
+  that becomes ready is dispatched immediately only if an idle core in its
+  affinity mask exists; otherwise it is queued behind one specific core's
+  running thread (its placement core) and waits for that core's quantum
+  boundary.  Idle cores steal waiting threads, so the scheduler remains work
+  conserving — but when *no* core is idle there is no migration, which is
+  exactly why an unmanaged CPU-bound secondary inflates the primary's tail
+  latency by an order of magnitude (Figure 4).  An idealised single global
+  queue is available as ``placement="global"`` for ablation studies.
+* **Hyper-threading contention**: when both logical siblings of a physical
+  core are busy, each runs at ``smt_slowdown`` of full speed.  Dispatch
+  prefers fully-idle physical cores, so a half-loaded machine ("mid" bully)
+  still slows the primary's bursts even though cores look available.
+* Affinity masks (thread- and job-level) are honoured on every dispatch, and
+  changing a job's mask immediately preempts threads running on (or queued
+  at) newly-forbidden cores.  This is the knob CPU blind isolation drives.
+* Job-level CPU rate control is enforced per interval as a duty cycle, which
+  reproduces the bursty occupancy that makes cycle throttling a poor
+  isolation mechanism (Section 6.1.4).
+* An idle-core bitmask is maintained at all times and exposed through the
+  kernel syscall facade with O(1) cost — the low-latency signal blind
+  isolation polls.
+
+There is deliberately **no** priority preemption between tenants: the primary
+and secondary compete as equals unless PerfIso intervenes.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, Dict, FrozenSet, List, Optional
+
+from ..config.schema import SchedulerSpec
+from ..errors import SchedulerError
+from ..hardware.topology import CpuTopology
+from ..simulation.engine import SimulationEngine
+from ..simulation.events import EventPriority
+from .accounting import CpuAccounting
+from .jobobject import JobObject
+from .process import OsProcess
+from .thread import SimThread, ThreadState
+
+__all__ = ["Scheduler"]
+
+_EPSILON = 1e-12
+#: Tolerance used when deciding whether a CPU phase has finished; durations
+#: are milliseconds-scale so a nanosecond of residual work is "done".
+_WORK_EPSILON = 1e-9
+
+#: Signature of the I/O submission hook the kernel installs: it receives the
+#: blocked thread and the io phase parameters, and must eventually call the
+#: completion callback exactly once.
+IoSubmit = Callable[[SimThread, str, str, int, Callable[[], None]], None]
+
+
+class Scheduler:
+    """Work-conserving, quantum-based, affinity- and SMT-aware scheduler."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        topology: CpuTopology,
+        spec: SchedulerSpec,
+        accounting: CpuAccounting,
+        io_submit: Optional[IoSubmit] = None,
+    ) -> None:
+        self._engine = engine
+        self._topology = topology
+        self._spec = spec
+        self._accounting = accounting
+        self._io_submit = io_submit
+        core_count = topology.logical_core_count
+        self._core_thread: List[Optional[SimThread]] = [None] * core_count
+        self._last_tid_on_core: List[Optional[int]] = [None] * core_count
+        self._idle_cores: set = set(range(core_count))
+        self._siblings: List[tuple] = [
+            tuple(c for c in topology.siblings(core) if c != core) for core in range(core_count)
+        ]
+        self._per_core = spec.placement == "per_core"
+        self._local_queues: List[Deque[SimThread]] = [deque() for _ in range(core_count)]
+        self._global_queue: Deque[SimThread] = deque()
+        self._queued_threads = 0
+        self._rate_jobs: Dict[str, JobObject] = {}
+        self._rate_refresh_events: Dict[str, object] = {}
+        # statistics
+        self.dispatches = 0
+        self.preemptions = 0
+        self.context_switches = 0
+        self.affinity_preemptions = 0
+        self.throttle_preemptions = 0
+        self.steals = 0
+        self.smt_shared_dispatches = 0
+
+    # ----------------------------------------------------------------- hooks
+    def set_io_submit(self, io_submit: IoSubmit) -> None:
+        """Install the I/O submission hook (done by the kernel facade)."""
+        self._io_submit = io_submit
+
+    # ------------------------------------------------------------ inspection
+    @property
+    def spec(self) -> SchedulerSpec:
+        return self._spec
+
+    @property
+    def core_count(self) -> int:
+        return len(self._core_thread)
+
+    def idle_core_ids(self) -> FrozenSet[int]:
+        """The idle-core set (what the idle-mask syscall reports)."""
+        return frozenset(self._idle_cores)
+
+    def idle_core_count(self) -> int:
+        return len(self._idle_cores)
+
+    def idle_core_mask(self) -> int:
+        mask = 0
+        for core in self._idle_cores:
+            mask |= 1 << core
+        return mask
+
+    def running_thread_on(self, core_id: int) -> Optional[SimThread]:
+        self._check_core(core_id)
+        return self._core_thread[core_id]
+
+    def ready_queue_length(self) -> int:
+        """Total number of runnable-but-waiting threads."""
+        return self._queued_threads
+
+    def cores_used_by_category(self, category: str) -> int:
+        """Number of cores currently running threads of ``category``."""
+        return sum(
+            1
+            for thread in self._core_thread
+            if thread is not None and thread.category == category
+        )
+
+    # ------------------------------------------------------------- lifecycle
+    def add_thread(self, thread: SimThread) -> None:
+        """Make a newly created thread runnable."""
+        if thread.state != ThreadState.NEW:
+            raise SchedulerError(f"thread {thread.name!r} was already added")
+        if thread.is_io_phase:
+            # A program may start with I/O (e.g. a worker that reads the index
+            # before computing); submit it straight away.
+            thread.state = ThreadState.BLOCKED
+            self._submit_io(thread)
+            return
+        self._make_ready(thread)
+
+    def terminate_thread(self, thread: SimThread) -> None:
+        """Forcefully terminate a thread regardless of its state."""
+        if thread.terminated:
+            return
+        if thread.state == ThreadState.RUNNING:
+            core_id = thread.core_id
+            self._stop_running(thread)
+            thread.state = ThreadState.TERMINATED
+            thread.core_id = None
+            if core_id is not None:
+                self._dispatch_core(core_id)
+        elif thread.state == ThreadState.READY:
+            self._remove_from_queues(thread)
+            thread.state = ThreadState.TERMINATED
+        else:
+            # NEW or BLOCKED: the I/O completion path checks for termination.
+            thread.state = ThreadState.TERMINATED
+
+    def terminate_process(self, process: OsProcess) -> None:
+        """Terminate every live thread of ``process``."""
+        for thread in process.live_threads():
+            self.terminate_thread(thread)
+        process.alive = False
+
+    # ------------------------------------------------------------ job events
+    def on_job_changed(self, job: JobObject) -> None:
+        """React to an affinity or rate-limit change on a job object."""
+        self._configure_rate_control(job)
+        self._enforce_affinity(job)
+        # A grown mask (or a removed throttle) may allow parked threads to run.
+        self._fill_idle_cores()
+
+    # ------------------------------------------------------------- internals
+    def _check_core(self, core_id: int) -> None:
+        if not 0 <= core_id < len(self._core_thread):
+            raise SchedulerError(f"core id {core_id} out of range")
+
+    def _eligible(self, thread: SimThread, core_id: int) -> bool:
+        if thread.terminated:
+            return False
+        job = thread.process.job
+        if job is not None and job.throttled:
+            return False
+        return thread.can_run_on(core_id)
+
+    # ----------------------------------------------------------- ready queues
+    def _make_ready(self, thread: SimThread) -> None:
+        thread.state = ThreadState.READY
+        thread.ready_since = self._engine.now
+        core = self._find_idle_core(thread)
+        if core is not None:
+            self._dispatch(thread, core)
+            return
+        self._enqueue(thread)
+
+    def _enqueue(self, thread: SimThread) -> None:
+        self._queued_threads += 1
+        if not self._per_core:
+            thread.queued_core = None
+            self._global_queue.append(thread)
+            return
+        affinity = thread.effective_affinity()
+        candidates = range(self.core_count) if affinity is None else affinity
+        best_core = None
+        best_len = None
+        for core_id in candidates:
+            queue_len = len(self._local_queues[core_id])
+            if best_len is None or queue_len < best_len or (
+                queue_len == best_len and core_id < best_core
+            ):
+                best_core = core_id
+                best_len = queue_len
+        if best_core is None:
+            # Empty affinity mask: park the thread on a virtual queue; it will
+            # be re-placed when the mask grows again.
+            thread.queued_core = None
+            self._global_queue.append(thread)
+            return
+        thread.queued_core = best_core
+        self._local_queues[best_core].append(thread)
+
+    def _remove_from_queues(self, thread: SimThread) -> None:
+        removed = False
+        if thread.queued_core is not None:
+            try:
+                self._local_queues[thread.queued_core].remove(thread)
+                removed = True
+            except ValueError:
+                pass
+        if not removed:
+            try:
+                self._global_queue.remove(thread)
+                removed = True
+            except ValueError:
+                pass
+        if removed:
+            self._queued_threads -= 1
+        thread.queued_core = None
+
+    def _pop_eligible(self, queue: Deque[SimThread], core_id: int) -> Optional[SimThread]:
+        for index, thread in enumerate(queue):
+            if self._eligible(thread, core_id):
+                if index == 0:
+                    queue.popleft()
+                else:
+                    del queue[index]
+                self._queued_threads -= 1
+                thread.queued_core = None
+                return thread
+        return None
+
+    def _dispatch_core(self, core_id: int) -> None:
+        """Give an idle core to a waiting thread (local queue, then stealing)."""
+        if self._core_thread[core_id] is not None:
+            return
+        if self._queued_threads == 0:
+            return
+        if self._per_core:
+            thread = self._pop_eligible(self._local_queues[core_id], core_id)
+            if thread is None:
+                thread = self._pop_eligible(self._global_queue, core_id)
+            if thread is None:
+                # Work stealing: scan the other cores' queues, longest first,
+                # so load spreads out once cores become idle.
+                order = sorted(
+                    (c for c in range(self.core_count) if c != core_id),
+                    key=lambda c: -len(self._local_queues[c]),
+                )
+                for victim in order:
+                    if not self._local_queues[victim]:
+                        break
+                    thread = self._pop_eligible(self._local_queues[victim], core_id)
+                    if thread is not None:
+                        self.steals += 1
+                        break
+        else:
+            thread = self._pop_eligible(self._global_queue, core_id)
+        if thread is not None:
+            self._dispatch(thread, core_id)
+
+    def _fill_idle_cores(self) -> None:
+        for core_id in sorted(self._idle_cores):
+            if self._core_thread[core_id] is None:
+                self._dispatch_core(core_id)
+
+    def _find_idle_core(self, thread: SimThread) -> Optional[int]:
+        if not self._idle_cores:
+            return None
+        job = thread.process.job
+        if job is not None and job.throttled:
+            return None
+        affinity = thread.effective_affinity()
+        if affinity is None:
+            candidates = self._idle_cores
+        else:
+            candidates = self._idle_cores & affinity
+        if not candidates:
+            return None
+        # Prefer cores whose hyper-thread siblings are all idle (an empty
+        # physical core), like a real scheduler; lowest id for determinism.
+        best = None
+        for core_id in candidates:
+            sibling_idle = all(s in self._idle_cores for s in self._siblings[core_id])
+            if sibling_idle:
+                if best is None or core_id < best:
+                    best = core_id
+        if best is not None:
+            return best
+        return min(candidates)
+
+    # --------------------------------------------------------------- running
+    def _smt_rate(self, core_id: int) -> float:
+        for sibling in self._siblings[core_id]:
+            if self._core_thread[sibling] is not None:
+                return self._spec.smt_slowdown
+        return 1.0
+
+    def _dispatch(self, thread: SimThread, core_id: int) -> None:
+        if self._core_thread[core_id] is not None:
+            raise SchedulerError(f"core {core_id} is already running a thread")
+        if not thread.is_cpu_phase:
+            raise SchedulerError(f"thread {thread.name!r} dispatched while not in a CPU phase")
+        self._idle_cores.discard(core_id)
+        self._core_thread[core_id] = thread
+        if thread.ready_since is not None:
+            thread.total_ready_wait += self._engine.now - thread.ready_since
+            thread.ready_since = None
+        thread.state = ThreadState.RUNNING
+        thread.core_id = core_id
+        thread.queued_core = None
+        self.dispatches += 1
+        if self._last_tid_on_core[core_id] != thread.tid:
+            self.context_switches += 1
+            thread.context_switches += 1
+            self._accounting.charge_os(self._spec.context_switch_cost)
+        self._last_tid_on_core[core_id] = thread.tid
+
+        rate = self._smt_rate(core_id)
+        if rate < 1.0:
+            self.smt_shared_dispatches += 1
+        wall_needed = (
+            math.inf
+            if math.isinf(thread.remaining_in_phase)
+            else thread.remaining_in_phase / rate
+        )
+        slice_length = min(self._spec.quantum, wall_needed)
+        job = thread.process.job
+        if job is not None:
+            job.running_threads += 1
+            if job.cpu_rate_fraction is not None:
+                # Reserve budget at dispatch time so concurrently running
+                # threads cannot collectively overshoot the duty cycle; the
+                # unused part of a reservation is refunded on preemption.
+                duty = job.cpu_rate_fraction * self._spec.rate_interval
+                slice_length = min(slice_length, duty, max(job.rate_budget, _EPSILON))
+        slice_length = max(slice_length, _EPSILON)
+        thread.slice_reserved = job is not None and job.cpu_rate_fraction is not None
+        if thread.slice_reserved:
+            job.rate_budget -= slice_length
+        thread.dispatched_at = self._engine.now
+        thread.slice_length = slice_length
+        thread.slice_rate = rate
+        thread.slice_event = self._engine.schedule(
+            slice_length, self._slice_end, thread, priority=EventPriority.KERNEL
+        )
+
+    def _stop_running(self, thread: SimThread) -> float:
+        """Charge the elapsed part of the current slice and free the core."""
+        if thread.state != ThreadState.RUNNING or thread.core_id is None:
+            raise SchedulerError(f"thread {thread.name!r} is not running")
+        elapsed = self._engine.now - thread.dispatched_at
+        elapsed = min(max(elapsed, 0.0), thread.slice_length)
+        if thread.slice_event is not None:
+            self._engine.cancel(thread.slice_event)
+            thread.slice_event = None
+        core_id = thread.core_id
+        self._core_thread[core_id] = None
+        self._idle_cores.add(core_id)
+        job_of_thread = thread.process.job
+        if job_of_thread is not None:
+            if job_of_thread.running_threads > 0:
+                job_of_thread.running_threads -= 1
+            if thread.slice_reserved and job_of_thread.cpu_rate_fraction is not None:
+                # Refund the unused part of the budget reserved at dispatch.
+                job_of_thread.rate_budget += max(0.0, thread.slice_length - elapsed)
+        thread.slice_reserved = False
+        if elapsed > 0:
+            work_done = elapsed * thread.slice_rate
+            thread.total_cpu_time += elapsed
+            if not math.isinf(thread.remaining_in_phase):
+                thread.remaining_in_phase = max(0.0, thread.remaining_in_phase - work_done)
+            self._accounting.charge(thread.category, elapsed, thread.process.name)
+            thread.process.charge_cpu(elapsed)
+        return elapsed
+
+    def _phase_finished(self, thread: SimThread) -> bool:
+        return (
+            thread.is_cpu_phase
+            and not math.isinf(thread.remaining_in_phase)
+            and thread.remaining_in_phase <= _WORK_EPSILON
+        )
+
+    def _slice_end(self, thread: SimThread) -> None:
+        thread.slice_event = None
+        if thread.state != ThreadState.RUNNING:
+            return
+        core_id = thread.core_id
+        self._stop_running(thread)
+        thread.core_id = None
+
+        job = thread.process.job
+        if (
+            job is not None
+            and job.cpu_rate_fraction is not None
+            and job.rate_budget <= _EPSILON
+            and not job.throttled
+        ):
+            self._throttle_job(job)
+
+        if self._phase_finished(thread):
+            self._continue_program(thread)
+            self._dispatch_core(core_id)
+            return
+        self.preemptions += 1
+        # Hand the freed core to waiting threads first (round robin), then
+        # requeue the preempted thread.
+        self._dispatch_core(core_id)
+        self._make_ready(thread)
+
+    def _continue_program(self, thread: SimThread) -> None:
+        """Advance a thread past a finished phase."""
+        if not thread.advance_phase():
+            thread.state = ThreadState.TERMINATED
+            if thread.on_complete is not None:
+                thread.on_complete(thread)
+            return
+        if thread.is_cpu_phase:
+            self._make_ready(thread)
+        else:
+            thread.state = ThreadState.BLOCKED
+            self._submit_io(thread)
+
+    def _submit_io(self, thread: SimThread) -> None:
+        if self._io_submit is None:
+            raise SchedulerError(
+                "no I/O submission hook installed; build the scheduler through Kernel"
+            )
+        _, volume, op, size_bytes = thread.current_phase
+        self._io_submit(thread, volume, op, size_bytes, lambda: self._io_done(thread))
+
+    def _io_done(self, thread: SimThread) -> None:
+        if thread.terminated:
+            return
+        self._continue_program(thread)
+
+    # ---------------------------------------------------------- rate control
+    def _preempt_job_threads(self, job: JobObject) -> None:
+        """Preempt every running member thread so it is re-dispatched under the
+        job's current limits (used when a rate limit is first configured)."""
+        for core_id, running in enumerate(self._core_thread):
+            if running is None or running.process.job is not job:
+                continue
+            self._stop_running(running)
+            running.core_id = None
+            if self._phase_finished(running):
+                self._continue_program(running)
+            else:
+                running.state = ThreadState.READY
+                running.ready_since = self._engine.now
+                self._enqueue(running)
+            self._dispatch_core(core_id)
+
+    def _configure_rate_control(self, job: JobObject) -> None:
+        has_rate = job.cpu_rate_fraction is not None
+        registered = job.name in self._rate_jobs
+        if has_rate and not registered:
+            self._rate_jobs[job.name] = job
+            job.rate_budget = (
+                job.cpu_rate_fraction * self._spec.rate_interval * self.core_count
+            )
+            job.throttled = False
+            event = self._engine.schedule(
+                self._spec.rate_interval,
+                self._refresh_rate_budget,
+                job,
+                priority=EventPriority.KERNEL,
+            )
+            self._rate_refresh_events[job.name] = event
+            self._preempt_job_threads(job)
+        elif not has_rate and registered:
+            self._rate_jobs.pop(job.name, None)
+            event = self._rate_refresh_events.pop(job.name, None)
+            self._engine.cancel(event)
+            job.throttled = False
+
+    def _refresh_rate_budget(self, job: JobObject) -> None:
+        if job.cpu_rate_fraction is None:
+            return
+        job.rate_budget = job.cpu_rate_fraction * self._spec.rate_interval * self.core_count
+        job.throttled = False
+        self._rate_refresh_events[job.name] = self._engine.schedule(
+            self._spec.rate_interval,
+            self._refresh_rate_budget,
+            job,
+            priority=EventPriority.KERNEL,
+        )
+        self._fill_idle_cores()
+
+    def _throttle_job(self, job: JobObject) -> None:
+        job.throttled = True
+        for core_id, running in enumerate(self._core_thread):
+            if running is None or running.process.job is not job:
+                continue
+            self.throttle_preemptions += 1
+            self._stop_running(running)
+            running.core_id = None
+            running.state = ThreadState.READY
+            running.ready_since = self._engine.now
+            self._enqueue(running)
+            self._dispatch_core(core_id)
+
+    # ------------------------------------------------------------- affinity
+    def _enforce_affinity(self, job: JobObject) -> None:
+        # Preempt member threads running on newly-forbidden cores.
+        for core_id, running in enumerate(self._core_thread):
+            if running is None or running.process.job is not job:
+                continue
+            if running.can_run_on(core_id) and not job.throttled:
+                continue
+            self.affinity_preemptions += 1
+            self._stop_running(running)
+            running.core_id = None
+            if self._phase_finished(running):
+                self._continue_program(running)
+            else:
+                running.state = ThreadState.READY
+                running.ready_since = self._engine.now
+                self._enqueue(running)
+            self._dispatch_core(core_id)
+        # Re-place member threads queued at cores they may no longer use.
+        if self._per_core:
+            for core_id, queue in enumerate(self._local_queues):
+                if not queue:
+                    continue
+                stranded = [
+                    t for t in queue if t.process.job is job and not t.can_run_on(core_id)
+                ]
+                for thread in stranded:
+                    queue.remove(thread)
+                    self._queued_threads -= 1
+                    thread.queued_core = None
+                    self._make_ready(thread)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Scheduler(cores={self.core_count}, idle={len(self._idle_cores)}, "
+            f"queued={self._queued_threads})"
+        )

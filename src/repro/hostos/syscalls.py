@@ -1,0 +1,201 @@
+"""The kernel facade: the "system call" surface tenants and PerfIso use.
+
+PerfIso is a user-mode service; everything it does goes through ordinary OS
+interfaces (Section 4): reading the idle-core bitmask, configuring job
+objects, reading per-device I/O statistics, and process lifecycle management.
+:class:`Kernel` bundles the scheduler, I/O stack, memory accounting and those
+interfaces for one machine.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence
+
+from ..config.schema import SchedulerSpec
+from ..errors import SchedulerError
+from ..hardware.machine import Machine
+from ..simulation.engine import SimulationEngine
+from .accounting import CpuAccounting, CpuSnapshot
+from .iostack import IoStack
+from .jobobject import JobObject
+from .process import OsProcess, TenantCategory
+from .scheduler import Scheduler
+from .thread import Phase, SimThread
+
+__all__ = ["Kernel"]
+
+
+class Kernel:
+    """The simulated operating system of one machine."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        machine: Machine,
+        scheduler_spec: Optional[SchedulerSpec] = None,
+    ) -> None:
+        self._engine = engine
+        self._machine = machine
+        spec = scheduler_spec if scheduler_spec is not None else SchedulerSpec()
+        self.accounting = CpuAccounting(machine.logical_cores, start_time=engine.now)
+        self.iostack = IoStack(engine, machine, self.accounting)
+        self.scheduler = Scheduler(
+            engine, machine.topology, spec, self.accounting, io_submit=self._io_for_thread
+        )
+        self._processes: Dict[int, OsProcess] = {}
+        self._jobs: Dict[str, JobObject] = {}
+        self._next_pid = 1000
+        self._next_tid = 1
+
+    # ------------------------------------------------------------ properties
+    @property
+    def engine(self) -> SimulationEngine:
+        return self._engine
+
+    @property
+    def machine(self) -> Machine:
+        return self._machine
+
+    @property
+    def now(self) -> float:
+        return self._engine.now
+
+    @property
+    def logical_cores(self) -> int:
+        return self._machine.logical_cores
+
+    # -------------------------------------------------------------- processes
+    def create_process(
+        self,
+        name: str,
+        category: str = TenantCategory.SECONDARY,
+        memory_bytes: int = 0,
+    ) -> OsProcess:
+        """Create a process and (optionally) reserve its memory footprint."""
+        process = OsProcess(self._next_pid, name, category, self._engine.now)
+        self._next_pid += 1
+        self._processes[process.pid] = process
+        if memory_bytes:
+            self._machine.memory.allocate(name, memory_bytes)
+            process.memory_bytes = memory_bytes
+        return process
+
+    def kill_process(self, process: OsProcess) -> None:
+        """Terminate every thread of ``process`` and release its memory."""
+        self.scheduler.terminate_process(process)
+        freed = self._machine.memory.release_all(process.name)
+        process.memory_bytes = max(0, process.memory_bytes - freed)
+        if process.job is not None:
+            process.job.remove(process)
+
+    def processes(self) -> List[OsProcess]:
+        return list(self._processes.values())
+
+    def find_processes(self, category: Optional[str] = None) -> List[OsProcess]:
+        """List live processes, optionally filtered by tenant category."""
+        return [
+            process
+            for process in self._processes.values()
+            if process.alive and (category is None or process.category == category)
+        ]
+
+    # ------------------------------------------------------------ job objects
+    def create_job_object(self, name: str) -> JobObject:
+        if name in self._jobs:
+            raise SchedulerError(f"job object {name!r} already exists")
+        job = JobObject(name)
+        job.add_listener(self.scheduler.on_job_changed)
+        self._jobs[name] = job
+        return job
+
+    def job_object(self, name: str) -> JobObject:
+        try:
+            return self._jobs[name]
+        except KeyError:
+            raise SchedulerError(f"no job object named {name!r}") from None
+
+    def job_objects(self) -> List[JobObject]:
+        return list(self._jobs.values())
+
+    # --------------------------------------------------------------- threads
+    def spawn_thread(
+        self,
+        process: OsProcess,
+        program: Sequence[Phase],
+        name: Optional[str] = None,
+        affinity: Optional[FrozenSet[int]] = None,
+        on_complete: Optional[Callable[[SimThread], None]] = None,
+    ) -> SimThread:
+        """Create a thread in ``process`` and make it runnable immediately."""
+        if not process.alive:
+            raise SchedulerError(f"cannot spawn a thread in dead process {process.name!r}")
+        thread = SimThread(
+            tid=self._next_tid,
+            name=name or f"{process.name}-t{self._next_tid}",
+            process=process,
+            program=program,
+            created_at=self._engine.now,
+            affinity=affinity,
+            on_complete=on_complete,
+        )
+        self._next_tid += 1
+        process.register_thread(thread)
+        self.scheduler.add_thread(thread)
+        return thread
+
+    def terminate_thread(self, thread: SimThread) -> None:
+        self.scheduler.terminate_thread(thread)
+
+    # ----------------------------------------------------------------- memory
+    def allocate_memory(self, process: OsProcess, size_bytes: int) -> None:
+        self._machine.memory.allocate(process.name, size_bytes)
+        process.memory_bytes += size_bytes
+
+    def free_memory(self, process: OsProcess, size_bytes: int) -> None:
+        self._machine.memory.release(process.name, size_bytes)
+        process.memory_bytes -= size_bytes
+
+    def free_memory_bytes(self) -> int:
+        return self._machine.memory.free_bytes
+
+    # --------------------------------------------------------------- syscalls
+    def get_idle_core_mask(self) -> int:
+        """The Windows-style idle-processor bitmask (bit i set => core i idle)."""
+        return self.scheduler.idle_core_mask()
+
+    def get_idle_core_ids(self) -> FrozenSet[int]:
+        return self.scheduler.idle_core_ids()
+
+    def idle_core_count(self) -> int:
+        return self.scheduler.idle_core_count()
+
+    def cpu_snapshot(self) -> CpuSnapshot:
+        return self.accounting.snapshot(self._engine.now)
+
+    def cpu_utilization(self, since: Optional[CpuSnapshot] = None) -> Dict[str, float]:
+        return self.accounting.utilization(self._engine.now, since)
+
+    def submit_io(
+        self,
+        process: OsProcess,
+        volume: str,
+        op: str,
+        size_bytes: int,
+        callback=None,
+    ) -> None:
+        """Asynchronous I/O submission (no thread is blocked)."""
+        self.iostack.submit(process, volume, op, size_bytes, callback)
+
+    # ------------------------------------------------------------- internals
+    def _io_for_thread(
+        self,
+        thread: SimThread,
+        volume: str,
+        op: str,
+        size_bytes: int,
+        done: Callable[[], None],
+    ) -> None:
+        self.iostack.submit(thread.process, volume, op, size_bytes, lambda _request: done())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Kernel({self._machine.name!r}, processes={len(self._processes)})"

@@ -1,0 +1,175 @@
+"""Simulated kernel threads.
+
+A thread executes a *program*: an ordered list of phases, each of which is
+either a CPU burst (``("cpu", seconds)``, possibly ``math.inf`` for
+always-runnable batch threads) or a blocking I/O operation
+(``("io", volume, op, size_bytes)``).  The scheduler advances the program;
+tenants only build programs and react to completion callbacks.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple, Union
+
+from ..errors import SchedulerError
+
+__all__ = ["ThreadState", "cpu_phase", "io_phase", "SimThread"]
+
+Phase = Tuple
+
+
+class ThreadState:
+    """Lifecycle states of a :class:`SimThread`."""
+
+    NEW = "new"
+    READY = "ready"
+    RUNNING = "running"
+    BLOCKED = "blocked"
+    TERMINATED = "terminated"
+
+    ALL = (NEW, READY, RUNNING, BLOCKED, TERMINATED)
+
+
+def cpu_phase(duration: float) -> Phase:
+    """Build a CPU phase of ``duration`` seconds (``math.inf`` = run forever)."""
+    if duration < 0:
+        raise SchedulerError(f"cpu phase duration must be >= 0, got {duration}")
+    return ("cpu", float(duration))
+
+
+def io_phase(volume: str, op: str, size_bytes: int) -> Phase:
+    """Build a blocking I/O phase against ``volume``."""
+    if op not in ("read", "write"):
+        raise SchedulerError(f"io phase op must be 'read' or 'write', got {op!r}")
+    if size_bytes <= 0:
+        raise SchedulerError("io phase size must be positive")
+    return ("io", volume, op, int(size_bytes))
+
+
+class SimThread:
+    """One schedulable kernel thread."""
+
+    __slots__ = (
+        "tid",
+        "name",
+        "process",
+        "program",
+        "phase_index",
+        "remaining_in_phase",
+        "state",
+        "affinity",
+        "core_id",
+        "on_complete",
+        "total_cpu_time",
+        "created_at",
+        "ready_since",
+        "dispatched_at",
+        "slice_event",
+        "slice_length",
+        "slice_rate",
+        "slice_reserved",
+        "queued_core",
+        "context_switches",
+        "total_ready_wait",
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        name: str,
+        process,
+        program: Sequence[Phase],
+        created_at: float,
+        affinity: Optional[FrozenSet[int]] = None,
+        on_complete: Optional[Callable[["SimThread"], None]] = None,
+    ) -> None:
+        if not program:
+            raise SchedulerError(f"thread {name!r} needs at least one phase")
+        self.tid = tid
+        self.name = name
+        self.process = process
+        self.program: List[Phase] = list(program)
+        self.phase_index = 0
+        self.remaining_in_phase = self._phase_cpu_duration(self.program[0])
+        self.state = ThreadState.NEW
+        self.affinity = affinity
+        self.core_id: Optional[int] = None
+        self.on_complete = on_complete
+        self.total_cpu_time = 0.0
+        self.created_at = created_at
+        self.ready_since: Optional[float] = None
+        self.dispatched_at: Optional[float] = None
+        self.slice_event = None
+        self.slice_length = 0.0
+        self.slice_rate = 1.0
+        self.slice_reserved = False
+        self.queued_core: Optional[int] = None
+        self.context_switches = 0
+        self.total_ready_wait = 0.0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def category(self) -> str:
+        """Tenant category inherited from the owning process."""
+        return self.process.category
+
+    @property
+    def current_phase(self) -> Phase:
+        return self.program[self.phase_index]
+
+    @property
+    def is_cpu_phase(self) -> bool:
+        return self.current_phase[0] == "cpu"
+
+    @property
+    def is_io_phase(self) -> bool:
+        return self.current_phase[0] == "io"
+
+    @property
+    def is_runnable_forever(self) -> bool:
+        """True for batch threads whose current CPU phase never ends."""
+        return self.is_cpu_phase and math.isinf(self.remaining_in_phase)
+
+    @property
+    def terminated(self) -> bool:
+        return self.state == ThreadState.TERMINATED
+
+    # ------------------------------------------------------------ program
+    def advance_phase(self) -> bool:
+        """Move to the next phase; return False when the program is finished."""
+        self.phase_index += 1
+        if self.phase_index >= len(self.program):
+            return False
+        self.remaining_in_phase = self._phase_cpu_duration(self.current_phase)
+        return True
+
+    def extend_program(self, phases: Sequence[Phase]) -> None:
+        """Append phases to a thread that has not terminated yet."""
+        if self.terminated:
+            raise SchedulerError(f"cannot extend terminated thread {self.name!r}")
+        self.program.extend(phases)
+
+    @staticmethod
+    def _phase_cpu_duration(phase: Phase) -> float:
+        return float(phase[1]) if phase[0] == "cpu" else 0.0
+
+    def effective_affinity(self) -> Optional[FrozenSet[int]]:
+        """Intersection of the thread's own affinity and its job object's.
+
+        ``None`` means "any core".
+        """
+        job = self.process.job
+        job_affinity = job.cpu_affinity if job is not None else None
+        if self.affinity is None:
+            return job_affinity
+        if job_affinity is None:
+            return self.affinity
+        return self.affinity & job_affinity
+
+    def can_run_on(self, core_id: int) -> bool:
+        affinity = self.effective_affinity()
+        return affinity is None or core_id in affinity
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimThread({self.name!r}, tid={self.tid}, state={self.state})"

@@ -1,0 +1,16 @@
+"""Measurement utilities: latency percentiles, CPU breakdowns, time series."""
+
+from .cpu import CpuBreakdown, CpuUtilizationSampler
+from .latency import LatencyCollector, LatencyStats, ReservoirCollector, merge_stats
+from .timeseries import TimeSeries, TimeSeriesSet
+
+__all__ = [
+    "CpuBreakdown",
+    "CpuUtilizationSampler",
+    "LatencyCollector",
+    "LatencyStats",
+    "ReservoirCollector",
+    "merge_stats",
+    "TimeSeries",
+    "TimeSeriesSet",
+]

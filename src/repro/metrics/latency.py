@@ -1,0 +1,204 @@
+"""Latency collection and percentile statistics.
+
+The paper's key metric is the 99th percentile of query response latency,
+always reported alongside the median and 95th percentile.  The collector
+below stores raw samples (an experiment produces at most a few hundred
+thousand queries, which is cheap) and computes exact empirical percentiles
+with numpy; a streaming reservoir variant is provided for the very long
+production-trace experiment (Figure 10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from ..errors import ExperimentError
+from ..units import to_millis
+
+__all__ = ["LatencyStats", "LatencyCollector", "ReservoirCollector"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Summary statistics of a latency distribution, in seconds."""
+
+    count: int
+    dropped: int
+    mean: float
+    p50: float
+    p95: float
+    p99: float
+    p999: float
+    maximum: float
+
+    @property
+    def drop_rate(self) -> float:
+        total = self.count + self.dropped
+        return self.dropped / total if total else 0.0
+
+    def as_millis(self) -> Dict[str, float]:
+        """The same statistics converted to milliseconds (for paper-style tables)."""
+        return {
+            "count": float(self.count),
+            "dropped": float(self.dropped),
+            "drop_rate_pct": self.drop_rate * 100.0,
+            "mean_ms": to_millis(self.mean),
+            "p50_ms": to_millis(self.p50),
+            "p95_ms": to_millis(self.p95),
+            "p99_ms": to_millis(self.p99),
+            "p999_ms": to_millis(self.p999),
+            "max_ms": to_millis(self.maximum),
+        }
+
+    @staticmethod
+    def empty() -> "LatencyStats":
+        return LatencyStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+
+
+def _stats_from_array(values: np.ndarray, dropped: int) -> LatencyStats:
+    if values.size == 0:
+        return LatencyStats(0, dropped, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+    p50, p95, p99, p999 = np.percentile(values, [50.0, 95.0, 99.0, 99.9])
+    return LatencyStats(
+        count=int(values.size),
+        dropped=dropped,
+        mean=float(values.mean()),
+        p50=float(p50),
+        p95=float(p95),
+        p99=float(p99),
+        p999=float(p999),
+        maximum=float(values.max()),
+    )
+
+
+class LatencyCollector:
+    """Collects every latency sample produced after the warm-up boundary."""
+
+    def __init__(self, warmup_end: float = 0.0) -> None:
+        self._warmup_end = warmup_end
+        self._samples: List[float] = []
+        self._dropped = 0
+        self._dropped_warmup = 0
+        self._total_seen = 0
+
+    @property
+    def warmup_end(self) -> float:
+        return self._warmup_end
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    @property
+    def total_seen(self) -> int:
+        return self._total_seen
+
+    def record(self, completion_time: float, latency: float) -> None:
+        """Record a successfully answered query."""
+        if latency < 0:
+            raise ExperimentError(f"negative latency recorded: {latency}")
+        self._total_seen += 1
+        if completion_time < self._warmup_end:
+            return
+        self._samples.append(latency)
+
+    def record_drop(self, drop_time: float) -> None:
+        """Record a query dropped (timed out) at ``drop_time``."""
+        self._total_seen += 1
+        if drop_time < self._warmup_end:
+            self._dropped_warmup += 1
+            return
+        self._dropped += 1
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        """Bulk-add post-warmup samples (used by the sampled cluster model)."""
+        for value in latencies:
+            if value < 0:
+                raise ExperimentError(f"negative latency recorded: {value}")
+            self._samples.append(float(value))
+            self._total_seen += 1
+
+    def samples(self) -> np.ndarray:
+        return np.asarray(self._samples, dtype=float)
+
+    def stats(self) -> LatencyStats:
+        return _stats_from_array(self.samples(), self._dropped)
+
+    def percentile(self, q: float) -> float:
+        if not self._samples:
+            return 0.0
+        return float(np.percentile(np.asarray(self._samples), q))
+
+
+class ReservoirCollector:
+    """Fixed-size uniform reservoir sampler for very long runs.
+
+    Keeps an unbiased sample of the latency distribution with bounded memory,
+    used by the hour-long 650-machine production experiment where storing
+    every TLA response would be wasteful.
+    """
+
+    def __init__(self, capacity: int = 100_000, seed: int = 0) -> None:
+        if capacity < 1:
+            raise ExperimentError("reservoir capacity must be >= 1")
+        self._capacity = capacity
+        self._rng = np.random.default_rng(seed)
+        self._reservoir: List[float] = []
+        self._seen = 0
+        self._dropped = 0
+
+    @property
+    def seen(self) -> int:
+        return self._seen
+
+    def record(self, latency: float) -> None:
+        if latency < 0:
+            raise ExperimentError(f"negative latency recorded: {latency}")
+        self._seen += 1
+        if len(self._reservoir) < self._capacity:
+            self._reservoir.append(latency)
+            return
+        index = int(self._rng.integers(0, self._seen))
+        if index < self._capacity:
+            self._reservoir[index] = latency
+
+    def record_drop(self) -> None:
+        self._dropped += 1
+
+    def stats(self) -> LatencyStats:
+        return _stats_from_array(np.asarray(self._reservoir, dtype=float), self._dropped)
+
+
+def merge_stats(parts: Sequence[LatencyStats]) -> LatencyStats:
+    """Approximate merge of per-node statistics (weighted by sample count).
+
+    Percentiles cannot be merged exactly from summaries; this helper produces
+    a count-weighted average which is good enough for displaying per-layer
+    roll-ups, and is only used for reporting (never for pass/fail checks).
+    """
+    parts = [p for p in parts if p.count > 0]
+    if not parts:
+        return LatencyStats.empty()
+    total = sum(p.count for p in parts)
+    dropped = sum(p.dropped for p in parts)
+
+    def weighted(attr: str) -> float:
+        return sum(getattr(p, attr) * p.count for p in parts) / total
+
+    return LatencyStats(
+        count=total,
+        dropped=dropped,
+        mean=weighted("mean"),
+        p50=weighted("p50"),
+        p95=weighted("p95"),
+        p99=weighted("p99"),
+        p999=weighted("p999"),
+        maximum=max(p.maximum for p in parts),
+    )

@@ -1,0 +1,103 @@
+"""Generic time-series recording (used for the Figure 10 production plot)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ExperimentError
+
+__all__ = ["TimeSeries", "TimeSeriesSet"]
+
+
+@dataclass(frozen=True)
+class _Point:
+    time: float
+    value: float
+
+
+class TimeSeries:
+    """An append-only (time, value) series with basic summarisation."""
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self._points: List[_Point] = []
+
+    def __len__(self) -> int:
+        return len(self._points)
+
+    def append(self, time: float, value: float) -> None:
+        if self._points and time < self._points[-1].time:
+            raise ExperimentError(
+                f"time series {self.name!r} must be appended in time order "
+                f"({time} < {self._points[-1].time})"
+            )
+        self._points.append(_Point(time, float(value)))
+
+    def times(self) -> np.ndarray:
+        return np.asarray([p.time for p in self._points], dtype=float)
+
+    def values(self) -> np.ndarray:
+        return np.asarray([p.value for p in self._points], dtype=float)
+
+    def mean(self) -> float:
+        return float(self.values().mean()) if self._points else 0.0
+
+    def maximum(self) -> float:
+        return float(self.values().max()) if self._points else 0.0
+
+    def percentile(self, q: float) -> float:
+        return float(np.percentile(self.values(), q)) if self._points else 0.0
+
+    def resample(self, bucket: float) -> "TimeSeries":
+        """Average values into fixed-width buckets (for plotting long runs)."""
+        if bucket <= 0:
+            raise ExperimentError("resample bucket must be positive")
+        result = TimeSeries(self.name, self.unit)
+        if not self._points:
+            return result
+        times = self.times()
+        values = self.values()
+        start = times[0]
+        edges = np.arange(start, times[-1] + bucket, bucket)
+        indices = np.digitize(times, edges)
+        for bucket_index in np.unique(indices):
+            mask = indices == bucket_index
+            result.append(float(times[mask].mean()), float(values[mask].mean()))
+        return result
+
+    def rows(self) -> List[Tuple[float, float]]:
+        return [(p.time, p.value) for p in self._points]
+
+
+class TimeSeriesSet:
+    """A named collection of time series sharing one experiment."""
+
+    def __init__(self) -> None:
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str, unit: str = "") -> TimeSeries:
+        if name not in self._series:
+            self._series[name] = TimeSeries(name, unit)
+        return self._series[name]
+
+    def names(self) -> Sequence[str]:
+        return tuple(self._series)
+
+    def as_table(self) -> List[Dict[str, float]]:
+        """Align all series on the union of their timestamps (nearest sample)."""
+        rows: List[Dict[str, float]] = []
+        all_times = sorted({t for s in self._series.values() for t in s.times()})
+        for time in all_times:
+            row: Dict[str, float] = {"time_s": time}
+            for name, series in self._series.items():
+                times = series.times()
+                if times.size == 0:
+                    continue
+                index = int(np.argmin(np.abs(times - time)))
+                row[name] = float(series.values()[index])
+            rows.append(row)
+        return rows

@@ -1,0 +1,17 @@
+"""Discrete-event simulation kernel used by every substrate in the library."""
+
+from .engine import SimulationEngine
+from .events import Event, EventPriority, EventQueue
+from .process import Delay, SimProcess, WaitFor
+from .randomness import RandomStreams
+
+__all__ = [
+    "SimulationEngine",
+    "Event",
+    "EventPriority",
+    "EventQueue",
+    "Delay",
+    "SimProcess",
+    "WaitFor",
+    "RandomStreams",
+]

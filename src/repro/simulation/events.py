@@ -1,0 +1,131 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` is a callback scheduled at an absolute simulation time.
+Events are ordered by ``(time, priority, sequence)`` so that ties at the same
+timestamp are resolved first by priority (lower runs earlier) and then by
+insertion order, which keeps the simulation fully deterministic.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+__all__ = ["Event", "EventQueue", "EventPriority"]
+
+
+class EventPriority:
+    """Well-known priorities for same-timestamp ordering.
+
+    Lower values run first.  The defaults are chosen so that hardware
+    completions are observed before the OS scheduler reacts, and the PerfIso
+    controller observes a settled system state.
+    """
+
+    HARDWARE = 0
+    KERNEL = 10
+    DEFAULT = 20
+    TENANT = 30
+    CONTROLLER = 40
+    MEASUREMENT = 50
+
+
+class Event:
+    """A single scheduled callback.
+
+    Events should not be constructed directly; use
+    :meth:`repro.simulation.engine.SimulationEngine.schedule`.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event so the engine skips it when its time arrives."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {name}, {state})"
+
+
+class EventQueue:
+    """A binary-heap priority queue of :class:`Event` objects.
+
+    Cancelled events are skipped lazily when popped, which keeps cancellation
+    O(1) at the cost of occasionally holding dead entries in the heap.
+    """
+
+    __slots__ = ("_heap", "_seq", "_live")
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._seq = 0
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple = (),
+        priority: int = EventPriority.DEFAULT,
+    ) -> Event:
+        """Insert a new event and return it (so callers may cancel it later)."""
+        event = Event(time, priority, self._seq, callback, args)
+        self._seq += 1
+        heapq.heappush(self._heap, event)
+        self._live += 1
+        return event
+
+    def pop(self) -> Optional[Event]:
+        """Remove and return the next live event, or ``None`` if empty."""
+        heap = self._heap
+        while heap:
+            event = heapq.heappop(heap)
+            if event.cancelled:
+                continue
+            self._live -= 1
+            return event
+        self._live = 0
+        return None
+
+    def peek_time(self) -> Optional[float]:
+        """Return the timestamp of the next live event without removing it."""
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        if not heap:
+            self._live = 0
+            return None
+        return heap[0].time
+
+    def notify_cancel(self) -> None:
+        """Record that one previously-pushed event has been cancelled."""
+        if self._live > 0:
+            self._live -= 1
+
+    def clear(self) -> None:
+        """Drop all pending events."""
+        self._heap.clear()
+        self._live = 0

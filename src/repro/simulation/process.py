@@ -1,0 +1,136 @@
+"""Generator-based simulated processes.
+
+Most of the simulator is callback driven for speed, but higher-level tenant
+logic (e.g. the HDFS replication loop or the PerfIso controller's poll loop)
+reads much more naturally as a sequential coroutine.  :class:`SimProcess`
+wraps a Python generator: the generator yields *commands* and the process
+driver turns each command into engine events.
+
+Supported yield values
+----------------------
+``Delay(seconds)``
+    Suspend the process for a fixed simulated duration.
+``WaitFor(condition_poll, interval)``
+    Poll ``condition_poll()`` every ``interval`` seconds until it is truthy.
+``float``
+    Shorthand for ``Delay(float)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generator, Optional, Union
+
+from ..errors import SimulationError
+from .engine import SimulationEngine
+from .events import EventPriority
+
+__all__ = ["Delay", "WaitFor", "SimProcess"]
+
+
+@dataclass(frozen=True)
+class Delay:
+    """Suspend the generator for ``duration`` simulated seconds."""
+
+    duration: float
+
+
+@dataclass(frozen=True)
+class WaitFor:
+    """Suspend until ``predicate()`` is truthy, polling every ``interval`` s."""
+
+    predicate: Callable[[], bool]
+    interval: float = 1e-3
+
+
+Command = Union[Delay, WaitFor, float, int]
+
+
+class SimProcess:
+    """Drive a generator as a cooperative simulated process."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        generator: Generator[Command, None, None],
+        name: str = "process",
+        priority: int = EventPriority.TENANT,
+    ) -> None:
+        self._engine = engine
+        self._generator = generator
+        self._name = name
+        self._priority = priority
+        self._finished = False
+        self._started = False
+        self._on_finish: Optional[Callable[[], None]] = None
+
+    # ----------------------------------------------------------- public API
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def on_finish(self, callback: Callable[[], None]) -> None:
+        """Register a callback invoked when the generator completes."""
+        self._on_finish = callback
+
+    def start(self, delay: float = 0.0) -> "SimProcess":
+        """Begin executing the generator after ``delay`` seconds."""
+        if self._started:
+            raise SimulationError(f"process {self._name!r} started twice")
+        self._started = True
+        self._engine.schedule(delay, self._step, priority=self._priority)
+        return self
+
+    def stop(self) -> None:
+        """Terminate the process; the generator's ``close()`` is invoked."""
+        if not self._finished:
+            self._finished = True
+            self._generator.close()
+
+    # ------------------------------------------------------------- internals
+    def _step(self) -> None:
+        if self._finished:
+            return
+        try:
+            command = next(self._generator)
+        except StopIteration:
+            self._finish()
+            return
+        self._dispatch(command)
+
+    def _dispatch(self, command: Command) -> None:
+        if isinstance(command, (int, float)):
+            command = Delay(float(command))
+        if isinstance(command, Delay):
+            if command.duration < 0:
+                raise SimulationError(
+                    f"process {self._name!r} yielded a negative delay ({command.duration})"
+                )
+            self._engine.schedule(command.duration, self._step, priority=self._priority)
+        elif isinstance(command, WaitFor):
+            self._poll(command)
+        else:
+            raise SimulationError(
+                f"process {self._name!r} yielded unsupported command {command!r}"
+            )
+
+    def _poll(self, command: WaitFor) -> None:
+        if self._finished:
+            return
+        if command.predicate():
+            self._engine.schedule(0.0, self._step, priority=self._priority)
+        else:
+            self._engine.schedule(command.interval, self._poll, command, priority=self._priority)
+
+    def _finish(self) -> None:
+        self._finished = True
+        if self._on_finish is not None:
+            self._on_finish()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self._finished else ("running" if self._started else "new")
+        return f"SimProcess({self._name!r}, {state})"

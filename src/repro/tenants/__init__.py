@@ -1,0 +1,19 @@
+"""Tenants: the primary service and the secondary batch jobs."""
+
+from .base import SecondaryTenant, Tenant
+from .cpu_bully import CpuBullyTenant
+from .disk_bully import DiskBullyTenant
+from .hdfs import HdfsTenant
+from .indexserve import IndexServeTenant, QueryOutcome
+from .ml_training import MlTrainingTenant
+
+__all__ = [
+    "SecondaryTenant",
+    "Tenant",
+    "CpuBullyTenant",
+    "DiskBullyTenant",
+    "HdfsTenant",
+    "IndexServeTenant",
+    "QueryOutcome",
+    "MlTrainingTenant",
+]

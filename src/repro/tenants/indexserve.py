@@ -1,0 +1,274 @@
+"""The synthetic primary tenant: an IndexServe-like query serving service.
+
+Behavioural model (calibrated to Section 5/6 of the paper):
+
+* A query arrives and immediately fans out into a *burst* of worker threads —
+  this is the "up to 15 threads become ready within 5 microseconds" property
+  that makes static isolation insufficient.
+* Each worker may first read an index chunk from the SSD volume (cache miss)
+  and then burns a short, heavy-tailed CPU burst.
+* When the last worker finishes, a short aggregation burst merges the results,
+  the response is sent on the NIC, and a log record is written asynchronously
+  to the shared HDD volume.
+* Queries that exceed the timeout are dropped: remaining workers are killed
+  and the query is counted in the drop statistics (Figure 7c).
+* Under backlog the service adaptively spawns extra workers per query (the
+  compensation behaviour the paper observes in Section 6.1.2), which raises
+  primary CPU usage when it is being interfered with.
+
+The primary always runs unrestricted: it is never placed in a job object.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..config.schema import IndexServeSpec
+from ..errors import TenantError
+from ..hostos.process import OsProcess, TenantCategory
+from ..hostos.syscalls import Kernel
+from ..hostos.thread import SimThread, cpu_phase, io_phase
+from ..metrics.latency import LatencyCollector
+from ..simulation.events import EventPriority
+from ..units import micros
+from ..workloads.query_trace import QueryDescriptor
+from .base import Tenant
+
+__all__ = ["QueryOutcome", "IndexServeTenant"]
+
+#: Kernel overhead charged per query for network receive + request setup.
+QUERY_OS_OVERHEAD = micros(15)
+
+
+@dataclass(frozen=True)
+class QueryOutcome:
+    """Result of one query, delivered to the optional completion callback."""
+
+    query_id: int
+    arrival_time: float
+    completion_time: float
+    latency: float
+    dropped: bool
+
+
+@dataclass
+class _QueryRuntime:
+    descriptor: QueryDescriptor
+    arrival_time: float
+    remaining_workers: int
+    worker_threads: List[SimThread] = field(default_factory=list)
+    timeout_event: Optional[object] = None
+    dropped: bool = False
+    done: bool = False
+    callback: Optional[Callable[[QueryOutcome], None]] = None
+
+
+class IndexServeTenant(Tenant):
+    """The latency-sensitive primary service of one machine."""
+
+    def __init__(
+        self,
+        kernel: Kernel,
+        spec: IndexServeSpec,
+        rng: np.random.Generator,
+        collector: Optional[LatencyCollector] = None,
+        name: str = "indexserve",
+    ) -> None:
+        super().__init__(kernel, name)
+        self._spec = spec
+        self._rng = rng
+        self._collector = collector if collector is not None else LatencyCollector()
+        self._process: Optional[OsProcess] = None
+        self._queries: Dict[int, _QueryRuntime] = {}
+        self._next_runtime_id = 0
+        # statistics
+        self.submitted = 0
+        self.completed = 0
+        self.dropped = 0
+        self.adaptive_boosts = 0
+
+    # ------------------------------------------------------------ properties
+    @property
+    def spec(self) -> IndexServeSpec:
+        return self._spec
+
+    @property
+    def collector(self) -> LatencyCollector:
+        return self._collector
+
+    @property
+    def process(self) -> OsProcess:
+        if self._process is None:
+            raise TenantError("IndexServe has not been started")
+        return self._process
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._queries)
+
+    def processes(self) -> List[OsProcess]:
+        return [self._process] if self._process is not None else []
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        if self._started:
+            raise TenantError("IndexServe started twice")
+        self._started = True
+        self._process = self._kernel.create_process(
+            self._name,
+            category=TenantCategory.PRIMARY,
+            memory_bytes=self._spec.memory_footprint_bytes,
+        )
+
+    # -------------------------------------------------------------- queries
+    def submit(
+        self,
+        query: QueryDescriptor,
+        arrival_time: Optional[float] = None,
+        callback: Optional[Callable[[QueryOutcome], None]] = None,
+    ) -> None:
+        """Process ``query``; ``callback`` (if given) receives the outcome."""
+        if not self._started or self._stopped:
+            raise TenantError("IndexServe is not running")
+        now = self._kernel.now
+        arrival = now if arrival_time is None else arrival_time
+        self.submitted += 1
+        self._kernel.accounting.charge_os(QUERY_OS_OVERHEAD)
+
+        runtime_id = self._next_runtime_id
+        self._next_runtime_id += 1
+
+        demands = list(query.worker_demands)
+        misses = list(query.cache_misses)
+        # Adaptive parallelism: compensate for a backlog by fanning out wider.
+        # The total index-lookup work stays the same; the largest chunks are
+        # split across extra workers (plus a small per-split overhead), which
+        # shortens the critical path at the cost of more ready threads and a
+        # higher primary CPU share — the compensation the paper observes.
+        if (
+            self._spec.adaptive_parallelism
+            and self.in_flight > self._spec.adaptive_threshold
+            and len(demands) < self._spec.workers_per_query_max
+        ):
+            self.adaptive_boosts += 1
+            extra = min(
+                self._spec.adaptive_extra_workers,
+                self._spec.workers_per_query_max - len(demands),
+            )
+            for _ in range(extra):
+                largest = int(np.argmax(demands))
+                half = demands[largest] / 2.0
+                overhead = self._spec.adaptive_split_overhead
+                demands[largest] = half + overhead
+                demands.append(half + overhead)
+                misses.append(False)
+
+        runtime = _QueryRuntime(
+            descriptor=query,
+            arrival_time=arrival,
+            remaining_workers=len(demands),
+            callback=callback,
+        )
+        self._queries[runtime_id] = runtime
+        runtime.timeout_event = self._kernel.engine.schedule(
+            max(0.0, arrival + self._spec.timeout - now),
+            self._timeout,
+            runtime_id,
+            priority=EventPriority.TENANT,
+        )
+
+        for index, demand in enumerate(demands):
+            program = []
+            if misses[index]:
+                program.append(io_phase("ssd", "read", self._spec.cache_miss_read_bytes))
+            burst = demand + (self._spec.parse_cost if index == 0 else 0.0)
+            program.append(cpu_phase(burst))
+            thread = self._kernel.spawn_thread(
+                self._process,
+                program,
+                name=f"{self._name}-q{runtime_id}-w{index}",
+                on_complete=lambda _t, rid=runtime_id: self._worker_done(rid),
+            )
+            runtime.worker_threads.append(thread)
+
+    # ------------------------------------------------------------- internals
+    def _worker_done(self, runtime_id: int) -> None:
+        runtime = self._queries.get(runtime_id)
+        if runtime is None or runtime.dropped or runtime.done:
+            return
+        runtime.remaining_workers -= 1
+        if runtime.remaining_workers > 0:
+            return
+        # All workers finished: run the aggregation burst.
+        self._kernel.spawn_thread(
+            self._process,
+            [cpu_phase(self._spec.aggregate_cost)],
+            name=f"{self._name}-q{runtime_id}-agg",
+            on_complete=lambda _t, rid=runtime_id: self._query_done(rid),
+        )
+
+    def _query_done(self, runtime_id: int) -> None:
+        runtime = self._queries.pop(runtime_id, None)
+        if runtime is None or runtime.dropped:
+            return
+        runtime.done = True
+        if runtime.timeout_event is not None:
+            self._kernel.engine.cancel(runtime.timeout_event)
+        now = self._kernel.now
+        latency = now - runtime.arrival_time
+        self.completed += 1
+        self._collector.record(now, latency)
+        # Ship the response and write the (asynchronous) log record.
+        self._kernel.machine.nic.send(
+            self._name, self._spec.response_bytes, priority=self._kernel.machine.nic.HIGH
+        )
+        if self._spec.log_bytes_per_query > 0:
+            self._kernel.submit_io(
+                self._process, "hdd", "write", self._spec.log_bytes_per_query
+            )
+        if runtime.callback is not None:
+            runtime.callback(
+                QueryOutcome(
+                    query_id=runtime.descriptor.query_id,
+                    arrival_time=runtime.arrival_time,
+                    completion_time=now,
+                    latency=latency,
+                    dropped=False,
+                )
+            )
+
+    def _timeout(self, runtime_id: int) -> None:
+        runtime = self._queries.pop(runtime_id, None)
+        if runtime is None or runtime.done:
+            return
+        runtime.dropped = True
+        self.dropped += 1
+        now = self._kernel.now
+        self._collector.record_drop(now)
+        for thread in runtime.worker_threads:
+            if not thread.terminated:
+                self._kernel.terminate_thread(thread)
+        if runtime.callback is not None:
+            runtime.callback(
+                QueryOutcome(
+                    query_id=runtime.descriptor.query_id,
+                    arrival_time=runtime.arrival_time,
+                    completion_time=now,
+                    latency=now - runtime.arrival_time,
+                    dropped=True,
+                )
+            )
+
+    # -------------------------------------------------------------- reports
+    def drop_rate(self) -> float:
+        total = self.completed + self.dropped
+        return self.dropped / total if total else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"IndexServeTenant(submitted={self.submitted}, completed={self.completed}, "
+            f"dropped={self.dropped}, in_flight={self.in_flight})"
+        )

@@ -1,0 +1,14 @@
+"""Workload generation: synthetic query traces and open-loop clients."""
+
+from .arrival import OpenLoopClient, VariableRateClient
+from .query_trace import QueryDescriptor, QueryTrace
+from .service_time import WorkerFanoutModel, WorkerServiceTimeModel
+
+__all__ = [
+    "OpenLoopClient",
+    "VariableRateClient",
+    "QueryDescriptor",
+    "QueryTrace",
+    "WorkerFanoutModel",
+    "WorkerServiceTimeModel",
+]

@@ -1,0 +1,146 @@
+"""Open-loop query clients.
+
+The paper's load generator replays the trace in an *open loop*: arrivals
+follow a Poisson process at a configured rate regardless of how the server is
+coping, so an overloaded server accumulates a backlog instead of implicitly
+slowing the client down.  This property is essential — it is what turns a few
+milliseconds of scheduling delay into the 29x tail blow-up of Figure 4.
+
+Two clients are provided: a constant-rate client (single-machine and cluster
+experiments) and a time-varying client driven by a rate function (the diurnal
+load of the Figure 10 production experiment).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Optional
+
+import numpy as np
+
+from ..errors import TenantError
+from ..simulation.engine import SimulationEngine
+from ..simulation.events import EventPriority
+from .query_trace import QueryDescriptor, QueryTrace
+
+__all__ = ["OpenLoopClient", "VariableRateClient"]
+
+#: Callable invoked for every arriving query.
+SubmitFn = Callable[[QueryDescriptor, float], None]
+
+
+class OpenLoopClient:
+    """Constant-rate open-loop (Poisson or uniform) query submitter."""
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        trace: QueryTrace,
+        qps: float,
+        duration: float,
+        submit: SubmitFn,
+        rng: np.random.Generator,
+        arrival_process: str = "poisson",
+        start_time: float = 0.0,
+    ) -> None:
+        if qps <= 0:
+            raise TenantError("qps must be positive")
+        if duration <= 0:
+            raise TenantError("duration must be positive")
+        if arrival_process not in ("poisson", "uniform"):
+            raise TenantError("arrival_process must be 'poisson' or 'uniform'")
+        self._engine = engine
+        self._iterator: Iterator[QueryDescriptor] = trace.cycle()
+        self._qps = qps
+        self._end_time = start_time + duration
+        self._submit = submit
+        self._rng = rng
+        self._arrival_process = arrival_process
+        self._start_time = start_time
+        self.submitted = 0
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def start(self) -> None:
+        """Schedule the first arrival."""
+        first_delay = max(0.0, self._start_time - self._engine.now) + self._next_gap()
+        self._engine.schedule(first_delay, self._arrive, priority=EventPriority.TENANT)
+
+    # ------------------------------------------------------------- internals
+    def _next_gap(self) -> float:
+        if self._arrival_process == "poisson":
+            return float(self._rng.exponential(1.0 / self._qps))
+        return 1.0 / self._qps
+
+    def _arrive(self) -> None:
+        now = self._engine.now
+        if now >= self._end_time:
+            self._finished = True
+            return
+        query = next(self._iterator)
+        self.submitted += 1
+        self._submit(query, now)
+        self._engine.schedule(self._next_gap(), self._arrive, priority=EventPriority.TENANT)
+
+
+class VariableRateClient:
+    """Open-loop client whose rate follows ``rate_fn(now)`` queries/second.
+
+    The arrival process is a piecewise-constant-rate Poisson process: the rate
+    is re-evaluated at every arrival, which is accurate as long as the rate
+    changes slowly relative to the inter-arrival gap (true for diurnal load).
+    """
+
+    def __init__(
+        self,
+        engine: SimulationEngine,
+        trace: QueryTrace,
+        rate_fn: Callable[[float], float],
+        duration: float,
+        submit: SubmitFn,
+        rng: np.random.Generator,
+        start_time: float = 0.0,
+        min_rate: float = 1.0,
+    ) -> None:
+        if duration <= 0:
+            raise TenantError("duration must be positive")
+        if min_rate <= 0:
+            raise TenantError("min_rate must be positive")
+        self._engine = engine
+        self._iterator = trace.cycle()
+        self._rate_fn = rate_fn
+        self._end_time = start_time + duration
+        self._submit = submit
+        self._rng = rng
+        self._min_rate = min_rate
+        self._start_time = start_time
+        self.submitted = 0
+        self._finished = False
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    def start(self) -> None:
+        delay = max(0.0, self._start_time - self._engine.now) + self._gap(self._engine.now)
+        self._engine.schedule(delay, self._arrive, priority=EventPriority.TENANT)
+
+    def current_rate(self, now: Optional[float] = None) -> float:
+        time = self._engine.now if now is None else now
+        return max(self._min_rate, float(self._rate_fn(time)))
+
+    # ------------------------------------------------------------- internals
+    def _gap(self, now: float) -> float:
+        return float(self._rng.exponential(1.0 / self.current_rate(now)))
+
+    def _arrive(self) -> None:
+        now = self._engine.now
+        if now >= self._end_time:
+            self._finished = True
+            return
+        query = next(self._iterator)
+        self.submitted += 1
+        self._submit(query, now)
+        self._engine.schedule(self._gap(now), self._arrive, priority=EventPriority.TENANT)

@@ -1,0 +1,81 @@
+"""Service-time and fan-out models for the synthetic primary workload.
+
+The paper never publishes IndexServe's internal service-time distribution, so
+we model each query as a *pack* of short worker bursts whose parameters are
+calibrated to reproduce the published standalone behaviour (P50 ~4 ms,
+P99 ~12 ms, ~20 %/40 % CPU busy at 2,000/4,000 QPS on 48 logical cores).
+Log-normal bursts capture the heavy right tail that search ranking stages
+exhibit, and the per-query fan-out captures the burstiness (up to 15 threads
+becoming ready within microseconds) that motivates buffer cores.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..config.schema import IndexServeSpec
+from ..errors import TenantError
+from ..units import millis
+
+__all__ = ["WorkerServiceTimeModel", "WorkerFanoutModel"]
+
+
+class WorkerServiceTimeModel:
+    """Log-normal CPU burst durations for individual index-lookup workers."""
+
+    def __init__(self, spec: IndexServeSpec, rng: np.random.Generator) -> None:
+        self._spec = spec
+        self._rng = rng
+
+    def sample(self, count: int) -> np.ndarray:
+        """Draw ``count`` worker burst durations (seconds)."""
+        if count < 1:
+            raise TenantError("must sample at least one worker burst")
+        draws = self._rng.lognormal(
+            mean=self._spec.worker_service_mu_ms, sigma=self._spec.worker_service_sigma, size=count
+        )
+        durations = draws * millis(1.0)
+        return np.minimum(durations, self._spec.worker_service_cap)
+
+    def mean_burst(self) -> float:
+        """Analytical mean of the (uncapped) burst distribution, seconds."""
+        mu = self._spec.worker_service_mu_ms
+        sigma = self._spec.worker_service_sigma
+        return float(np.exp(mu + sigma**2 / 2.0)) * millis(1.0)
+
+
+class WorkerFanoutModel:
+    """Number of worker threads spawned per query.
+
+    A shifted Poisson bounded to ``[min, max]``: most queries fan out to a
+    handful of index chunks, a small fraction touch many chunks at once —
+    those are the bursts the idle-core buffer must absorb.
+    """
+
+    def __init__(self, spec: IndexServeSpec, rng: np.random.Generator) -> None:
+        if spec.workers_per_query_min > spec.workers_per_query_max:
+            raise TenantError("worker fan-out bounds are inverted")
+        self._spec = spec
+        self._rng = rng
+
+    def sample(self) -> int:
+        spec = self._spec
+        lam = max(0.1, spec.workers_per_query_mean - spec.workers_per_query_min)
+        value = spec.workers_per_query_min + int(self._rng.poisson(lam))
+        return int(min(max(value, spec.workers_per_query_min), spec.workers_per_query_max))
+
+    def sample_many(self, count: int) -> Sequence[int]:
+        return [self.sample() for _ in range(count)]
+
+    def expected_cpu_demand_per_query(self, service_model: WorkerServiceTimeModel) -> float:
+        """Approximate core-seconds of CPU one query consumes.
+
+        Useful for sanity-checking a configuration against a target CPU
+        utilisation before running the simulation (see the calibration tests).
+        """
+        mean_workers = self._spec.workers_per_query_mean
+        per_worker = service_model.mean_burst()
+        overhead = self._spec.parse_cost + self._spec.aggregate_cost
+        return mean_workers * per_worker + overhead

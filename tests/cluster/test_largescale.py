@@ -1,0 +1,61 @@
+"""Tests for the Figure 10 production-cluster model."""
+
+import math
+
+import pytest
+
+from repro.cluster.largescale import ProductionClusterSimulation, diurnal_load
+from repro.config.schema import ClusterSpec
+from repro.errors import ExperimentError
+
+
+class TestDiurnalLoad:
+    def test_peak_and_trough(self):
+        curve = diurnal_load(peak_qps=4000, trough_qps=1600, period=3600)
+        assert curve(0.0) == pytest.approx(4000)
+        assert curve(1800.0) == pytest.approx(1600)
+        assert curve(3600.0) == pytest.approx(4000)
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ExperimentError):
+            diurnal_load(peak_qps=1000, trough_qps=2000)
+
+
+class TestProductionClusterSimulation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        simulation = ProductionClusterSimulation(
+            cluster=ClusterSpec(partitions=6, rows=2, tla_machines=4),
+            calibration_qps=(1000.0, 2500.0),
+            calibration_duration=0.8,
+            calibration_warmup=0.2,
+            seed=3,
+        )
+        return simulation.run(duration=600.0, bucket=120.0,
+                              load_curve=diurnal_load(2500.0, 1000.0, 600.0),
+                              requests_per_bucket=500)
+
+    def test_produces_full_time_series(self, result):
+        assert len(result.times) == 5
+        assert len(result.qps) == len(result.tla_p99_ms) == len(result.cpu_utilization_pct) == 5
+
+    def test_load_follows_diurnal_curve(self, result):
+        assert max(result.qps) > min(result.qps)
+
+    def test_tail_latency_stays_bounded(self, result):
+        """The headline of Figure 10: P99 stays flat (tens of ms) while the
+        fleet runs at high utilisation."""
+        assert result.max_tla_p99_ms < 80.0
+
+    def test_high_average_utilization(self, result):
+        assert result.mean_cpu_utilization_pct > 50.0
+
+    def test_timeseries_export(self, result):
+        series = result.as_timeseries()
+        assert set(series.names()) == {"qps", "tla_p99_ms", "cpu_pct"}
+        table = series.as_table()
+        assert len(table) == 5
+
+    def test_requires_two_calibration_points(self):
+        with pytest.raises(ExperimentError):
+            ProductionClusterSimulation(calibration_qps=(2000.0,))

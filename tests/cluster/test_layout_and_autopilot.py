@@ -1,0 +1,125 @@
+"""Tests for cluster layout and the Autopilot service manager."""
+
+import pytest
+
+from repro.cluster.autopilot import Autopilot, ManagedService
+from repro.cluster.layout import ClusterLayout
+from repro.config.schema import ClusterSpec, PerfIsoSpec
+from repro.errors import ClusterError
+
+
+class TestClusterLayout:
+    def test_paper_cluster_dimensions(self):
+        layout = ClusterLayout(ClusterSpec())
+        assert len(layout.index_machines) == 44
+        assert len(layout.tla_machines) == 31
+        assert layout.total_machines == 75
+
+    def test_machines_in_row(self):
+        layout = ClusterLayout(ClusterSpec(partitions=4, rows=2, tla_machines=2))
+        row0 = layout.machines_in_row(0)
+        assert len(row0) == 4
+        assert all(m.row == 0 for m in row0)
+        assert sorted(m.partition for m in row0) == [0, 1, 2, 3]
+
+    def test_machine_for_lookup(self):
+        layout = ClusterLayout(ClusterSpec(partitions=4, rows=2, tla_machines=2))
+        machine = layout.machine_for(partition=2, row=1)
+        assert machine.partition == 2 and machine.row == 1
+
+    def test_unknown_machine_rejected(self):
+        layout = ClusterLayout(ClusterSpec(partitions=2, rows=1, tla_machines=1))
+        with pytest.raises(ClusterError):
+            layout.machine_for(partition=5, row=0)
+        with pytest.raises(ClusterError):
+            layout.machines_in_row(3)
+
+    def test_machine_names_unique(self):
+        layout = ClusterLayout(ClusterSpec(partitions=6, rows=3, tla_machines=2))
+        names = [m.name for m in layout.index_machines]
+        assert len(names) == len(set(names))
+
+
+class TestConfigStore:
+    def test_publish_and_fetch(self):
+        autopilot = Autopilot()
+        autopilot.config.publish("perfiso.json", PerfIsoSpec(cpu_policy="static_cores"))
+        fetched = autopilot.config.fetch_perfiso()
+        assert fetched.cpu_policy == "static_cores"
+        assert autopilot.config.files() == ["perfiso.json"]
+
+    def test_missing_file_rejected(self):
+        with pytest.raises(ClusterError):
+            Autopilot().config.fetch_perfiso()
+
+    def test_republish_overwrites(self):
+        autopilot = Autopilot()
+        autopilot.config.publish("perfiso.json", PerfIsoSpec(cpu_policy="blind"))
+        autopilot.config.publish("perfiso.json", PerfIsoSpec(cpu_policy="none"))
+        assert autopilot.config.fetch_perfiso().cpu_policy == "none"
+        assert autopilot.config.pushes == 2
+
+
+class TestAutopilotServices:
+    def _make_service(self, machine="m0", name="perfiso", state=None):
+        calls = {"start": 0, "stop": 0}
+        service = ManagedService(
+            name=name,
+            machine=machine,
+            start=lambda: calls.__setitem__("start", calls["start"] + 1),
+            stop=lambda: calls.__setitem__("stop", calls["stop"] + 1),
+            save_state=(lambda: dict(state)) if state is not None else None,
+            restore_state=(lambda s: state.update(s)) if state is not None else None,
+        )
+        return service, calls
+
+    def test_register_start_stop(self):
+        autopilot = Autopilot()
+        service, calls = self._make_service()
+        autopilot.register(service)
+        autopilot.start("m0", "perfiso")
+        assert calls["start"] == 1 and service.running
+        autopilot.stop("m0", "perfiso")
+        assert calls["stop"] == 1 and not service.running
+
+    def test_duplicate_registration_rejected(self):
+        autopilot = Autopilot()
+        service, _ = self._make_service()
+        autopilot.register(service)
+        with pytest.raises(ClusterError):
+            autopilot.register(self._make_service()[0])
+
+    def test_unknown_service_rejected(self):
+        with pytest.raises(ClusterError):
+            Autopilot().service("m0", "nothing")
+
+    def test_start_all_fleet_wide(self):
+        autopilot = Autopilot()
+        tracked = []
+        for machine in ("m0", "m1", "m2"):
+            service, calls = self._make_service(machine=machine)
+            autopilot.register(service)
+            tracked.append(calls)
+        autopilot.start_all("perfiso")
+        assert all(c["start"] == 1 for c in tracked)
+
+    def test_crash_recovery_restores_state(self):
+        autopilot = Autopilot()
+        state = {"current_core_count": 40}
+        service, calls = self._make_service(state=state)
+        autopilot.register(service)
+        autopilot.start("m0", "perfiso")
+        autopilot.checkpoint("m0", "perfiso")
+        state["current_core_count"] = 0  # state lost in the crash
+        autopilot.crash_and_recover("m0", "perfiso")
+        assert service.restarts == 1
+        assert state["current_core_count"] == 40
+        assert calls["start"] == 2
+
+    def test_start_is_idempotent(self):
+        autopilot = Autopilot()
+        service, calls = self._make_service()
+        autopilot.register(service)
+        autopilot.start("m0", "perfiso")
+        autopilot.start("m0", "perfiso")
+        assert calls["start"] == 1

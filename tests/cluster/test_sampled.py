@@ -1,0 +1,60 @@
+"""Tests for the sampled-aggregation cluster model."""
+
+import numpy as np
+import pytest
+
+from repro.cluster.sampled import SampledClusterModel
+from repro.config.schema import ClusterSpec
+from repro.errors import ClusterError
+
+
+@pytest.fixture
+def samples():
+    return np.random.default_rng(0).lognormal(mean=np.log(0.004), sigma=0.5, size=5000)
+
+
+class TestSampledClusterModel:
+    def test_layer_latency_ordering(self, samples):
+        model = SampledClusterModel(ClusterSpec(), samples, seed=1)
+        result = model.simulate(5000)
+        # Aggregation can only add latency: local <= MLA <= TLA at every level.
+        assert result.mla.p99 > result.local.p99
+        assert result.tla.p99 > result.mla.p99
+        assert result.tla.mean > result.local.mean
+
+    def test_tail_at_scale_amplification(self, samples):
+        """The MLA P99 with a 22-way fan-out far exceeds the local P99 —
+        the max-over-servers effect that motivates per-machine isolation."""
+        model = SampledClusterModel(ClusterSpec(), samples, seed=1)
+        result = model.simulate(5000)
+        assert result.mla.p50 > np.percentile(samples, 90)
+
+    def test_wider_fanout_increases_tail(self, samples):
+        model = SampledClusterModel(ClusterSpec(), samples, seed=1)
+        curve = model.tail_at_scale_curve([1, 4, 22], num_requests=4000)
+        assert curve[1] < curve[4] < curve[22]
+
+    def test_deterministic_given_seed(self, samples):
+        a = SampledClusterModel(ClusterSpec(), samples, seed=5).simulate(1000)
+        b = SampledClusterModel(ClusterSpec(), samples, seed=5).simulate(1000)
+        assert a.tla.p99 == pytest.approx(b.tla.p99)
+
+    def test_summary_keys(self, samples):
+        result = SampledClusterModel(ClusterSpec(), samples, seed=1).simulate(500)
+        summary = result.summary()
+        assert set(summary) >= {"local_p99_ms", "mla_p99_ms", "tla_p99_ms"}
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ClusterError):
+            SampledClusterModel(ClusterSpec(), [0.001] * 5)
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ClusterError):
+            SampledClusterModel(ClusterSpec(), [-0.001] * 100)
+
+    def test_invalid_request_count_rejected(self, samples):
+        model = SampledClusterModel(ClusterSpec(), samples)
+        with pytest.raises(ClusterError):
+            model.simulate(0)
+        with pytest.raises(ClusterError):
+            model.tail_at_scale_curve([0])

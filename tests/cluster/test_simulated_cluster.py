@@ -1,0 +1,66 @@
+"""Tests for the event-driven cluster simulation (small configurations)."""
+
+import pytest
+
+from repro.cluster.simulated import ClusterScenario, SimulatedCluster
+from repro.config.schema import ClusterSpec, CpuBullySpec, PerfIsoSpec
+from repro.experiments import scenarios as sc
+
+
+def tiny_scenario(**overrides):
+    defaults = dict(
+        cluster=ClusterSpec(partitions=2, rows=2, tla_machines=2),
+        node=sc.base_spec(qps=400, duration=0.6, warmup=0.2),
+        total_qps=800,
+        duration=0.6,
+        warmup=0.2,
+        seed=3,
+    )
+    defaults.update(overrides)
+    return ClusterScenario(**defaults)
+
+
+class TestSimulatedCluster:
+    def test_layout_built_from_spec(self):
+        cluster = SimulatedCluster(tiny_scenario())
+        assert len(cluster.nodes) == 4
+        assert {node.info.row for node in cluster.nodes.values()} == {0, 1}
+
+    def test_requests_flow_through_all_layers(self):
+        cluster = SimulatedCluster(tiny_scenario())
+        result = cluster.run()
+        assert result.requests_completed > 0
+        assert result.local_latency.count > 0
+        assert result.mla_latency.count > 0
+        assert result.tla_latency.count > 0
+
+    def test_layer_latencies_increase(self):
+        result = SimulatedCluster(tiny_scenario()).run()
+        assert result.mla_latency.mean > 0
+        assert result.tla_latency.mean > result.mla_latency.mean
+
+    def test_every_index_machine_serves_its_row_load(self):
+        cluster = SimulatedCluster(tiny_scenario())
+        cluster.run()
+        for node in cluster.nodes.values():
+            assert node.primary.completed > 0
+
+    def test_colocated_cluster_with_perfiso_runs(self):
+        scenario = tiny_scenario(
+            perfiso=PerfIsoSpec(cpu_policy="blind"),
+            cpu_bully=CpuBullySpec(threads=48),
+        )
+        cluster = SimulatedCluster(scenario, name="colocated")
+        result = cluster.run()
+        assert result.requests_completed > 0
+        assert result.cpu.secondary > 0.2
+        # Every node's controller kept some cores idle for the primary.
+        for node in cluster.nodes.values():
+            assert node.controller is not None
+            assert node.controller.polls > 0
+
+    def test_summary_contains_all_layers(self):
+        result = SimulatedCluster(tiny_scenario()).run()
+        summary = result.summary()
+        for key in ("local_p99_ms", "mla_p99_ms", "tla_p99_ms", "idle_cpu_pct"):
+            assert key in summary

@@ -1,0 +1,98 @@
+"""Tests for cross-field experiment validation."""
+
+import dataclasses
+
+import pytest
+
+from repro.config.schema import (
+    BlindIsolationSpec,
+    ClusterSpec,
+    CpuBullySpec,
+    ExperimentSpec,
+    IndexServeSpec,
+    PerfIsoSpec,
+    StaticCoreSpec,
+    WorkloadSpec,
+)
+from repro.config.validation import collect_warnings, validate_cluster, validate_experiment
+from repro.errors import ConfigError
+from repro.units import GIB
+
+
+class TestValidateExperiment:
+    def test_default_spec_is_valid(self):
+        validate_experiment(ExperimentSpec())
+
+    def test_primary_memory_must_fit(self):
+        spec = ExperimentSpec(
+            indexserve=IndexServeSpec(memory_footprint_bytes=200 * GIB)
+        )
+        with pytest.raises(ConfigError):
+            validate_experiment(spec)
+
+    def test_buffer_cannot_cover_whole_machine(self):
+        spec = ExperimentSpec(
+            perfiso=PerfIsoSpec(cpu_policy="blind", blind=BlindIsolationSpec(buffer_cores=48))
+        )
+        with pytest.raises(ConfigError):
+            validate_experiment(spec)
+
+    def test_static_cores_bounded_by_machine(self):
+        spec = ExperimentSpec(
+            perfiso=PerfIsoSpec(
+                cpu_policy="static_cores", static_cores=StaticCoreSpec(secondary_cores=64)
+            )
+        )
+        with pytest.raises(ConfigError):
+            validate_experiment(spec)
+
+    def test_poll_interval_must_fit_in_run(self):
+        spec = ExperimentSpec(
+            workload=WorkloadSpec(qps=100, duration=0.5),
+            perfiso=PerfIsoSpec(poll_interval=2.0),
+        )
+        with pytest.raises(ConfigError):
+            validate_experiment(spec)
+
+    def test_absurd_bully_rejected(self):
+        spec = ExperimentSpec(cpu_bully=CpuBullySpec(threads=1000))
+        with pytest.raises(ConfigError):
+            validate_experiment(spec)
+
+    def test_combined_memory_footprint_checked(self):
+        spec = ExperimentSpec(
+            indexserve=IndexServeSpec(memory_footprint_bytes=120 * GIB),
+            cpu_bully=CpuBullySpec(threads=4, memory_bytes=90 * GIB),
+        )
+        with pytest.raises(ConfigError):
+            validate_experiment(spec)
+
+
+class TestValidateCluster:
+    def test_default_cluster_valid(self):
+        validate_cluster(ClusterSpec())
+
+    def test_timeout_must_exceed_network(self):
+        with pytest.raises(ConfigError):
+            validate_cluster(ClusterSpec(request_timeout=1e-6))
+
+
+class TestWarnings:
+    def test_small_buffer_warns(self):
+        spec = ExperimentSpec(
+            perfiso=PerfIsoSpec(cpu_policy="blind", blind=BlindIsolationSpec(buffer_cores=2))
+        )
+        warnings = collect_warnings(spec)
+        assert any("buffer_cores" in w for w in warnings)
+
+    def test_short_run_warns(self):
+        spec = ExperimentSpec(workload=WorkloadSpec(qps=100, duration=1.0))
+        warnings = collect_warnings(spec)
+        assert any("duration" in w for w in warnings)
+
+    def test_clean_config_has_no_warnings(self):
+        spec = ExperimentSpec(
+            workload=WorkloadSpec(qps=2000, duration=10.0),
+            perfiso=PerfIsoSpec(cpu_policy="blind", blind=BlindIsolationSpec(buffer_cores=8)),
+        )
+        assert collect_warnings(spec) == []

@@ -1,0 +1,89 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import os
+import sys
+
+import numpy as np
+import pytest
+
+# Allow running the tests from a source checkout without installation.
+_SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.config.schema import (  # noqa: E402
+    ExperimentSpec,
+    IndexServeSpec,
+    MachineSpec,
+    SchedulerSpec,
+    WorkloadSpec,
+)
+from repro.hardware.machine import Machine  # noqa: E402
+from repro.hostos.syscalls import Kernel  # noqa: E402
+from repro.simulation.engine import SimulationEngine  # noqa: E402
+from repro.simulation.randomness import RandomStreams  # noqa: E402
+
+
+@pytest.fixture
+def engine() -> SimulationEngine:
+    return SimulationEngine()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def streams() -> RandomStreams:
+    return RandomStreams(42)
+
+
+@pytest.fixture
+def small_machine_spec() -> MachineSpec:
+    """A small machine (8 logical cores) to keep scheduler tests fast."""
+    return MachineSpec(sockets=1, cores_per_socket=4, threads_per_core=2)
+
+
+@pytest.fixture
+def machine(engine, small_machine_spec, rng) -> Machine:
+    return Machine(engine, small_machine_spec, name="test-machine", rng=rng)
+
+
+@pytest.fixture
+def big_machine(engine, rng) -> Machine:
+    """The paper's 48-logical-core server."""
+    return Machine(engine, MachineSpec(), name="big-machine", rng=rng)
+
+
+@pytest.fixture
+def kernel(engine, machine) -> Kernel:
+    return Kernel(engine, machine, SchedulerSpec())
+
+
+@pytest.fixture
+def big_kernel(engine, big_machine) -> Kernel:
+    return Kernel(engine, big_machine, SchedulerSpec())
+
+
+def make_fast_experiment_spec(
+    qps: float = 600.0,
+    duration: float = 1.0,
+    warmup: float = 0.2,
+    seed: int = 5,
+    **overrides,
+) -> ExperimentSpec:
+    """A small, quick experiment specification for integration tests."""
+    spec = ExperimentSpec(
+        workload=WorkloadSpec(qps=qps, duration=duration, warmup=warmup, trace_queries=2000),
+        indexserve=IndexServeSpec(),
+        seed=seed,
+    )
+    return spec.replace(**overrides) if overrides else spec
+
+
+@pytest.fixture
+def fast_spec() -> ExperimentSpec:
+    return make_fast_experiment_spec()

@@ -1,0 +1,188 @@
+"""Tests for the PerfIso controller service."""
+
+import dataclasses
+import math
+
+import pytest
+
+from repro.config.schema import (
+    BlindIsolationSpec,
+    CpuBullySpec,
+    CpuCycleSpec,
+    PerfIsoSpec,
+    StaticCoreSpec,
+)
+from repro.core.controller import PerfIsoController
+from repro.errors import IsolationError
+from repro.hostos.process import TenantCategory
+from repro.hostos.thread import cpu_phase
+from repro.tenants.cpu_bully import CpuBullyTenant
+from repro.units import millis
+
+
+def blind_spec(buffer_cores=2, poll_interval=millis(1)):
+    return PerfIsoSpec(
+        cpu_policy="blind",
+        blind=BlindIsolationSpec(buffer_cores=buffer_cores),
+        poll_interval=poll_interval,
+    )
+
+
+class TestLifecycle:
+    def test_initial_allocation_applied_on_start(self, kernel):
+        controller = PerfIsoController(kernel, blind_spec(buffer_cores=2))
+        controller.start()
+        assert controller.secondary_core_count == kernel.logical_cores - 2
+        assert controller.secondary_affinity is not None
+
+    def test_double_start_rejected(self, kernel):
+        controller = PerfIsoController(kernel, blind_spec())
+        controller.start()
+        with pytest.raises(IsolationError):
+            controller.start()
+
+    def test_primary_never_managed(self, kernel):
+        controller = PerfIsoController(kernel, blind_spec())
+        primary = kernel.create_process("svc", TenantCategory.PRIMARY)
+        with pytest.raises(IsolationError):
+            controller.manage_process(primary)
+
+    def test_manage_attaches_tenant_to_job(self, kernel):
+        controller = PerfIsoController(kernel, blind_spec())
+        bully = CpuBullyTenant(kernel, CpuBullySpec(threads=2, memory_bytes=1024))
+        bully.start()
+        controller.manage(bully)
+        assert bully.process.job is controller.job
+
+
+class TestBlindIsolationLoop:
+    def test_buffer_maintained_under_load(self, engine, kernel):
+        """With a saturating secondary, roughly `buffer` cores stay idle."""
+        controller = PerfIsoController(kernel, blind_spec(buffer_cores=2))
+        bully = CpuBullyTenant(kernel, CpuBullySpec(threads=16, memory_bytes=1024))
+        bully.start()
+        controller.manage(bully)
+        controller.start()
+        engine.run(until=0.2)
+        assert kernel.idle_core_count() == pytest.approx(2, abs=1)
+        assert controller.polls > 50
+        assert controller.secondary_core_count <= kernel.logical_cores - 2
+
+    def test_secondary_shrinks_when_primary_arrives(self, engine, kernel):
+        controller = PerfIsoController(kernel, blind_spec(buffer_cores=2))
+        bully = CpuBullyTenant(kernel, CpuBullySpec(threads=16, memory_bytes=1024))
+        bully.start()
+        controller.manage(bully)
+        controller.start()
+        engine.run(until=0.05)
+        allocation_before = controller.secondary_core_count
+        primary = kernel.create_process("svc", TenantCategory.PRIMARY)
+        for _ in range(4):
+            kernel.spawn_thread(primary, [cpu_phase(math.inf)])
+        engine.run(until=0.15)
+        assert controller.secondary_core_count < allocation_before
+
+    def test_secondary_grows_back_when_primary_leaves(self, engine, kernel):
+        controller = PerfIsoController(kernel, blind_spec(buffer_cores=2))
+        bully = CpuBullyTenant(kernel, CpuBullySpec(threads=16, memory_bytes=1024))
+        bully.start()
+        controller.manage(bully)
+        controller.start()
+        primary = kernel.create_process("svc", TenantCategory.PRIMARY)
+        threads = [kernel.spawn_thread(primary, [cpu_phase(math.inf)]) for _ in range(4)]
+        engine.run(until=0.1)
+        squeezed = controller.secondary_core_count
+        for thread in threads:
+            kernel.terminate_thread(thread)
+        engine.run(until=0.2)
+        assert controller.secondary_core_count > squeezed
+
+    def test_poll_update_split(self, engine, kernel):
+        """Polling happens every interval; updates only when the target moves."""
+        controller = PerfIsoController(kernel, blind_spec(buffer_cores=2))
+        bully = CpuBullyTenant(kernel, CpuBullySpec(threads=16, memory_bytes=1024))
+        bully.start()
+        controller.manage(bully)
+        controller.start()
+        engine.run(until=0.3)
+        assert controller.polls > controller.updates_applied
+
+
+class TestOtherPolicies:
+    def test_static_cores_applied(self, engine, kernel):
+        spec = PerfIsoSpec(cpu_policy="static_cores", static_cores=StaticCoreSpec(secondary_cores=2))
+        controller = PerfIsoController(kernel, spec)
+        bully = CpuBullyTenant(kernel, CpuBullySpec(threads=8, memory_bytes=1024))
+        bully.start()
+        controller.manage(bully)
+        controller.start()
+        horizon = kernel.scheduler.spec.quantum * 2
+        engine.run(until=horizon)
+        assert controller.secondary_core_count == 2
+        assert bully.cpu_seconds() == pytest.approx(horizon * 2, rel=0.1)
+
+    def test_cpu_cycles_applied(self, engine, kernel):
+        spec = PerfIsoSpec(cpu_policy="cpu_cycles", cpu_cycles=CpuCycleSpec(cpu_fraction=0.25))
+        controller = PerfIsoController(kernel, spec)
+        bully = CpuBullyTenant(kernel, CpuBullySpec(threads=8, memory_bytes=1024))
+        bully.start()
+        controller.manage(bully)
+        controller.start()
+        engine.run(until=0.4)
+        share = bully.cpu_seconds() / (0.4 * kernel.logical_cores)
+        assert share == pytest.approx(0.25, rel=0.35)
+        assert controller.job.cpu_rate_fraction == 0.25
+
+    def test_none_policy_leaves_secondary_unrestricted(self, engine, kernel):
+        spec = PerfIsoSpec(cpu_policy="none")
+        controller = PerfIsoController(kernel, spec)
+        controller.start()
+        assert controller.job.cpu_affinity is None
+        assert controller.job.cpu_rate_fraction is None
+
+
+class TestKillSwitchAndRecovery:
+    def test_kill_switch_lifts_restrictions(self, engine, kernel):
+        controller = PerfIsoController(kernel, blind_spec(buffer_cores=2))
+        bully = CpuBullyTenant(kernel, CpuBullySpec(threads=16, memory_bytes=1024))
+        bully.start()
+        controller.manage(bully)
+        controller.start()
+        engine.run(until=0.1)
+        controller.disable()
+        assert controller.job.cpu_affinity is None
+        assert not controller.enabled
+        engine.run(until=0.3)
+        # The bully now gets the whole machine.
+        assert kernel.idle_core_count() == 0
+
+    def test_reenable_restores_isolation(self, engine, kernel):
+        controller = PerfIsoController(kernel, blind_spec(buffer_cores=2))
+        bully = CpuBullyTenant(kernel, CpuBullySpec(threads=16, memory_bytes=1024))
+        bully.start()
+        controller.manage(bully)
+        controller.start()
+        controller.disable()
+        engine.run(until=0.1)
+        controller.enable()
+        engine.run(until=0.3)
+        assert kernel.idle_core_count() >= 2
+
+    def test_state_round_trip(self, engine, kernel):
+        controller = PerfIsoController(kernel, blind_spec(buffer_cores=2))
+        controller.start()
+        engine.run(until=0.05)
+        state = controller.state_dict()
+        assert state["cpu_policy"] == "blind"
+        fresh_kernel_job = controller.job.cpu_affinity
+        controller.restore_state(state)
+        assert controller.job.cpu_affinity == fresh_kernel_job
+
+    def test_update_spec_switches_policy(self, engine, kernel):
+        controller = PerfIsoController(kernel, blind_spec())
+        controller.start()
+        controller.update_spec(
+            PerfIsoSpec(cpu_policy="static_cores", static_cores=StaticCoreSpec(secondary_cores=3))
+        )
+        assert controller.secondary_core_count == 3
+        assert controller.policy.name == "static_cores"

@@ -1,0 +1,95 @@
+"""Tests for the DWRR I/O throttler."""
+
+import pytest
+
+from repro.config.schema import DiskBullySpec, IoThrottleSpec
+from repro.core.io_throttle import DwrrIoThrottler
+from repro.errors import IsolationError
+from repro.hostos.process import TenantCategory
+from repro.units import MB
+
+
+@pytest.fixture
+def throttler(kernel):
+    return DwrrIoThrottler(kernel, IoThrottleSpec(adjust_interval=0.1, window=0.5))
+
+
+class TestRegistration:
+    def test_weights_default_to_tenant_class(self, kernel, throttler):
+        primary = kernel.create_process("svc", TenantCategory.PRIMARY)
+        secondary = kernel.create_process("batch", TenantCategory.SECONDARY)
+        p_state = throttler.register(primary)
+        s_state = throttler.register(secondary)
+        assert p_state.weight > s_state.weight
+        assert p_state.guaranteed_iops > 0
+        assert s_state.guaranteed_iops == 0
+
+    def test_secondary_gets_static_cap_on_registration(self, kernel, throttler):
+        secondary = kernel.create_process("batch", TenantCategory.SECONDARY)
+        throttler.register(secondary)
+        bandwidth, _ = kernel.iostack.get_limits("batch", "hdd")
+        assert bandwidth == pytest.approx(IoThrottleSpec().secondary_bandwidth_limit)
+
+    def test_double_registration_is_idempotent(self, kernel, throttler):
+        secondary = kernel.create_process("batch", TenantCategory.SECONDARY)
+        first = throttler.register(secondary)
+        second = throttler.register(secondary)
+        assert first is second
+
+    def test_invalid_weight_rejected(self, kernel, throttler):
+        process = kernel.create_process("batch", TenantCategory.SECONDARY)
+        with pytest.raises(IsolationError):
+            throttler.register(process, weight=0)
+
+
+class TestAdaptiveBehaviour:
+    def _run_with_traffic(self, engine, kernel, throttler, primary_iops_starved: bool):
+        """Generate secondary HDD traffic, optionally starving the primary."""
+        from repro.tenants.disk_bully import DiskBullyTenant
+        import numpy as np
+
+        primary = kernel.create_process("svc", TenantCategory.PRIMARY)
+        bully = DiskBullyTenant(kernel, DiskBullySpec(threads=4, memory_bytes=1024),
+                                rng=np.random.default_rng(1))
+        bully.start()
+        throttler.register(primary)
+        throttler.register(bully.process)
+        throttler.start()
+        if primary_iops_starved:
+            # The primary issues a trickle of requests that complete slowly
+            # because the bully saturates the volume.
+            def issue_primary():
+                kernel.iostack.submit(primary, "hdd", "write", 64 * 1024)
+                engine.schedule(0.05, issue_primary)
+
+            issue_primary()
+        engine.run(until=2.0)
+        return bully
+
+    def test_measurement_tracks_iops(self, engine, kernel, throttler):
+        self._run_with_traffic(engine, kernel, throttler, primary_iops_starved=False)
+        states = {s.process.name: s for s in throttler.states()}
+        assert states["disk-bully"].current_iops > 0
+        assert throttler.adjustments > 5
+
+    def test_demand_proportional_to_weight(self, engine, kernel, throttler):
+        self._run_with_traffic(engine, kernel, throttler, primary_iops_starved=True)
+        states = {s.process.name: s for s in throttler.states()}
+        assert states["svc"].demand > states["disk-bully"].demand
+
+    def test_starved_primary_tightens_secondary_cap(self, engine, kernel, throttler):
+        self._run_with_traffic(engine, kernel, throttler, primary_iops_starved=True)
+        states = {s.process.name: s for s in throttler.states()}
+        ceiling = IoThrottleSpec().secondary_bandwidth_limit
+        assert throttler.tighten_events > 0
+        assert states["disk-bully"].applied_bandwidth_cap < ceiling
+
+    def test_caps_never_fall_below_floor(self, engine, kernel, throttler):
+        self._run_with_traffic(engine, kernel, throttler, primary_iops_starved=True)
+        states = {s.process.name: s for s in throttler.states()}
+        assert states["disk-bully"].applied_bandwidth_cap >= DwrrIoThrottler.MIN_BANDWIDTH
+
+    def test_disabled_spec_never_starts(self, kernel):
+        throttler = DwrrIoThrottler(kernel, IoThrottleSpec(enabled=False))
+        throttler.start()
+        assert throttler.adjustments == 0

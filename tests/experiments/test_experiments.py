@@ -1,0 +1,130 @@
+"""Tests for the experiment harnesses (scenario builders, runner, reporting)."""
+
+import pytest
+
+from repro.config.validation import validate_experiment
+from repro.experiments import scenarios as sc
+from repro.experiments.comparison import IsolationComparison
+from repro.experiments.reporting import format_figure, format_table
+from repro.experiments.single_machine import SingleMachineExperiment
+
+
+class TestScenarioBuilders:
+    def test_all_builders_produce_valid_specs(self):
+        builders = [
+            sc.standalone(),
+            sc.no_isolation(24),
+            sc.no_isolation(48),
+            sc.blind_isolation(8),
+            sc.blind_isolation(4),
+            sc.static_cores(16),
+            sc.cpu_cycles(0.25),
+            sc.disk_bound_with_throttling(),
+        ]
+        for spec in builders:
+            validate_experiment(spec)
+
+    def test_standalone_has_no_secondary(self):
+        spec = sc.standalone()
+        assert spec.cpu_bully is None and spec.perfiso is None
+
+    def test_blind_isolation_config(self):
+        spec = sc.blind_isolation(buffer_cores=4, bully_threads=24)
+        assert spec.perfiso.cpu_policy == "blind"
+        assert spec.perfiso.blind.buffer_cores == 4
+        assert spec.cpu_bully.threads == 24
+
+    def test_cycles_config(self):
+        spec = sc.cpu_cycles(0.45)
+        assert spec.perfiso.cpu_policy == "cpu_cycles"
+        assert spec.perfiso.cpu_cycles.cpu_fraction == pytest.approx(0.45)
+
+    def test_disk_bound_scenario_has_io_tenants(self):
+        spec = sc.disk_bound_with_throttling()
+        assert spec.disk_bully is not None
+        assert spec.hdfs is not None
+        assert spec.perfiso.io_throttle.enabled
+
+    def test_workload_parameters_threaded_through(self):
+        spec = sc.standalone(qps=1234, duration=7.0, warmup=2.0, seed=17)
+        assert spec.workload.qps == 1234
+        assert spec.workload.duration == 7.0
+        assert spec.seed == 17
+
+
+class TestSingleMachineExperiment:
+    def test_short_standalone_run_produces_sane_results(self):
+        spec = sc.standalone(qps=600, duration=1.0, warmup=0.2, seed=5)
+        result = SingleMachineExperiment(spec, "standalone").run()
+        assert result.queries_completed > 300
+        assert result.queries_dropped == 0
+        assert 0 < result.latency.p50 < result.latency.p99 < 0.2
+        assert 0.0 < result.cpu.primary < 0.5
+        assert result.cpu.idle > 0.5
+        assert result.secondary_progress == 0
+
+    def test_results_are_reproducible_for_a_seed(self):
+        spec = sc.standalone(qps=400, duration=0.8, warmup=0.2, seed=9)
+        first = SingleMachineExperiment(spec, "a").run()
+        second = SingleMachineExperiment(spec, "b").run()
+        assert first.latency.p99 == pytest.approx(second.latency.p99)
+        assert first.queries_completed == second.queries_completed
+
+    def test_different_seeds_differ(self):
+        first = SingleMachineExperiment(sc.standalone(qps=400, duration=0.8, seed=1)).run()
+        second = SingleMachineExperiment(sc.standalone(qps=400, duration=0.8, seed=2)).run()
+        assert first.latency.p99 != pytest.approx(second.latency.p99)
+
+    def test_colocated_run_tracks_controller_activity(self):
+        spec = sc.blind_isolation(4, bully_threads=16, qps=600, duration=1.0, warmup=0.2, seed=5)
+        result = SingleMachineExperiment(spec, "blind").run()
+        assert result.controller_polls > 100
+        assert result.secondary_progress > 0
+        assert result.cpu.secondary > 0.1
+        assert result.secondary_core_history
+
+    def test_summary_is_flat_and_complete(self):
+        spec = sc.standalone(qps=400, duration=0.6, warmup=0.2, seed=5)
+        summary = SingleMachineExperiment(spec).run().summary()
+        for key in ("p50_ms", "p99_ms", "primary_cpu_pct", "idle_cpu_pct", "drop_rate_pct"):
+            assert key in summary
+
+
+class TestIsolationComparison:
+    def test_selected_approaches_only(self):
+        comparison = IsolationComparison(qps=500, duration=0.8, warmup=0.2, seed=4,
+                                         bully_threads=16)
+        result = comparison.run(["standalone", "no_isolation", "blind_isolation"])
+        assert [row.approach for row in result.rows] == [
+            "standalone", "no_isolation", "blind_isolation"
+        ]
+        relative = result.relative_progress()
+        assert relative["no_isolation"] == pytest.approx(1.0)
+        assert 0 < relative["blind_isolation"] <= 1.05
+        table = result.as_table()
+        assert len(table) == 3
+
+    def test_unknown_approach_rejected(self):
+        comparison = IsolationComparison(qps=500, duration=0.5)
+        with pytest.raises(KeyError):
+            comparison.run(["warp_drive"])
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 3.25}]
+        text = format_table(rows)
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert "a" in lines[0] and "b" in lines[0]
+
+    def test_format_table_empty(self):
+        assert format_table([]) == "(no rows)"
+
+    def test_format_figure_includes_notes(self):
+        text = format_figure("Fig X", [{"x": 1}], notes=["a note"])
+        assert "Fig X" in text and "a note" in text
+
+    def test_large_numbers_comma_separated(self):
+        text = format_table([{"count": 12345.0}])
+        assert "12,345" in text

@@ -1,0 +1,51 @@
+"""Smoke tests for the per-figure harnesses on very small workloads.
+
+The benchmark suite runs the figure harnesses at realistic scale; these tests
+only verify the plumbing — that every harness produces the expected rows and
+columns — so they use tiny durations and loads.
+"""
+
+import pytest
+
+from repro.experiments import figures
+
+
+@pytest.fixture(scope="module")
+def fig5_small():
+    return figures.fig5_blind_isolation(
+        buffer_levels=(8,), qps_levels=(500.0,), duration=0.6, warmup=0.2, seed=3
+    )
+
+
+class TestFigureHarnessPlumbing:
+    def test_fig5_rows_and_columns(self, fig5_small):
+        assert fig5_small.figure_id == "fig5"
+        assert len(fig5_small.rows) == 1
+        row = fig5_small.rows[0]
+        for column in ("workload", "qps", "p99_ms", "p99_delta_ms", "buffer_cores"):
+            assert column in row
+        assert row["buffer_cores"] == 8
+
+    def test_row_lookup_helpers(self, fig5_small):
+        row = fig5_small.row(workload="blind-8-buffers")
+        assert row["qps"] == 500.0
+        assert fig5_small.column("qps") == [500.0]
+        with pytest.raises(KeyError):
+            fig5_small.row(workload="missing")
+
+    def test_headline_harness(self):
+        figure = figures.headline_utilization(qps=500.0, duration=0.6, warmup=0.2, seed=3)
+        assert len(figure.rows) == 2
+        configs = {row["configuration"] for row in figure.rows}
+        assert configs == {"standalone", "colocated+blind-isolation"}
+        colocated = figure.row(configuration="colocated+blind-isolation")
+        assert colocated["busy_cpu_pct"] > figure.row(configuration="standalone")["busy_cpu_pct"]
+
+    def test_fig6_and_fig7_structures(self):
+        fig6 = figures.fig6_static_cores(core_levels=(8,), qps_levels=(400.0,),
+                                         duration=0.5, warmup=0.1, seed=2)
+        assert fig6.rows[0]["secondary_cores"] == 8
+        fig7 = figures.fig7_cpu_cycles(fractions=(0.25,), qps_levels=(400.0,),
+                                       duration=0.5, warmup=0.1, seed=2)
+        assert fig7.rows[0]["cpu_fraction_pct"] == pytest.approx(25.0)
+        assert "drop_rate_pct" in fig7.rows[0]

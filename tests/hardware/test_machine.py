@@ -1,0 +1,35 @@
+"""Tests for the machine container."""
+
+import pytest
+
+from repro.config.schema import MachineSpec
+from repro.errors import ResourceError
+from repro.hardware.machine import Machine
+
+
+class TestMachine:
+    def test_default_machine_matches_paper(self, engine):
+        machine = Machine(engine, MachineSpec(), name="node")
+        assert machine.logical_cores == 48
+        assert machine.memory.capacity_bytes == 128 * 1024**3
+        assert set(machine.volumes) == {"ssd", "hdd"}
+
+    def test_volume_lookup(self, engine):
+        machine = Machine(engine, MachineSpec())
+        assert machine.volume("ssd") is machine.ssd
+        assert machine.volume("hdd") is machine.hdd
+
+    def test_unknown_volume_rejected(self, engine):
+        machine = Machine(engine, MachineSpec())
+        with pytest.raises(ResourceError):
+            machine.volume("nvme")
+
+    def test_ssd_and_hdd_have_expected_performance_gap(self, engine):
+        machine = Machine(engine, MachineSpec())
+        ssd_latency = machine.ssd.disks[0].service_time(64 * 1024)
+        hdd_latency = machine.hdd.disks[0].service_time(64 * 1024)
+        assert hdd_latency > 10 * ssd_latency
+
+    def test_machine_name(self, engine):
+        machine = Machine(engine, MachineSpec(), name="index-r0-p3")
+        assert machine.name == "index-r0-p3"

@@ -1,0 +1,65 @@
+"""Tests for the memory subsystem."""
+
+import pytest
+
+from repro.errors import ResourceError
+from repro.hardware.memory import MemorySubsystem
+
+
+class TestMemorySubsystem:
+    def test_initial_state(self):
+        memory = MemorySubsystem(1000)
+        assert memory.capacity_bytes == 1000
+        assert memory.used_bytes == 0
+        assert memory.free_bytes == 1000
+
+    def test_allocate_and_release(self):
+        memory = MemorySubsystem(1000)
+        memory.allocate("svc", 400)
+        assert memory.used_bytes == 400
+        assert memory.usage_of("svc") == 400
+        memory.release("svc", 150)
+        assert memory.usage_of("svc") == 250
+
+    def test_allocate_beyond_capacity_rejected(self):
+        memory = MemorySubsystem(1000)
+        with pytest.raises(ResourceError):
+            memory.allocate("svc", 2000)
+
+    def test_overcommit_flag_allows_over_allocation(self):
+        memory = MemorySubsystem(1000)
+        memory.allocate("svc", 2000, allow_overcommit=True)
+        assert memory.free_bytes == -1000
+
+    def test_release_more_than_held_rejected(self):
+        memory = MemorySubsystem(1000)
+        memory.allocate("svc", 100)
+        with pytest.raises(ResourceError):
+            memory.release("svc", 200)
+
+    def test_release_all(self):
+        memory = MemorySubsystem(1000)
+        memory.allocate("svc", 300)
+        assert memory.release_all("svc") == 300
+        assert memory.usage_of("svc") == 0
+        assert memory.release_all("missing") == 0
+
+    def test_owners_snapshot(self):
+        memory = MemorySubsystem(1000)
+        memory.allocate("a", 100)
+        memory.allocate("b", 200)
+        assert memory.owners() == {"a": 100, "b": 200}
+
+    def test_negative_allocation_rejected(self):
+        with pytest.raises(ResourceError):
+            MemorySubsystem(1000).allocate("svc", -5)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ResourceError):
+            MemorySubsystem(0)
+
+    def test_full_release_removes_owner(self):
+        memory = MemorySubsystem(100)
+        memory.allocate("svc", 50)
+        memory.release("svc", 50)
+        assert "svc" not in memory.owners()

@@ -1,0 +1,69 @@
+"""Tests for the network interface model."""
+
+import pytest
+
+from repro.config.schema import NicSpec
+from repro.errors import ResourceError
+from repro.hardware.nic import NetworkInterface
+from repro.units import MB
+
+
+@pytest.fixture
+def nic(engine):
+    return NetworkInterface(engine, NicSpec(bandwidth_bytes_per_s=100 * MB, base_latency=1e-5))
+
+
+class TestNetworkInterface:
+    def test_send_completes(self, engine, nic):
+        done = []
+        nic.send("svc", 1500, callback=lambda: done.append(engine.now))
+        engine.run()
+        assert len(done) == 1
+        assert nic.bytes_sent["svc"] == 1500
+        assert nic.packets_sent["svc"] == 1
+
+    def test_high_priority_served_before_low(self, engine, nic):
+        order = []
+        # Saturate the link with a large low-priority transfer, then queue one
+        # of each priority: the high one must win.
+        nic.send("bulk", 10 * MB, priority=nic.LOW)
+        nic.send("bulk", 1 * MB, priority=nic.LOW, callback=lambda: order.append("low"))
+        nic.send("svc", 1500, priority=nic.HIGH, callback=lambda: order.append("high"))
+        engine.run()
+        assert order[0] == "high"
+
+    def test_low_priority_rate_limit_slows_bulk(self, engine, nic):
+        finishes = []
+        nic.set_low_priority_rate_limit(1 * MB)
+        for _ in range(3):
+            nic.send("bulk", 1 * MB, priority=nic.LOW, callback=lambda: finishes.append(engine.now))
+        engine.run()
+        # 3 MB at 1 MB/s must take roughly three seconds, far more than the
+        # unthrottled transfer time (~30 ms at link speed).
+        assert finishes[-1] > 1.5
+
+    def test_rate_limit_can_be_removed(self, engine, nic):
+        nic.set_low_priority_rate_limit(1 * MB)
+        nic.set_low_priority_rate_limit(None)
+        finishes = []
+        for _ in range(3):
+            nic.send("bulk", 1 * MB, priority=nic.LOW, callback=lambda: finishes.append(engine.now))
+        engine.run()
+        assert finishes[-1] < 0.5
+
+    def test_invalid_priority_rejected(self, nic):
+        with pytest.raises(ResourceError):
+            nic.send("svc", 100, priority="urgent")
+
+    def test_invalid_size_rejected(self, nic):
+        with pytest.raises(ResourceError):
+            nic.send("svc", 0)
+
+    def test_invalid_rate_limit_rejected(self, nic):
+        with pytest.raises(ResourceError):
+            nic.set_low_priority_rate_limit(0)
+
+    def test_busy_time_accumulates(self, engine, nic):
+        nic.send("svc", 1 * MB)
+        engine.run()
+        assert nic.busy_time > 0

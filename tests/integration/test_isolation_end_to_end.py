@@ -1,0 +1,105 @@
+"""End-to-end integration tests: the paper's qualitative claims on short runs.
+
+These use reduced load, duration and bully width so the whole suite stays
+fast, but each asserts a *relationship* between scenarios rather than an
+absolute number — the same relationships the benchmark harness reproduces at
+full scale.
+"""
+
+import pytest
+
+from repro.experiments import scenarios as sc
+from repro.experiments.single_machine import SingleMachineExperiment
+
+QPS = 800.0
+DURATION = 1.5
+WARMUP = 0.3
+SEED = 11
+
+
+def run(spec, name):
+    return SingleMachineExperiment(spec, name).run()
+
+
+@pytest.fixture(scope="module")
+def standalone_result():
+    return run(sc.standalone(qps=QPS, duration=DURATION, warmup=WARMUP, seed=SEED), "standalone")
+
+
+@pytest.fixture(scope="module")
+def no_isolation_result():
+    return run(sc.no_isolation(48, qps=QPS, duration=DURATION, warmup=WARMUP, seed=SEED),
+               "no-isolation")
+
+
+@pytest.fixture(scope="module")
+def blind_result():
+    return run(sc.blind_isolation(8, qps=QPS, duration=DURATION, warmup=WARMUP, seed=SEED),
+               "blind-8")
+
+
+class TestColocationInterference:
+    def test_unmanaged_colocation_destroys_tail_latency(self, standalone_result, no_isolation_result):
+        """Figure 4's qualitative claim: an unrestricted CPU bully inflates P99
+        by an order of magnitude."""
+        assert no_isolation_result.latency.p99 > 5 * standalone_result.latency.p99
+
+    def test_unmanaged_colocation_leaves_no_idle_cpu(self, no_isolation_result):
+        assert no_isolation_result.cpu.idle < 0.05
+
+    def test_standalone_machine_is_mostly_idle(self, standalone_result):
+        assert standalone_result.cpu.idle > 0.7
+        assert standalone_result.queries_dropped == 0
+
+
+class TestBlindIsolationProtection:
+    def test_tail_latency_protected(self, standalone_result, blind_result):
+        """Figure 5's claim: with 8 buffer cores the P99 stays within ~1-2 ms
+        of standalone."""
+        degradation = blind_result.latency.p99 - standalone_result.latency.p99
+        assert degradation < 0.004
+
+    def test_median_latency_protected(self, standalone_result, blind_result):
+        assert blind_result.latency.p50 - standalone_result.latency.p50 < 0.002
+
+    def test_no_queries_dropped_under_blind_isolation(self, blind_result):
+        assert blind_result.queries_dropped == 0
+
+    def test_utilization_headline(self, standalone_result, blind_result):
+        """The abstract's headline: colocation raises machine utilisation a lot."""
+        busy_standalone = 1.0 - standalone_result.cpu.idle
+        busy_colocated = 1.0 - blind_result.cpu.idle
+        assert busy_colocated > busy_standalone + 0.3
+
+    def test_secondary_makes_substantial_progress(self, blind_result, no_isolation_result):
+        assert blind_result.secondary_progress > 0.3 * no_isolation_result.secondary_progress
+
+    def test_controller_keeps_roughly_buffer_cores_idle(self, blind_result):
+        # 8 buffer cores out of 48 = ~17 % idle; allow generous tolerance.
+        assert 0.08 < blind_result.cpu.idle < 0.40
+
+
+class TestAlternativePolicies:
+    @pytest.fixture(scope="class")
+    def static_result(self):
+        return run(sc.static_cores(8, qps=QPS, duration=DURATION, warmup=WARMUP, seed=SEED),
+                   "cores-8")
+
+    @pytest.fixture(scope="class")
+    def cycles_result(self):
+        return run(sc.cpu_cycles(0.45, qps=QPS, duration=DURATION, warmup=WARMUP, seed=SEED),
+                   "cycles-45")
+
+    def test_static_cores_protect_latency(self, standalone_result, static_result):
+        assert static_result.latency.p99 - standalone_result.latency.p99 < 0.004
+
+    def test_blind_beats_static_cores_on_secondary_work(self, blind_result, static_result):
+        """Figure 8's claim: blind isolation does more batch work than a static
+        8-core restriction at off-peak load."""
+        assert blind_result.secondary_progress > static_result.secondary_progress
+        assert blind_result.cpu.idle < static_result.cpu.idle
+
+    def test_cycle_throttling_fails_to_protect_latency(self, standalone_result, cycles_result):
+        """Figure 7's claim: duty-cycle throttling still lets the secondary
+        interfere with the primary's tail."""
+        assert cycles_result.latency.p99 > standalone_result.latency.p99 + 0.005

@@ -1,0 +1,145 @@
+"""Tests for latency statistics, CPU breakdowns and time series."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.cpu import CpuBreakdown
+from repro.metrics.latency import LatencyCollector, LatencyStats, ReservoirCollector, merge_stats
+from repro.metrics.timeseries import TimeSeries, TimeSeriesSet
+
+
+class TestLatencyCollector:
+    def test_percentiles_of_known_distribution(self):
+        collector = LatencyCollector()
+        collector.extend([i / 1000.0 for i in range(1, 1001)])
+        stats = collector.stats()
+        assert stats.count == 1000
+        assert stats.p50 == pytest.approx(0.5, rel=0.01)
+        assert stats.p99 == pytest.approx(0.99, rel=0.01)
+        assert stats.maximum == pytest.approx(1.0)
+
+    def test_warmup_samples_excluded(self):
+        collector = LatencyCollector(warmup_end=1.0)
+        collector.record(0.5, 0.010)
+        collector.record(2.0, 0.020)
+        stats = collector.stats()
+        assert stats.count == 1
+        assert stats.p50 == pytest.approx(0.020)
+
+    def test_drops_counted_after_warmup_only(self):
+        collector = LatencyCollector(warmup_end=1.0)
+        collector.record_drop(0.5)
+        collector.record_drop(2.0)
+        assert collector.dropped == 1
+        assert collector.stats().drop_rate == pytest.approx(1.0)
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ExperimentError):
+            LatencyCollector().record(1.0, -0.001)
+
+    def test_empty_collector_stats(self):
+        stats = LatencyCollector().stats()
+        assert stats.count == 0
+        assert stats.p99 == 0.0
+
+    def test_as_millis_conversion(self):
+        collector = LatencyCollector()
+        collector.extend([0.004, 0.012])
+        millis = collector.stats().as_millis()
+        assert millis["max_ms"] == pytest.approx(12.0)
+
+    def test_percentile_helper(self):
+        collector = LatencyCollector()
+        collector.extend([0.001, 0.002, 0.003])
+        assert collector.percentile(50) == pytest.approx(0.002)
+
+
+class TestReservoirCollector:
+    def test_small_streams_kept_exactly(self):
+        reservoir = ReservoirCollector(capacity=100)
+        for value in np.linspace(0.001, 0.1, 50):
+            reservoir.record(float(value))
+        assert reservoir.stats().count == 50
+
+    def test_bounded_memory_on_long_streams(self):
+        reservoir = ReservoirCollector(capacity=200, seed=1)
+        for value in np.random.default_rng(0).exponential(0.01, size=20_000):
+            reservoir.record(float(value))
+        stats = reservoir.stats()
+        assert stats.count == 200
+        assert reservoir.seen == 20_000
+        # The reservoir's median approximates the true median (~6.9 ms).
+        assert stats.p50 == pytest.approx(0.0069, rel=0.4)
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ExperimentError):
+            ReservoirCollector(capacity=0)
+
+
+class TestMergeStats:
+    def test_weighted_merge(self):
+        a = LatencyStats(count=100, dropped=0, mean=0.01, p50=0.01, p95=0.02, p99=0.03,
+                         p999=0.04, maximum=0.05)
+        b = LatencyStats(count=300, dropped=3, mean=0.02, p50=0.02, p95=0.03, p99=0.05,
+                         p999=0.06, maximum=0.08)
+        merged = merge_stats([a, b])
+        assert merged.count == 400
+        assert merged.dropped == 3
+        assert merged.mean == pytest.approx(0.0175)
+        assert merged.maximum == 0.08
+
+    def test_empty_merge(self):
+        assert merge_stats([]).count == 0
+
+
+class TestCpuBreakdown:
+    def test_from_utilization(self):
+        breakdown = CpuBreakdown.from_utilization(
+            {"primary": 0.2, "secondary": 0.5, "os": 0.05, "idle": 0.25}
+        )
+        assert breakdown.busy == pytest.approx(0.75)
+        assert breakdown.as_percent()["idle_pct"] == pytest.approx(25.0)
+
+    def test_missing_categories_default_to_zero(self):
+        breakdown = CpuBreakdown.from_utilization({"idle": 1.0})
+        assert breakdown.primary == 0.0
+        assert breakdown.busy == 0.0
+
+
+class TestTimeSeries:
+    def test_append_and_summaries(self):
+        series = TimeSeries("qps")
+        for i in range(10):
+            series.append(float(i), float(i * 10))
+        assert len(series) == 10
+        assert series.mean() == pytest.approx(45.0)
+        assert series.maximum() == 90.0
+        assert series.percentile(50) == pytest.approx(45.0)
+
+    def test_out_of_order_append_rejected(self):
+        series = TimeSeries("qps")
+        series.append(1.0, 1.0)
+        with pytest.raises(ExperimentError):
+            series.append(0.5, 2.0)
+
+    def test_resample_averages_buckets(self):
+        series = TimeSeries("util")
+        for i in range(100):
+            series.append(i * 0.1, float(i % 2))
+        resampled = series.resample(1.0)
+        assert len(resampled) < len(series)
+        assert resampled.mean() == pytest.approx(0.5, abs=0.1)
+
+    def test_resample_rejects_bad_bucket(self):
+        with pytest.raises(ExperimentError):
+            TimeSeries("x").resample(0)
+
+    def test_timeseries_set_alignment(self):
+        series_set = TimeSeriesSet()
+        series_set.series("a").append(0.0, 1.0)
+        series_set.series("a").append(1.0, 2.0)
+        series_set.series("b").append(0.5, 5.0)
+        table = series_set.as_table()
+        assert len(table) == 3
+        assert set(series_set.names()) == {"a", "b"}

@@ -1,0 +1,177 @@
+"""Property-based tests (hypothesis) for core data structures and invariants."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.schema import BlindIsolationSpec
+from repro.core.policies import BlindIsolationPolicy
+from repro.hardware.memory import MemorySubsystem
+from repro.hardware.topology import CpuTopology
+from repro.metrics.latency import LatencyCollector
+from repro.simulation.events import EventQueue
+from repro.simulation.randomness import RandomStreams
+
+
+class TestEventQueueProperties:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), max_size=200))
+    @settings(max_examples=50, deadline=None)
+    def test_events_pop_in_nondecreasing_time_order(self, times):
+        queue = EventQueue()
+        for time in times:
+            queue.push(time, lambda: None)
+        popped = []
+        while True:
+            event = queue.pop()
+            if event is None:
+                break
+            popped.append(event.time)
+        assert popped == sorted(popped)
+        assert len(popped) == len(times)
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=100),
+        st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_cancellation_never_loses_live_events(self, times, data):
+        queue = EventQueue()
+        events = [queue.push(time, lambda: None) for time in times]
+        to_cancel = data.draw(st.sets(st.integers(min_value=0, max_value=len(events) - 1)))
+        for index in to_cancel:
+            if not events[index].cancelled:
+                events[index].cancel()
+                queue.notify_cancel()
+        live = len(times) - len(to_cancel)
+        popped = 0
+        while queue.pop() is not None:
+            popped += 1
+        assert popped == live
+
+
+class TestBlindIsolationProperties:
+    @given(
+        buffer_cores=st.integers(min_value=0, max_value=16),
+        idle=st.integers(min_value=0, max_value=48),
+        current=st.integers(min_value=0, max_value=48),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_allocation_always_within_bounds(self, buffer_cores, idle, current):
+        """S stays in [min_secondary, total - buffer] for any observation."""
+        policy = BlindIsolationPolicy(BlindIsolationSpec(buffer_cores=buffer_cores))
+        decision = policy.poll_decision(total_cores=48, idle_cores=idle, current_core_count=current)
+        if decision is not None:
+            assert 0 <= decision.core_count <= 48 - buffer_cores
+
+    @given(
+        idle=st.integers(min_value=0, max_value=48),
+        current=st.integers(min_value=0, max_value=40),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_adjustment_direction_matches_paper_rule(self, idle, current):
+        """If I < B the allocation never grows; if I > B it never shrinks."""
+        buffer_cores = 8
+        policy = BlindIsolationPolicy(BlindIsolationSpec(buffer_cores=buffer_cores))
+        decision = policy.poll_decision(48, idle, current)
+        if decision is None:
+            return
+        if idle < buffer_cores:
+            assert decision.core_count <= current
+        elif idle > buffer_cores:
+            assert decision.core_count >= current
+
+    @given(idle=st.integers(min_value=0, max_value=48))
+    @settings(max_examples=100, deadline=None)
+    def test_fixed_point_reached_within_machine_size_steps(self, idle):
+        """Repeatedly applying the rule with a constant observation converges."""
+        policy = BlindIsolationPolicy(BlindIsolationSpec(buffer_cores=8))
+        current = 40
+        for _ in range(60):
+            decision = policy.poll_decision(48, idle, current)
+            if decision is None:
+                break
+            current = decision.core_count
+        else:
+            raise AssertionError("policy did not converge")
+
+
+class TestTopologyProperties:
+    @given(
+        sockets=st.integers(min_value=1, max_value=4),
+        cores=st.integers(min_value=1, max_value=16),
+        smt=st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_sibling_groups_partition_the_machine(self, sockets, cores, smt):
+        topology = CpuTopology(sockets, cores, smt)
+        seen = set()
+        for core_id in range(topology.logical_core_count):
+            group = topology.siblings(core_id)
+            assert core_id in group
+            assert len(group) == smt
+            seen.update(group)
+        assert seen == set(range(topology.logical_core_count))
+
+    @given(
+        sockets=st.integers(min_value=1, max_value=2),
+        cores=st.integers(min_value=1, max_value=8),
+        smt=st.integers(min_value=1, max_value=2),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_mask_round_trip(self, sockets, cores, smt, data):
+        topology = CpuTopology(sockets, cores, smt)
+        ids = data.draw(
+            st.sets(st.integers(min_value=0, max_value=topology.logical_core_count - 1))
+        )
+        assert topology.ids_from_mask(topology.mask_from_ids(sorted(ids))) == frozenset(ids)
+
+    @given(
+        sockets=st.integers(min_value=1, max_value=2),
+        cores=st.integers(min_value=1, max_value=8),
+        smt=st.integers(min_value=1, max_value=2),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_secondary_allocation_order_is_a_permutation(self, sockets, cores, smt):
+        topology = CpuTopology(sockets, cores, smt)
+        order = topology.secondary_allocation_order()
+        assert sorted(order) == list(range(topology.logical_core_count))
+
+
+class TestMemoryProperties:
+    @given(
+        st.lists(
+            st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(min_value=1, max_value=1000)),
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_used_plus_free_equals_capacity(self, operations):
+        memory = MemorySubsystem(1_000_000)
+        for owner, size in operations:
+            if memory.free_bytes >= size:
+                memory.allocate(owner, size)
+        assert memory.used_bytes + memory.free_bytes == memory.capacity_bytes
+        assert memory.used_bytes == sum(memory.owners().values())
+
+
+class TestLatencyCollectorProperties:
+    @given(st.lists(st.floats(min_value=1e-6, max_value=10.0, allow_nan=False), min_size=1,
+                    max_size=500))
+    @settings(max_examples=50, deadline=None)
+    def test_percentiles_are_monotone_and_bounded(self, samples):
+        collector = LatencyCollector()
+        collector.extend(samples)
+        stats = collector.stats()
+        assert stats.p50 <= stats.p95 <= stats.p99 <= stats.p999 <= stats.maximum
+        assert min(samples) <= stats.p50
+        assert stats.maximum == max(samples)
+        assert stats.count == len(samples)
+
+    @given(st.integers(min_value=0, max_value=2**31), st.text(min_size=1, max_size=20))
+    @settings(max_examples=50, deadline=None)
+    def test_random_streams_reproducible(self, seed, name):
+        a = RandomStreams(seed).stream(name).random(3)
+        b = RandomStreams(seed).stream(name).random(3)
+        assert list(a) == list(b)

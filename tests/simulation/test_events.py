@@ -1,0 +1,76 @@
+"""Tests for the event queue primitives."""
+
+from repro.simulation.events import Event, EventPriority, EventQueue
+
+
+class TestEventQueue:
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        assert len(queue) == 2
+
+    def test_pop_returns_events_in_order(self):
+        queue = EventQueue()
+        queue.push(2.0, lambda: None, ("b",))
+        queue.push(1.0, lambda: None, ("a",))
+        assert queue.pop().args == ("a",)
+        assert queue.pop().args == ("b",)
+        assert queue.pop() is None
+
+    def test_peek_time_skips_cancelled(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None)
+        queue.push(2.0, lambda: None)
+        first.cancel()
+        queue.notify_cancel()
+        assert queue.peek_time() == 2.0
+
+    def test_cancelled_events_are_skipped_by_pop(self):
+        queue = EventQueue()
+        first = queue.push(1.0, lambda: None, ("a",))
+        queue.push(2.0, lambda: None, ("b",))
+        first.cancel()
+        queue.notify_cancel()
+        assert queue.pop().args == ("b",)
+
+    def test_priority_breaks_ties(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, ("later",), priority=EventPriority.TENANT)
+        queue.push(1.0, lambda: None, ("earlier",), priority=EventPriority.HARDWARE)
+        assert queue.pop().args == ("earlier",)
+
+    def test_insertion_order_breaks_remaining_ties(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None, ("first",))
+        queue.push(1.0, lambda: None, ("second",))
+        assert queue.pop().args == ("first",)
+
+    def test_clear_empties_queue(self):
+        queue = EventQueue()
+        queue.push(1.0, lambda: None)
+        queue.clear()
+        assert len(queue) == 0
+        assert queue.pop() is None
+
+    def test_peek_on_empty_queue(self):
+        assert EventQueue().peek_time() is None
+
+
+class TestEvent:
+    def test_ordering_uses_time_then_priority_then_seq(self):
+        early = Event(1.0, 0, 0, lambda: None, ())
+        late = Event(2.0, 0, 1, lambda: None, ())
+        assert early < late
+        high = Event(1.0, 0, 2, lambda: None, ())
+        low = Event(1.0, 10, 3, lambda: None, ())
+        assert high < low
+        first = Event(1.0, 5, 4, lambda: None, ())
+        second = Event(1.0, 5, 5, lambda: None, ())
+        assert first < second
+
+    def test_cancel_marks_event(self):
+        event = Event(1.0, 0, 0, lambda: None, ())
+        assert not event.cancelled
+        event.cancel()
+        assert event.cancelled

@@ -1,0 +1,98 @@
+"""Tests for generator-based simulated processes."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulation.process import Delay, SimProcess, WaitFor
+
+
+class TestSimProcess:
+    def test_delays_advance_time(self, engine):
+        timeline = []
+
+        def body():
+            timeline.append(engine.now)
+            yield Delay(0.5)
+            timeline.append(engine.now)
+            yield 0.25
+            timeline.append(engine.now)
+
+        SimProcess(engine, body(), name="p").start()
+        engine.run()
+        assert timeline == [0.0, 0.5, 0.75]
+
+    def test_on_finish_called(self, engine):
+        done = []
+
+        def body():
+            yield 0.1
+
+        process = SimProcess(engine, body())
+        process.on_finish(lambda: done.append(True))
+        process.start()
+        engine.run()
+        assert done == [True]
+        assert process.finished
+
+    def test_start_delay(self, engine):
+        seen = []
+
+        def body():
+            seen.append(engine.now)
+            yield 0.0
+
+        SimProcess(engine, body()).start(delay=1.0)
+        engine.run()
+        assert seen == [1.0]
+
+    def test_double_start_rejected(self, engine):
+        def body():
+            yield 0.1
+
+        process = SimProcess(engine, body())
+        process.start()
+        with pytest.raises(SimulationError):
+            process.start()
+
+    def test_wait_for_condition(self, engine):
+        flag = {"ready": False}
+        seen = []
+
+        def body():
+            yield WaitFor(lambda: flag["ready"], interval=0.1)
+            seen.append(engine.now)
+
+        SimProcess(engine, body()).start()
+        engine.schedule(0.35, lambda: flag.update(ready=True))
+        engine.run()
+        assert seen and seen[0] >= 0.35
+
+    def test_negative_delay_rejected(self, engine):
+        def body():
+            yield -1.0
+
+        SimProcess(engine, body()).start()
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_unsupported_command_rejected(self, engine):
+        def body():
+            yield "nonsense"
+
+        SimProcess(engine, body()).start()
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_stop_prevents_further_steps(self, engine):
+        seen = []
+
+        def body():
+            seen.append("a")
+            yield 0.5
+            seen.append("b")
+
+        process = SimProcess(engine, body())
+        process.start()
+        engine.schedule(0.1, process.stop)
+        engine.run()
+        assert seen == ["a"]

@@ -1,0 +1,33 @@
+"""Tests for the unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+class TestDurations:
+    def test_micros_millis_seconds(self):
+        assert units.micros(5) == pytest.approx(5e-6)
+        assert units.millis(12) == pytest.approx(0.012)
+        assert units.seconds(3) == 3.0
+        assert units.minutes(2) == 120.0
+        assert units.hours(1) == 3600.0
+
+    def test_round_trips(self):
+        assert units.to_millis(units.millis(7.5)) == pytest.approx(7.5)
+        assert units.to_micros(units.micros(42)) == pytest.approx(42)
+
+    def test_ordering_of_constants(self):
+        assert units.MICROSECOND < units.MILLISECOND < units.SECOND < units.MINUTE < units.HOUR
+
+
+class TestSizes:
+    def test_binary_sizes(self):
+        assert units.mib(1) == 1024**2
+        assert units.gib(2) == 2 * 1024**3
+        assert units.KIB == 1024
+        assert units.GIB == 1024**3
+
+    def test_decimal_bandwidth(self):
+        assert units.mb_per_s(100) == pytest.approx(100e6)
+        assert units.MB == 1000 * units.KB

@@ -1,0 +1,102 @@
+"""Tests for the open-loop clients."""
+
+import numpy as np
+import pytest
+
+from repro.config.schema import IndexServeSpec
+from repro.errors import TenantError
+from repro.workloads.arrival import OpenLoopClient, VariableRateClient
+from repro.workloads.query_trace import QueryTrace
+
+
+@pytest.fixture
+def trace(rng):
+    return QueryTrace(IndexServeSpec(), size=100, rng=rng)
+
+
+class TestOpenLoopClient:
+    def test_submission_rate_close_to_target(self, engine, trace):
+        arrivals = []
+        client = OpenLoopClient(
+            engine, trace, qps=500, duration=2.0,
+            submit=lambda q, t: arrivals.append(t),
+            rng=np.random.default_rng(3),
+        )
+        client.start()
+        engine.run(until=2.5)
+        assert len(arrivals) == pytest.approx(1000, rel=0.15)
+        assert client.finished
+
+    def test_uniform_arrivals_are_evenly_spaced(self, engine, trace):
+        arrivals = []
+        client = OpenLoopClient(
+            engine, trace, qps=100, duration=1.0,
+            submit=lambda q, t: arrivals.append(t),
+            rng=np.random.default_rng(3),
+            arrival_process="uniform",
+        )
+        client.start()
+        engine.run(until=1.5)
+        gaps = np.diff(arrivals)
+        assert np.allclose(gaps, 0.01)
+
+    def test_open_loop_ignores_server_speed(self, engine, trace):
+        """Arrivals keep coming even if the 'server' never responds."""
+        count = [0]
+        client = OpenLoopClient(
+            engine, trace, qps=200, duration=1.0,
+            submit=lambda q, t: count.__setitem__(0, count[0] + 1),
+            rng=np.random.default_rng(3),
+        )
+        client.start()
+        engine.run(until=1.2)
+        assert count[0] > 150
+
+    def test_invalid_parameters_rejected(self, engine, trace, rng):
+        with pytest.raises(TenantError):
+            OpenLoopClient(engine, trace, qps=0, duration=1, submit=lambda q, t: None, rng=rng)
+        with pytest.raises(TenantError):
+            OpenLoopClient(engine, trace, qps=10, duration=0, submit=lambda q, t: None, rng=rng)
+        with pytest.raises(TenantError):
+            OpenLoopClient(engine, trace, qps=10, duration=1, submit=lambda q, t: None,
+                           rng=rng, arrival_process="weird")
+
+    def test_no_arrivals_after_duration(self, engine, trace):
+        arrivals = []
+        client = OpenLoopClient(
+            engine, trace, qps=100, duration=0.5,
+            submit=lambda q, t: arrivals.append(t),
+            rng=np.random.default_rng(3),
+        )
+        client.start()
+        engine.run(until=5.0)
+        assert all(t <= 0.5 for t in arrivals)
+
+
+class TestVariableRateClient:
+    def test_rate_follows_curve(self, engine, trace):
+        arrivals = []
+        client = VariableRateClient(
+            engine, trace,
+            rate_fn=lambda t: 1000 if t < 1.0 else 100,
+            duration=2.0,
+            submit=lambda q, t: arrivals.append(t),
+            rng=np.random.default_rng(4),
+        )
+        client.start()
+        engine.run(until=2.5)
+        first_half = sum(1 for t in arrivals if t < 1.0)
+        second_half = sum(1 for t in arrivals if t >= 1.0)
+        assert first_half > 5 * second_half
+
+    def test_minimum_rate_enforced(self, engine, trace):
+        client = VariableRateClient(
+            engine, trace, rate_fn=lambda t: -50, duration=1.0,
+            submit=lambda q, t: None, rng=np.random.default_rng(4), min_rate=10,
+        )
+        assert client.current_rate(0.0) == 10
+
+    def test_invalid_duration_rejected(self, engine, trace, rng):
+        with pytest.raises(TenantError):
+            VariableRateClient(engine, trace, rate_fn=lambda t: 10, duration=0,
+                               submit=lambda q, t: None, rng=rng)

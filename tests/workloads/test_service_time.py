@@ -1,0 +1,63 @@
+"""Tests for the service-time and fan-out models."""
+
+import numpy as np
+import pytest
+
+from repro.config.schema import IndexServeSpec
+from repro.errors import TenantError
+from repro.workloads.service_time import WorkerFanoutModel, WorkerServiceTimeModel
+
+
+class TestWorkerServiceTimeModel:
+    def test_samples_positive_and_capped(self, rng):
+        spec = IndexServeSpec()
+        model = WorkerServiceTimeModel(spec, rng)
+        samples = model.sample(1000)
+        assert np.all(samples > 0)
+        assert np.all(samples <= spec.worker_service_cap)
+
+    def test_zero_count_rejected(self, rng):
+        with pytest.raises(TenantError):
+            WorkerServiceTimeModel(IndexServeSpec(), rng).sample(0)
+
+    def test_mean_burst_close_to_analytical(self, rng):
+        spec = IndexServeSpec()
+        model = WorkerServiceTimeModel(spec, rng)
+        empirical = model.sample(20000).mean()
+        assert empirical == pytest.approx(model.mean_burst(), rel=0.1)
+
+    def test_bursts_are_sub_quantum(self, rng):
+        """Worker bursts must be much shorter than the scheduler quantum,
+        otherwise the 'short-lived worker threads' premise breaks."""
+        model = WorkerServiceTimeModel(IndexServeSpec(), rng)
+        assert np.percentile(model.sample(10000), 99) < 0.02
+
+
+class TestWorkerFanoutModel:
+    def test_bounds_respected(self, rng):
+        spec = IndexServeSpec()
+        model = WorkerFanoutModel(spec, rng)
+        for _ in range(500):
+            value = model.sample()
+            assert spec.workers_per_query_min <= value <= spec.workers_per_query_max
+
+    def test_mean_close_to_spec(self, rng):
+        spec = IndexServeSpec()
+        model = WorkerFanoutModel(spec, rng)
+        values = model.sample_many(5000)
+        assert np.mean(values) == pytest.approx(spec.workers_per_query_mean, rel=0.15)
+
+    def test_expected_cpu_demand_matches_standalone_calibration(self, rng):
+        """The defaults must put the machine near the paper's 20% busy at
+        2,000 QPS: 48 cores * 20% / 2000 QPS ~= 4.8 core-ms per query."""
+        spec = IndexServeSpec()
+        fanout = WorkerFanoutModel(spec, rng)
+        service = WorkerServiceTimeModel(spec, rng)
+        demand = fanout.expected_cpu_demand_per_query(service)
+        assert 0.003 < demand < 0.007
+
+    def test_inverted_bounds_rejected(self, rng):
+        spec = IndexServeSpec()
+        object.__setattr__(spec, "workers_per_query_min", 20)
+        with pytest.raises(TenantError):
+            WorkerFanoutModel(spec, rng)

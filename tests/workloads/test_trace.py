@@ -1,0 +1,59 @@
+"""Tests for the synthetic query trace generator."""
+
+import numpy as np
+import pytest
+
+from repro.config.schema import IndexServeSpec
+from repro.errors import TenantError
+from repro.workloads.query_trace import QueryTrace
+
+
+class TestQueryTrace:
+    def test_trace_size(self, rng):
+        trace = QueryTrace(IndexServeSpec(), size=100, rng=rng)
+        assert len(trace) == 100
+
+    def test_zero_size_rejected(self, rng):
+        with pytest.raises(TenantError):
+            QueryTrace(IndexServeSpec(), size=0, rng=rng)
+
+    def test_worker_counts_within_bounds(self, rng):
+        spec = IndexServeSpec()
+        trace = QueryTrace(spec, size=500, rng=rng)
+        for query in trace.queries():
+            assert spec.workers_per_query_min <= query.worker_count <= spec.workers_per_query_max
+            assert len(query.cache_misses) == query.worker_count
+
+    def test_mean_worker_count_near_spec(self, rng):
+        spec = IndexServeSpec()
+        trace = QueryTrace(spec, size=3000, rng=rng)
+        assert trace.mean_worker_count() == pytest.approx(spec.workers_per_query_mean, rel=0.2)
+
+    def test_miss_rate_near_spec(self, rng):
+        spec = IndexServeSpec(cache_miss_rate=0.3)
+        trace = QueryTrace(spec, size=3000, rng=rng)
+        assert trace.mean_miss_rate() == pytest.approx(0.3, abs=0.05)
+
+    def test_demands_positive_and_capped(self, rng):
+        spec = IndexServeSpec()
+        trace = QueryTrace(spec, size=500, rng=rng)
+        for query in trace.queries():
+            for demand in query.worker_demands:
+                assert 0 < demand <= spec.worker_service_cap
+
+    def test_deterministic_for_same_rng_seed(self):
+        spec = IndexServeSpec()
+        a = QueryTrace(spec, size=50, rng=np.random.default_rng(1))
+        b = QueryTrace(spec, size=50, rng=np.random.default_rng(1))
+        assert a.queries() == b.queries()
+
+    def test_cycle_wraps_around(self, rng):
+        trace = QueryTrace(IndexServeSpec(), size=3, rng=rng)
+        cycle = trace.cycle()
+        ids = [next(cycle).query_id for _ in range(7)]
+        assert ids == [0, 1, 2, 0, 1, 2, 0]
+
+    def test_total_cpu_demand_property(self, rng):
+        trace = QueryTrace(IndexServeSpec(), size=10, rng=rng)
+        query = trace[0]
+        assert query.total_cpu_demand == pytest.approx(sum(query.worker_demands))
