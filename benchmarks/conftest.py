@@ -12,9 +12,22 @@ from __future__ import annotations
 import os
 import sys
 
+import pytest
+
 _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+
+def pytest_collection_modifyitems(config, items):
+    """Every benchmark reproduces a full figure: all are in the slow tier.
+
+    The hook sees the whole session's items, so restrict to this directory.
+    """
+    here = os.path.dirname(os.path.abspath(__file__)) + os.sep
+    for item in items:
+        if str(item.path).startswith(here):
+            item.add_marker(pytest.mark.slow)
 
 #: Measured duration (simulated seconds) for single-machine scenarios.  Long
 #: enough for stable P99 estimates (several thousand queries per run), short

@@ -18,6 +18,8 @@ The public API is organised in layers:
 * :mod:`repro.cluster` — the multi-machine serving topology (TLA/MLA fan-out).
 * :mod:`repro.experiments`, :mod:`repro.metrics` — the harnesses reproducing
   every figure of the paper's evaluation.
+* :mod:`repro.runtime` — the parallel experiment runtime: process fan-out
+  over ``ExperimentSpec`` batches plus a content-addressed result cache.
 """
 
 from .config.schema import ExperimentSpec, PerfIsoSpec
@@ -30,10 +32,14 @@ from .core.policies import (
     StaticCoresPolicy,
 )
 from .experiments.single_machine import SingleMachineExperiment, SingleMachineResult
+from .runtime import ExperimentRunner, ExperimentTask, ResultCache
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "ExperimentRunner",
+    "ExperimentTask",
+    "ResultCache",
     "ExperimentSpec",
     "PerfIsoSpec",
     "PerfIsoController",

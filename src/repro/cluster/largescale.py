@@ -28,7 +28,6 @@ import numpy as np
 
 from ..config.schema import ClusterSpec, ExperimentSpec, MlTrainingSpec, PerfIsoSpec, WorkloadSpec
 from ..errors import ExperimentError
-from ..experiments.single_machine import SingleMachineExperiment
 from ..metrics.timeseries import TimeSeriesSet
 from .sampled import SampledClusterModel
 
@@ -99,9 +98,11 @@ class ProductionClusterSimulation:
         calibration_warmup: float = 0.5,
         seed: int = 7,
         buffer_cores: int = 8,
+        runner=None,
     ) -> None:
         if len(calibration_qps) < 2:
             raise ExperimentError("need at least two calibration load points to interpolate")
+        self._runner = runner
         # 650 machines ~= 25 partitions x 2 rows of index servers plus TLAs.
         self._cluster = cluster if cluster is not None else ClusterSpec(
             partitions=25, rows=2, tla_machines=50
@@ -114,38 +115,56 @@ class ProductionClusterSimulation:
         self._points: List[CalibrationPoint] = []
 
     # ------------------------------------------------------------ calibration
+    def _calibration_spec(self, index: int, qps: float) -> ExperimentSpec:
+        spec = ExperimentSpec(
+            workload=WorkloadSpec(
+                qps=qps,
+                duration=self._calibration_duration,
+                warmup=self._calibration_warmup,
+            ),
+            perfiso=PerfIsoSpec(cpu_policy="blind"),
+            ml_training=MlTrainingSpec(),
+            seed=self._seed + index,
+        )
+        return dataclasses.replace(
+            spec,
+            perfiso=dataclasses.replace(
+                spec.perfiso,
+                blind=dataclasses.replace(spec.perfiso.blind, buffer_cores=self._buffer_cores),
+            ),
+        )
+
     def calibrate(self) -> List[CalibrationPoint]:
-        """Run the detailed single-machine simulator at each load point."""
+        """Run the detailed single-machine simulator at each load point.
+
+        The load points are submitted as one batch to the experiment runner:
+        they execute across worker processes, and any point already measured —
+        by a previous calibration, another harness, or an earlier process when
+        a disk cache is configured — is served from the content-addressed
+        cache instead of being re-simulated.
+        """
+        from ..runtime.runner import ExperimentTask, default_runner
+
+        runner = self._runner if self._runner is not None else default_runner()
+        tasks = [
+            ExperimentTask(
+                self._calibration_spec(index, qps),
+                scenario=f"fig10-calibration-{int(qps)}",
+            )
+            for index, qps in enumerate(self._calibration_qps)
+        ]
         points: List[CalibrationPoint] = []
-        for index, qps in enumerate(self._calibration_qps):
-            spec = ExperimentSpec(
-                workload=WorkloadSpec(
-                    qps=qps,
-                    duration=self._calibration_duration,
-                    warmup=self._calibration_warmup,
-                ),
-                perfiso=PerfIsoSpec(cpu_policy="blind"),
-                ml_training=MlTrainingSpec(),
-                seed=self._seed + index,
-            )
-            spec = dataclasses.replace(
-                spec,
-                perfiso=dataclasses.replace(
-                    spec.perfiso, blind=dataclasses.replace(spec.perfiso.blind, buffer_cores=self._buffer_cores)
-                ),
-            )
-            experiment = SingleMachineExperiment(spec, scenario=f"fig10-calibration-{int(qps)}")
-            result = experiment.run()
-            samples = experiment.primary.collector.samples()
+        for qps, outcome in zip(self._calibration_qps, runner.run_batch(tasks)):
+            samples = outcome.latency_samples
             if samples.size == 0:
                 raise ExperimentError(f"calibration at {qps} QPS produced no latency samples")
             points.append(
                 CalibrationPoint(
                     qps=qps,
                     latency_samples=samples,
-                    primary_cpu=result.cpu.primary,
-                    secondary_cpu=result.cpu.secondary,
-                    os_cpu=result.cpu.os,
+                    primary_cpu=outcome.result.cpu.primary,
+                    secondary_cpu=outcome.result.cpu.secondary,
+                    os_cpu=outcome.result.cpu.os,
                 )
             )
         self._points = points
@@ -173,7 +192,7 @@ class ProductionClusterSimulation:
         for index in range(buckets):
             t = index * bucket
             per_machine_qps = max(1.0, float(load_curve(t)))
-            samples, busy = self._interpolate(per_machine_qps)
+            samples, busy = self._interpolate(per_machine_qps, bucket_index=index)
             model = SampledClusterModel(
                 self._cluster, samples, seed=self._seed + index, machine_skew_sigma=0.03
             )
@@ -195,7 +214,7 @@ class ProductionClusterSimulation:
         )
 
     # ------------------------------------------------------------- internals
-    def _interpolate(self, qps: float) -> tuple:
+    def _interpolate(self, qps: float, bucket_index: int = 0) -> tuple:
         """Blend the two nearest calibration points for the requested load."""
         points = self._points
         if qps <= points[0].qps:
@@ -209,7 +228,9 @@ class ProductionClusterSimulation:
         # Latency: mix samples from the two points in proportion to the weight.
         lower_count = int(round((1.0 - weight) * 1000))
         upper_count = 1000 - lower_count
-        rng = np.random.default_rng(int(qps))
+        # Seeded from (experiment seed, bucket) — never from the load itself,
+        # or two buckets at the same QPS would draw identical "mixed" samples.
+        rng = np.random.default_rng((self._seed, bucket_index))
         mixed = np.concatenate(
             [
                 rng.choice(lower.latency_samples, size=max(lower_count, 1)),

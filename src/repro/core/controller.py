@@ -195,6 +195,9 @@ class PerfIsoController:
     def restore_state(self, state: Dict[str, object]) -> None:
         """Resume after a crash: re-apply the last known allocation."""
         self._enabled = bool(state.get("enabled", True))
+        # Carry the update counter across the restart; the re-application
+        # below then counts as one more genuine job-object update.
+        self.updates_applied = int(state.get("updates_applied", self.updates_applied))
         core_count = state.get("current_core_count")
         if self._enabled and core_count is not None:
             self._apply(AllocationDecision(core_count=int(core_count)))

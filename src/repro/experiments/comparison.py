@@ -14,7 +14,7 @@ from typing import Dict, List, Optional
 
 from ..config.schema import ExperimentSpec
 from . import scenarios
-from .single_machine import SingleMachineExperiment, SingleMachineResult
+from .single_machine import SingleMachineResult
 
 __all__ = ["ComparisonRow", "ComparisonResult", "IsolationComparison"]
 
@@ -88,7 +88,9 @@ class IsolationComparison:
         static_secondary_cores: int = 8,
         cycle_fraction: float = 0.05,
         bully_threads: int = scenarios.HIGH_BULLY_THREADS,
+        runner=None,
     ) -> None:
+        self._runner = runner
         self._qps = qps
         self._duration = duration
         self._warmup = warmup
@@ -116,12 +118,23 @@ class IsolationComparison:
         raise KeyError(f"unknown approach {approach!r}")
 
     def run(self, approaches: Optional[List[str]] = None) -> ComparisonResult:
-        """Run the selected approaches (all of Figure 8 by default)."""
+        """Run the selected approaches (all of Figure 8 by default).
+
+        All approaches are submitted as one batch to the experiment runner, so
+        they execute across worker processes and cached runs are reused.
+        """
+        from ..runtime.runner import ExperimentTask, default_runner
+
+        runner = self._runner if self._runner is not None else default_runner()
         selected = list(approaches) if approaches is not None else list(self.APPROACHES)
         result = ComparisonResult(qps=self._qps)
-        for approach in selected:
-            spec = self._spec_for(approach)
-            run = SingleMachineExperiment(spec, scenario=approach).run()
+        tasks = [
+            ExperimentTask(self._spec_for(approach), scenario=approach)
+            for approach in selected
+        ]
+        outcomes = runner.run_batch(tasks)
+        for approach, outcome in zip(selected, outcomes):
+            run = outcome.result
             self.results[approach] = run
             summary = run.summary()
             result.rows.append(

@@ -5,6 +5,15 @@ the required scenarios, assembles the same rows/series the paper plots, and
 returns a :class:`FigureResult` that the benchmarks print and
 ``EXPERIMENTS.md`` records.  Durations are parameters so tests can use short
 runs while the benchmark harness uses longer, lower-variance ones.
+
+Execution goes through :class:`repro.runtime.ExperimentRunner`: each harness
+builds the full batch of ``ExperimentSpec`` runs it needs up front and submits
+it at once, so independent scenarios fan out across worker processes and
+results shared between figures (every figure re-runs the standalone baseline)
+are served from the content-addressed cache instead of being re-simulated.
+Because the runner returns results in task order and every run is a pure
+function of its spec, figure rows are bit-identical whether a batch executed
+serially or across N workers.
 """
 
 from __future__ import annotations
@@ -25,7 +34,7 @@ from ..config.schema import (
 )
 from . import scenarios
 from .comparison import IsolationComparison
-from .single_machine import SingleMachineExperiment, SingleMachineResult
+from .single_machine import SingleMachineResult
 
 __all__ = [
     "FigureResult",
@@ -60,8 +69,13 @@ class FigureResult:
         return [row[name] for row in self.rows]
 
 
-def _run(spec, scenario: str) -> SingleMachineResult:
-    return SingleMachineExperiment(spec, scenario=scenario).run()
+def _batch(runner, labeled_specs) -> List[SingleMachineResult]:
+    """Run ``[(label, spec), ...]`` as one batch, results in input order."""
+    from ..runtime.runner import ExperimentTask, default_runner
+
+    active = runner if runner is not None else default_runner()
+    tasks = [ExperimentTask(spec, scenario=label) for label, spec in labeled_specs]
+    return [outcome.result for outcome in active.run_batch(tasks)]
 
 
 def _latency_row(label: str, qps: float, result: SingleMachineResult,
@@ -87,33 +101,70 @@ def _latency_row(label: str, qps: float, result: SingleMachineResult,
     return row
 
 
+def _level_sweep(
+    figure: FigureResult,
+    runner,
+    qps_levels: Sequence[float],
+    levels: Sequence,
+    common_for,
+    build_scenario,
+    task_label,
+    row_label,
+    extra_column,
+) -> None:
+    """Shared shape of figures 5–7: per QPS, a standalone baseline plus one
+    run per swept level, batched together and regrouped positionally.
+
+    ``build_scenario(level, **common)`` builds the spec, ``task_label`` /
+    ``row_label`` name a level's run, and ``extra_column(level)`` yields the
+    figure-specific ``(column, value)`` annotation.
+    """
+    labeled = []
+    for qps in qps_levels:
+        common = common_for(qps)
+        labeled.append(("standalone", scenarios.standalone(**common)))
+        for level in levels:
+            labeled.append((task_label(level), build_scenario(level, **common)))
+    results = _batch(runner, labeled)
+    stride = 1 + len(levels)
+    for index, qps in enumerate(qps_levels):
+        group = results[stride * index: stride * (index + 1)]
+        base = group[0]
+        for level, run in zip(levels, group[1:]):
+            row = _latency_row(row_label(level), qps, run, baseline=base)
+            column, value = extra_column(level)
+            row[column] = value
+            figure.rows.append(row)
+
+
 # --------------------------------------------------------------------- Fig 4
 def fig4_no_isolation(
     qps_levels: Sequence[float] = (scenarios.AVERAGE_LOAD_QPS, scenarios.PEAK_LOAD_QPS),
     duration: float = 5.0,
     warmup: float = 1.0,
     seed: int = 1,
+    runner=None,
 ) -> FigureResult:
     """Figure 4: standalone vs unrestricted mid/high secondary (latency + CPU)."""
     figure = FigureResult(
         figure_id="fig4",
         title="Standalone vs colocation with an unrestricted secondary",
     )
+    labeled = []
     for qps in qps_levels:
-        base = _run(scenarios.standalone(qps=qps, duration=duration, warmup=warmup, seed=seed),
-                    "standalone")
+        common = dict(qps=qps, duration=duration, warmup=warmup, seed=seed)
+        labeled.append(("standalone", scenarios.standalone(**common)))
+        labeled.append(
+            ("mid-secondary", scenarios.no_isolation(scenarios.MID_BULLY_THREADS, **common))
+        )
+        labeled.append(
+            ("high-secondary", scenarios.no_isolation(scenarios.HIGH_BULLY_THREADS, **common))
+        )
+    results = _batch(runner, labeled)
+    for index, qps in enumerate(qps_levels):
+        base, mid, high = results[3 * index: 3 * index + 3]
         figure.rows.append(_latency_row("standalone", qps, base))
-        mid = _run(
-            scenarios.no_isolation(scenarios.MID_BULLY_THREADS, qps=qps, duration=duration,
-                                   warmup=warmup, seed=seed),
-            "mid-secondary",
-        )
         figure.rows.append(_latency_row("mid-secondary", qps, mid, baseline=base))
-        high = _run(
-            scenarios.no_isolation(scenarios.HIGH_BULLY_THREADS, qps=qps, duration=duration,
-                                   warmup=warmup, seed=seed),
-            "high-secondary",
-        )
         figure.rows.append(_latency_row("high-secondary", qps, high, baseline=base))
     figure.notes.append(
         "paper: mid raises P99 by up to 42%, high by up to 29x with 11-32% of queries dropped"
@@ -128,24 +179,24 @@ def fig5_blind_isolation(
     duration: float = 5.0,
     warmup: float = 1.0,
     seed: int = 1,
+    runner=None,
 ) -> FigureResult:
     """Figure 5: blind isolation with 4 and 8 buffer cores (degradation + CPU)."""
     figure = FigureResult(
         figure_id="fig5",
         title="CPU blind isolation: latency degradation vs buffer size",
     )
-    for qps in qps_levels:
-        base = _run(scenarios.standalone(qps=qps, duration=duration, warmup=warmup, seed=seed),
-                    "standalone")
-        for buffer_cores in buffer_levels:
-            run = _run(
-                scenarios.blind_isolation(buffer_cores, qps=qps, duration=duration,
-                                          warmup=warmup, seed=seed),
-                f"blind-{buffer_cores}",
-            )
-            row = _latency_row(f"blind-{buffer_cores}-buffers", qps, run, baseline=base)
-            row["buffer_cores"] = buffer_cores
-            figure.rows.append(row)
+    _level_sweep(
+        figure,
+        runner,
+        qps_levels,
+        buffer_levels,
+        lambda qps: dict(qps=qps, duration=duration, warmup=warmup, seed=seed),
+        scenarios.blind_isolation,
+        lambda cores: f"blind-{cores}",
+        lambda cores: f"blind-{cores}-buffers",
+        lambda cores: ("buffer_cores", cores),
+    )
     figure.notes.append("paper: 8 buffer cores keep the P99 within 1 ms of standalone")
     return figure
 
@@ -157,23 +208,24 @@ def fig6_static_cores(
     duration: float = 5.0,
     warmup: float = 1.0,
     seed: int = 1,
+    runner=None,
 ) -> FigureResult:
     """Figure 6: statically restricting the secondary's CPU cores."""
     figure = FigureResult(
         figure_id="fig6",
         title="Static core restriction of the secondary",
     )
-    for qps in qps_levels:
-        base = _run(scenarios.standalone(qps=qps, duration=duration, warmup=warmup, seed=seed),
-                    "standalone")
-        for cores in core_levels:
-            run = _run(
-                scenarios.static_cores(cores, qps=qps, duration=duration, warmup=warmup, seed=seed),
-                f"cores-{cores}",
-            )
-            row = _latency_row(f"{cores}-cores", qps, run, baseline=base)
-            row["secondary_cores"] = cores
-            figure.rows.append(row)
+    _level_sweep(
+        figure,
+        runner,
+        qps_levels,
+        core_levels,
+        lambda qps: dict(qps=qps, duration=duration, warmup=warmup, seed=seed),
+        scenarios.static_cores,
+        lambda cores: f"cores-{cores}",
+        lambda cores: f"{cores}-cores",
+        lambda cores: ("secondary_cores", cores),
+    )
     figure.notes.append(
         "paper: 8 cores protect the SLO even at peak but cap the secondary at ~17% of CPU time"
     )
@@ -187,23 +239,24 @@ def fig7_cpu_cycles(
     duration: float = 5.0,
     warmup: float = 1.0,
     seed: int = 1,
+    runner=None,
 ) -> FigureResult:
     """Figure 7: restricting the secondary's CPU cycles (latency, CPU, drops)."""
     figure = FigureResult(
         figure_id="fig7",
         title="CPU cycle (duty-cycle) restriction of the secondary",
     )
-    for qps in qps_levels:
-        base = _run(scenarios.standalone(qps=qps, duration=duration, warmup=warmup, seed=seed),
-                    "standalone")
-        for fraction in fractions:
-            run = _run(
-                scenarios.cpu_cycles(fraction, qps=qps, duration=duration, warmup=warmup, seed=seed),
-                f"cycles-{int(fraction * 100)}",
-            )
-            row = _latency_row(f"{int(fraction * 100)}%-cycles", qps, run, baseline=base)
-            row["cpu_fraction_pct"] = fraction * 100.0
-            figure.rows.append(row)
+    _level_sweep(
+        figure,
+        runner,
+        qps_levels,
+        fractions,
+        lambda qps: dict(qps=qps, duration=duration, warmup=warmup, seed=seed),
+        scenarios.cpu_cycles,
+        lambda fraction: f"cycles-{int(fraction * 100)}",
+        lambda fraction: f"{int(fraction * 100)}%-cycles",
+        lambda fraction: ("cpu_fraction_pct", fraction * 100.0),
+    )
     figure.notes.append(
         "paper: cycle throttling always degrades latency and always drops some queries"
     )
@@ -219,6 +272,7 @@ def fig8_comparison(
     buffer_cores: int = 8,
     static_secondary_cores: int = 8,
     cycle_fraction: float = 0.05,
+    runner=None,
 ) -> FigureResult:
     """Figure 8: P99 latency, idle CPU and secondary progress per approach."""
     comparison = IsolationComparison(
@@ -229,6 +283,7 @@ def fig8_comparison(
         buffer_cores=buffer_cores,
         static_secondary_cores=static_secondary_cores,
         cycle_fraction=cycle_fraction,
+        runner=runner,
     )
     result = comparison.run()
     figure = FigureResult(
@@ -243,6 +298,11 @@ def fig8_comparison(
     return figure
 
 
+def _run_cluster_case(label: str, scenario: ClusterScenario):
+    """Module-level worker entry point so cluster cases can cross processes."""
+    return SimulatedCluster(scenario, name=label).run()
+
+
 # --------------------------------------------------------------------- Fig 9
 def fig9_cluster(
     partitions: int = 5,
@@ -253,6 +313,7 @@ def fig9_cluster(
     warmup: float = 0.5,
     seed: int = 1,
     buffer_cores: int = 8,
+    runner=None,
 ) -> FigureResult:
     """Figure 9: per-layer latency on the cluster for three colocation modes.
 
@@ -261,6 +322,9 @@ def fig9_cluster(
     row); pass ``partitions=22, rows=2, tla_machines=31`` for the paper's full
     75-machine layout if you can afford the run time.
     """
+    from ..runtime.runner import default_runner
+    from ..runtime.spec_hash import versioned_namespace
+
     cluster = ClusterSpec(partitions=partitions, rows=rows, tla_machines=tla_machines)
     node = scenarios.base_spec(qps=total_qps / rows, duration=duration, warmup=warmup, seed=seed)
     perfiso = PerfIsoSpec(
@@ -286,8 +350,13 @@ def fig9_cluster(
             hdfs=HdfsSpec(), total_qps=total_qps, duration=duration, warmup=warmup, seed=seed,
         ),
     }
-    for label, scenario in cases.items():
-        result = SimulatedCluster(scenario, name=label).run()
+    active = runner if runner is not None else default_runner()
+    results = active.map(
+        _run_cluster_case,
+        [(label, scenario) for label, scenario in cases.items()],
+        cache_namespace=versioned_namespace("cluster"),
+    )
+    for label, result in zip(cases, results):
         row: Dict[str, object] = {"scenario": label}
         row.update(result.summary())
         figure.rows.append(row)
@@ -303,10 +372,11 @@ def fig10_production(
     bucket: float = 120.0,
     calibration_duration: float = 2.5,
     seed: int = 7,
+    runner=None,
 ) -> FigureResult:
     """Figure 10: an hour of the 650-machine cluster under diurnal live load."""
     simulation = ProductionClusterSimulation(
-        calibration_duration=calibration_duration, seed=seed
+        calibration_duration=calibration_duration, seed=seed, runner=runner
     )
     result = simulation.run(duration=duration, bucket=bucket)
     figure = FigureResult(
@@ -331,12 +401,17 @@ def headline_utilization(
     duration: float = 5.0,
     warmup: float = 1.0,
     seed: int = 1,
+    runner=None,
 ) -> FigureResult:
     """The abstract's headline: average CPU utilisation 21% -> 66% at off-peak load."""
-    base = _run(scenarios.standalone(qps=qps, duration=duration, warmup=warmup, seed=seed),
-                "standalone")
-    colocated = _run(scenarios.blind_isolation(8, qps=qps, duration=duration, warmup=warmup,
-                                               seed=seed), "blind-8")
+    common = dict(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    base, colocated = _batch(
+        runner,
+        [
+            ("standalone", scenarios.standalone(**common)),
+            ("blind-8", scenarios.blind_isolation(8, **common)),
+        ],
+    )
     figure = FigureResult(
         figure_id="headline",
         title="Average CPU utilisation with and without colocation (off-peak load)",

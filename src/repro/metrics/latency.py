@@ -58,6 +58,17 @@ class LatencyStats:
         return LatencyStats(0, 0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
 
 
+def _as_nonnegative_array(latencies: Iterable[float]) -> np.ndarray:
+    """Coerce bulk samples to float64 and reject negative values."""
+    values = np.asarray(
+        latencies if isinstance(latencies, np.ndarray) else list(latencies),
+        dtype=np.float64,
+    )
+    if values.size and np.any(values < 0):
+        raise ExperimentError(f"negative latency recorded: {float(values.min())}")
+    return values
+
+
 def _stats_from_array(values: np.ndarray, dropped: int) -> LatencyStats:
     if values.size == 0:
         return LatencyStats(0, dropped, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
@@ -75,11 +86,21 @@ def _stats_from_array(values: np.ndarray, dropped: int) -> LatencyStats:
 
 
 class LatencyCollector:
-    """Collects every latency sample produced after the warm-up boundary."""
+    """Collects every latency sample produced after the warm-up boundary.
+
+    Samples live in a preallocated, amortised-doubling ``float64`` buffer, so
+    per-query recording is a single store, bulk ingestion (the sampled cluster
+    model pools hundreds of thousands of per-machine samples) is one
+    vectorised copy, and statistics are computed directly on the buffer view
+    without materialising an intermediate list.
+    """
+
+    _INITIAL_CAPACITY = 1024
 
     def __init__(self, warmup_end: float = 0.0) -> None:
         self._warmup_end = warmup_end
-        self._samples: List[float] = []
+        self._buffer = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
+        self._count = 0
         self._dropped = 0
         self._dropped_warmup = 0
         self._total_seen = 0
@@ -90,7 +111,7 @@ class LatencyCollector:
 
     @property
     def sample_count(self) -> int:
-        return len(self._samples)
+        return self._count
 
     @property
     def dropped(self) -> int:
@@ -100,6 +121,17 @@ class LatencyCollector:
     def total_seen(self) -> int:
         return self._total_seen
 
+    def _reserve(self, extra: int) -> None:
+        needed = self._count + extra
+        if needed <= self._buffer.size:
+            return
+        capacity = self._buffer.size
+        while capacity < needed:
+            capacity *= 2
+        grown = np.empty(capacity, dtype=np.float64)
+        grown[: self._count] = self._buffer[: self._count]
+        self._buffer = grown
+
     def record(self, completion_time: float, latency: float) -> None:
         """Record a successfully answered query."""
         if latency < 0:
@@ -107,7 +139,9 @@ class LatencyCollector:
         self._total_seen += 1
         if completion_time < self._warmup_end:
             return
-        self._samples.append(latency)
+        self._reserve(1)
+        self._buffer[self._count] = latency
+        self._count += 1
 
     def record_drop(self, drop_time: float) -> None:
         """Record a query dropped (timed out) at ``drop_time``."""
@@ -119,22 +153,27 @@ class LatencyCollector:
 
     def extend(self, latencies: Iterable[float]) -> None:
         """Bulk-add post-warmup samples (used by the sampled cluster model)."""
-        for value in latencies:
-            if value < 0:
-                raise ExperimentError(f"negative latency recorded: {value}")
-            self._samples.append(float(value))
-            self._total_seen += 1
+        values = _as_nonnegative_array(latencies)
+        if values.size == 0:
+            return
+        self._reserve(values.size)
+        self._buffer[self._count: self._count + values.size] = values
+        self._count += values.size
+        self._total_seen += int(values.size)
 
     def samples(self) -> np.ndarray:
-        return np.asarray(self._samples, dtype=float)
+        return self._buffer[: self._count].copy()
+
+    def _view(self) -> np.ndarray:
+        return self._buffer[: self._count]
 
     def stats(self) -> LatencyStats:
-        return _stats_from_array(self.samples(), self._dropped)
+        return _stats_from_array(self._view(), self._dropped)
 
     def percentile(self, q: float) -> float:
-        if not self._samples:
+        if self._count == 0:
             return 0.0
-        return float(np.percentile(np.asarray(self._samples), q))
+        return float(np.percentile(self._view(), q))
 
 
 class ReservoirCollector:
@@ -171,6 +210,33 @@ class ReservoirCollector:
 
     def record_drop(self) -> None:
         self._dropped += 1
+
+    def extend(self, latencies: Iterable[float]) -> None:
+        """Bulk-add samples with one vectorised reservoir pass (Algorithm R).
+
+        Statistically equivalent to calling :meth:`record` per value (the
+        replacement index for the i-th value is drawn against the stream
+        position at that value, and overlapping writes land in stream order),
+        though the exact draws differ because the RNG is consumed in one batch.
+        """
+        values = _as_nonnegative_array(latencies)
+        if values.size == 0:
+            return
+        fill = min(self._capacity - len(self._reservoir), values.size)
+        if fill > 0:
+            self._reservoir.extend(values[:fill].tolist())
+            self._seen += fill
+            values = values[fill:]
+        if values.size == 0:
+            return
+        positions = self._seen + 1 + np.arange(values.size)
+        indices = self._rng.integers(0, positions)
+        self._seen += int(values.size)
+        mask = indices < self._capacity
+        if np.any(mask):
+            reservoir = np.asarray(self._reservoir, dtype=np.float64)
+            reservoir[indices[mask]] = values[mask]
+            self._reservoir = reservoir.tolist()
 
     def stats(self) -> LatencyStats:
         return _stats_from_array(np.asarray(self._reservoir, dtype=float), self._dropped)

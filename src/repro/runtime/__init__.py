@@ -1,0 +1,29 @@
+"""Parallel experiment runtime: process fan-out plus content-addressed caching.
+
+See :mod:`repro.runtime.runner` for the execution model and
+:mod:`repro.runtime.cache` for the cache layers.
+"""
+
+from .cache import ResultCache, default_cache, reset_default_cache
+from .runner import (
+    ExperimentRunner,
+    ExperimentTask,
+    RunOutcome,
+    default_runner,
+    reset_default_runner,
+)
+from .spec_hash import canonical_encoding, spec_hash, versioned_namespace
+
+__all__ = [
+    "versioned_namespace",
+    "ResultCache",
+    "default_cache",
+    "reset_default_cache",
+    "ExperimentRunner",
+    "ExperimentTask",
+    "RunOutcome",
+    "default_runner",
+    "reset_default_runner",
+    "canonical_encoding",
+    "spec_hash",
+]

@@ -1,0 +1,139 @@
+"""Content-addressed cache for experiment results.
+
+Every entry is keyed by the :func:`repro.runtime.spec_hash.spec_hash` of the
+configuration that produced it.  Because experiments are deterministic per
+seed, a hit is bit-identical to a recomputation, so the figure harnesses and
+``ProductionClusterSimulation.calibrate()`` can share single-machine runs
+instead of re-simulating them.
+
+Two storage layers:
+
+* an in-process dictionary, always on — this is what lets one test session or
+  one figure-harness invocation reuse the standalone baselines across figures;
+* an optional on-disk layer (one pickle per entry under a cache directory),
+  enabled by passing ``directory`` or by setting ``REPRO_CACHE_DIR``, which
+  persists calibrations across processes and CI runs.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from pathlib import Path
+from typing import Any, Optional
+
+__all__ = ["ResultCache", "default_cache", "reset_default_cache"]
+
+#: Environment variable naming a directory for the persistent cache layer.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+
+class ResultCache:
+    """Two-layer (memory + optional disk) content-addressed cache."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+        self._memory: dict = {}
+        self._directory: Optional[Path] = Path(directory) if directory else None
+        if self._directory is not None:
+            self._directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    @property
+    def directory(self) -> Optional[Path]:
+        return self._directory
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._memory or self._disk_path(key) is not None
+
+    def _disk_path(self, key: str) -> Optional[Path]:
+        if self._directory is None:
+            return None
+        path = self._directory / f"{key}.pkl"
+        return path if path.is_file() else None
+
+    def get(self, key: str, default: Any = None) -> Optional[Any]:
+        """Return the cached value for ``key``, or ``default`` on a miss.
+
+        Pass a sentinel as ``default`` to distinguish a cached ``None`` from
+        a miss.
+        """
+        if key in self._memory:
+            self.hits += 1
+            return self._memory[key]
+        path = self._disk_path(key)
+        if path is not None:
+            try:
+                with path.open("rb") as handle:
+                    value = pickle.load(handle)
+            except Exception:
+                # A torn or stale entry is a miss, not a crash — unpickling a
+                # foreign file can fail in arbitrary ways (truncation, moved
+                # or renamed classes, protocol drift), and every one of them
+                # means the same thing here: drop the entry and let the
+                # caller recompute (the put will overwrite it).
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+                self.misses += 1
+                return default
+            self._memory[key] = value
+            self.hits += 1
+            return value
+        self.misses += 1
+        return default
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` in every enabled layer.
+
+        The disk layer is an optimisation: a failed write (full or read-only
+        volume, unpicklable payload) degrades to memory-only caching instead
+        of aborting the run that just computed the value.
+        """
+        self._memory[key] = value
+        self.stores += 1
+        if self._directory is not None:
+            try:
+                # Write-then-rename so concurrent workers never read a torn file.
+                fd, tmp_name = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
+                    os.replace(tmp_name, self._directory / f"{key}.pkl")
+                except BaseException:
+                    if os.path.exists(tmp_name):
+                        os.unlink(tmp_name)
+                    raise
+            except Exception:
+                # Mirrors get(): pickling can fail with PickleError,
+                # AttributeError or TypeError depending on the payload, and
+                # the filesystem with OSError — all degrade the same way.
+                pass
+
+    def clear(self) -> None:
+        """Drop the in-memory layer (the disk layer, if any, is left intact)."""
+        self._memory.clear()
+
+
+_default: Optional[ResultCache] = None
+
+
+def default_cache() -> ResultCache:
+    """The process-wide shared cache (disk-backed iff ``REPRO_CACHE_DIR`` is set)."""
+    global _default
+    if _default is None:
+        directory = os.environ.get(CACHE_DIR_ENV) or None
+        _default = ResultCache(directory=directory)
+    return _default
+
+
+def reset_default_cache() -> None:
+    """Forget the process-wide cache (used by tests and benchmarks)."""
+    global _default
+    _default = None

@@ -1,0 +1,101 @@
+"""Canonical, content-addressed hashing of experiment specifications.
+
+The parallel runtime and its result cache key every run on the *content* of
+its configuration, not on object identity or on which harness built it: two
+``ExperimentSpec`` instances describing the same machine, workload, tenants
+and seed hash identically, so a Figure 8 standalone run and a Figure 4
+standalone run at the same load resolve to the same cache entry.
+
+Hashing walks the (frozen, nested) dataclass tree and produces a canonical
+JSON document — sorted keys, explicit type tags, exact float representation
+via ``repr`` — which is then SHA-256 digested.  Any configuration value that
+affects simulation output lives in the dataclasses, so the digest is a sound
+cache key for deterministic runs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from enum import Enum
+from typing import Any
+
+import numpy as np
+
+__all__ = ["canonical_encoding", "spec_hash", "versioned_namespace"]
+
+
+def versioned_namespace(tag: str) -> str:
+    """A cache namespace stamped with the simulator version.
+
+    Cached results are only bit-identical to a recomputation while the
+    simulator code is unchanged, so persistent (on-disk) cache keys carry the
+    package version: after an upgrade, old entries simply stop matching
+    instead of silently serving stale figures.
+    """
+    from .. import __version__
+
+    return f"{tag}/v{__version__}"
+
+
+def _encode(value: Any) -> Any:
+    """Convert a configuration value into a canonical JSON-serialisable form."""
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        fields = {
+            f.name: _encode(getattr(value, f.name)) for f in dataclasses.fields(value)
+        }
+        return {"__dataclass__": type(value).__qualname__, "fields": fields}
+    if isinstance(value, Enum):
+        return {"__enum__": type(value).__qualname__, "value": _encode(value.value)}
+    # NumPy scalars are normalised to their Python equivalents so that specs
+    # built from numpy-driven sweeps (np.arange qps levels, np.int64 core
+    # counts) hash identically to their plain-Python twins.
+    if isinstance(value, (bool, np.bool_)) or value is None:
+        return bool(value) if value is not None else None
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return int(value)
+    if isinstance(value, (float, np.floating)):
+        # repr round-trips doubles exactly; JSON's float formatting does not.
+        return {"__float__": repr(float(value))}
+    if isinstance(value, (list, tuple)):
+        return [_encode(item) for item in value]
+    if isinstance(value, frozenset):
+        # Sort by each item's canonical JSON — encoded items may be dicts
+        # (floats, enums, dataclasses), which do not compare with ``<``.
+        return {"__frozenset__": sorted((_encode(item) for item in value), key=_sort_key)}
+    if isinstance(value, dict):
+        # Keys are encoded like any other value (so 1 and "1" stay distinct)
+        # and entries are ordered by their canonical JSON.
+        entries = [[_encode(key), _encode(val)] for key, val in value.items()]
+        entries.sort(key=_sort_key)
+        return {"__dict__": entries}
+    raise TypeError(
+        f"cannot canonically encode {type(value).__name__!r} for spec hashing"
+    )
+
+
+def _sort_key(encoded: Any) -> str:
+    return json.dumps(encoded, sort_keys=True, separators=(",", ":"))
+
+
+def canonical_encoding(spec: Any, namespace: str = "") -> str:
+    """The canonical JSON document hashed by :func:`spec_hash`."""
+    return json.dumps(
+        {"namespace": namespace, "spec": _encode(spec)},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+
+
+def spec_hash(spec: Any, namespace: str = "") -> str:
+    """SHA-256 hex digest of a configuration's canonical encoding.
+
+    ``namespace`` distinguishes keys produced by different kinds of run (for
+    example single-machine experiments vs full cluster simulations) that might
+    otherwise share a configuration dataclass.
+    """
+    encoded = canonical_encoding(spec, namespace=namespace).encode("utf-8")
+    return hashlib.sha256(encoded).hexdigest()

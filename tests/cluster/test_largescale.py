@@ -2,9 +2,14 @@
 
 import math
 
+import numpy as np
 import pytest
 
-from repro.cluster.largescale import ProductionClusterSimulation, diurnal_load
+from repro.cluster.largescale import (
+    CalibrationPoint,
+    ProductionClusterSimulation,
+    diurnal_load,
+)
 from repro.config.schema import ClusterSpec
 from repro.errors import ExperimentError
 
@@ -21,7 +26,10 @@ class TestDiurnalLoad:
             diurnal_load(peak_qps=1000, trough_qps=2000)
 
 
+@pytest.mark.slow
 class TestProductionClusterSimulation:
+    """Runs real calibrations of the detailed simulator — slow tier."""
+
     @pytest.fixture(scope="class")
     def result(self):
         simulation = ProductionClusterSimulation(
@@ -56,6 +64,54 @@ class TestProductionClusterSimulation:
         table = series.as_table()
         assert len(table) == 5
 
+class TestConstructorValidation:
+    """Cheap guards that must stay in the fast tier (no calibration runs)."""
+
     def test_requires_two_calibration_points(self):
         with pytest.raises(ExperimentError):
             ProductionClusterSimulation(calibration_qps=(2000.0,))
+
+
+class TestInterpolateSeeding:
+    """The mixed-sample draw must vary per bucket, not per load level."""
+
+    @staticmethod
+    def _simulation_with_fake_points(seed: int) -> ProductionClusterSimulation:
+        simulation = ProductionClusterSimulation(
+            calibration_qps=(1000.0, 2000.0), seed=seed
+        )
+        rng = np.random.default_rng(0)
+        simulation._points = [
+            CalibrationPoint(
+                qps=1000.0,
+                latency_samples=rng.lognormal(np.log(0.004), 0.4, size=2000),
+                primary_cpu=0.2, secondary_cpu=0.3, os_cpu=0.05,
+            ),
+            CalibrationPoint(
+                qps=2000.0,
+                latency_samples=rng.lognormal(np.log(0.008), 0.4, size=2000),
+                primary_cpu=0.4, secondary_cpu=0.2, os_cpu=0.06,
+            ),
+        ]
+        return simulation
+
+    def test_same_load_different_buckets_draw_different_samples(self):
+        simulation = self._simulation_with_fake_points(seed=7)
+        first, _ = simulation._interpolate(1500.0, bucket_index=0)
+        second, _ = simulation._interpolate(1500.0, bucket_index=1)
+        assert not np.array_equal(first, second)
+
+    def test_same_bucket_is_reproducible(self):
+        a = self._simulation_with_fake_points(seed=7)
+        b = self._simulation_with_fake_points(seed=7)
+        first, busy_a = a._interpolate(1500.0, bucket_index=3)
+        second, busy_b = b._interpolate(1500.0, bucket_index=3)
+        assert np.array_equal(first, second)
+        assert busy_a == busy_b
+
+    def test_draws_depend_on_experiment_seed(self):
+        a = self._simulation_with_fake_points(seed=7)
+        b = self._simulation_with_fake_points(seed=8)
+        first, _ = a._interpolate(1500.0, bucket_index=0)
+        second, _ = b._interpolate(1500.0, bucket_index=0)
+        assert not np.array_equal(first, second)

@@ -178,6 +178,58 @@ class TestKillSwitchAndRecovery:
         controller.restore_state(state)
         assert controller.job.cpu_affinity == fresh_kernel_job
 
+    @staticmethod
+    def _fresh_kernel():
+        """A brand-new machine + kernel, as after a controller crash/restart."""
+        import numpy as np
+
+        from repro.config.schema import MachineSpec, SchedulerSpec
+        from repro.hardware.machine import Machine
+        from repro.hostos.syscalls import Kernel
+        from repro.simulation.engine import SimulationEngine
+
+        fresh_engine = SimulationEngine()
+        fresh_machine = Machine(
+            fresh_engine,
+            MachineSpec(sockets=1, cores_per_socket=4, threads_per_core=2),
+            name="recovered",
+            rng=np.random.default_rng(0),
+        )
+        return Kernel(fresh_engine, fresh_machine, SchedulerSpec())
+
+    def test_restore_state_restores_update_counter(self, engine, kernel):
+        """The serialised updates_applied counter survives crash recovery."""
+        controller = PerfIsoController(kernel, blind_spec(buffer_cores=2))
+        bully = CpuBullyTenant(kernel, CpuBullySpec(threads=16, memory_bytes=1024))
+        bully.start()
+        controller.manage(bully)
+        controller.start()
+        engine.run(until=0.1)
+        state = controller.state_dict()
+        saved_updates = state["updates_applied"]
+        assert saved_updates >= 1
+
+        recovered = PerfIsoController(self._fresh_kernel(), blind_spec(buffer_cores=2))
+        assert recovered.updates_applied == 0
+        recovered.restore_state(state)
+        # The counter carries over, plus exactly one re-application of the
+        # recovered core allocation.
+        assert recovered.updates_applied == saved_updates + 1
+        assert recovered.secondary_core_count == state["current_core_count"]
+
+    def test_restore_state_counter_without_reapply(self, engine, kernel):
+        """A disabled snapshot restores the counter without a new update."""
+        controller = PerfIsoController(kernel, blind_spec(buffer_cores=2))
+        controller.start()
+        engine.run(until=0.05)
+        controller.disable()
+        state = controller.state_dict()
+        recovered = PerfIsoController(self._fresh_kernel(), blind_spec())
+        # Restoring a disabled snapshot must not apply any allocation.
+        recovered.restore_state(state)
+        assert recovered.updates_applied == state["updates_applied"]
+        assert not recovered.enabled
+
     def test_update_spec_switches_policy(self, engine, kernel):
         controller = PerfIsoController(kernel, blind_spec())
         controller.start()

@@ -76,6 +76,39 @@ class TestReservoirCollector:
         with pytest.raises(ExperimentError):
             ReservoirCollector(capacity=0)
 
+    def test_extend_below_capacity_kept_exactly(self):
+        reservoir = ReservoirCollector(capacity=100)
+        values = np.linspace(0.001, 0.1, 60)
+        reservoir.extend(values)
+        assert reservoir.seen == 60
+        stats = reservoir.stats()
+        assert stats.count == 60
+        assert stats.maximum == pytest.approx(0.1)
+
+    def test_extend_matches_record_distribution(self):
+        """Bulk extend keeps an unbiased sample, like per-value record."""
+        stream = np.random.default_rng(0).exponential(0.01, size=20_000)
+        bulk = ReservoirCollector(capacity=200, seed=1)
+        bulk.extend(stream)
+        assert bulk.seen == 20_000
+        stats = bulk.stats()
+        assert stats.count == 200
+        # Same tolerance as the per-record long-stream test above.
+        assert stats.p50 == pytest.approx(0.0069, rel=0.4)
+
+    def test_extend_in_chunks_equals_one_stream_length(self):
+        reservoir = ReservoirCollector(capacity=50, seed=2)
+        chunks = np.random.default_rng(1).exponential(0.01, size=1000).reshape(10, 100)
+        for chunk in chunks:
+            reservoir.extend(chunk)
+        assert reservoir.seen == 1000
+        assert reservoir.stats().count == 50
+
+    def test_extend_rejects_negative_latency(self):
+        reservoir = ReservoirCollector(capacity=10)
+        with pytest.raises(ExperimentError):
+            reservoir.extend([0.001, -0.002])
+
 
 class TestMergeStats:
     def test_weighted_merge(self):

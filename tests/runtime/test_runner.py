@@ -1,0 +1,255 @@
+"""Unit tests for the parallel experiment runtime."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.config.schema import ClusterSpec
+from repro.experiments import scenarios
+from repro.runtime import (
+    ExperimentRunner,
+    ExperimentTask,
+    ResultCache,
+    spec_hash,
+)
+
+
+def tiny_spec(seed=5, qps=300.0):
+    return scenarios.standalone(qps=qps, duration=0.4, warmup=0.1, seed=seed)
+
+
+class TestSpecHash:
+    def test_equal_specs_hash_identically(self):
+        assert spec_hash(tiny_spec()) == spec_hash(tiny_spec())
+
+    def test_any_field_change_changes_hash(self):
+        base = tiny_spec()
+        assert spec_hash(base) != spec_hash(dataclasses.replace(base, seed=6))
+        assert spec_hash(base) != spec_hash(
+            dataclasses.replace(base, workload=dataclasses.replace(base.workload, qps=301.0))
+        )
+
+    def test_namespace_separates_keys(self):
+        assert spec_hash(tiny_spec(), namespace="a") != spec_hash(tiny_spec(), namespace="b")
+
+    def test_hash_is_hex_digest(self):
+        digest = spec_hash(tiny_spec())
+        assert len(digest) == 64
+        int(digest, 16)
+
+    def test_non_experiment_dataclasses_hash_too(self):
+        assert spec_hash(ClusterSpec()) == spec_hash(ClusterSpec())
+        assert spec_hash(ClusterSpec()) != spec_hash(ClusterSpec(partitions=3))
+
+    def test_dict_keys_keep_their_type(self):
+        assert spec_hash({1: "a"}) != spec_hash({"1": "a"})
+        assert spec_hash({1: "a", 2: "b"}) == spec_hash({2: "b", 1: "a"})
+
+    def test_frozensets_of_encoded_items_hash(self):
+        assert spec_hash(frozenset({1.5, 2.5})) == spec_hash(frozenset({2.5, 1.5}))
+        assert spec_hash(frozenset({1.5})) != spec_hash(frozenset({2.5}))
+
+    def test_numpy_scalars_hash_like_python_equivalents(self):
+        """Specs built from numpy-driven sweeps must hit the same cache keys."""
+        from_python = tiny_spec(qps=300.0)
+        from_numpy = tiny_spec(qps=np.float64(300.0))
+        assert from_python == from_numpy
+        assert spec_hash(from_python) == spec_hash(from_numpy)
+        assert spec_hash(ClusterSpec(partitions=np.int64(3))) == spec_hash(
+            ClusterSpec(partitions=3)
+        )
+
+
+class TestResultCache:
+    def test_memory_round_trip(self):
+        cache = ResultCache()
+        assert cache.get("k") is None
+        cache.put("k", {"x": 1})
+        assert cache.get("k") == {"x": 1}
+        assert cache.hits == 1 and cache.misses == 1 and cache.stores == 1
+
+    def test_disk_round_trip(self, tmp_path):
+        first = ResultCache(directory=tmp_path)
+        first.put("deadbeef", [1.0, 2.0])
+        # A different process would start with an empty memory layer.
+        second = ResultCache(directory=tmp_path)
+        assert second.get("deadbeef") == [1.0, 2.0]
+        assert (tmp_path / "deadbeef.pkl").is_file()
+
+    def test_clear_keeps_disk_layer(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        cache.put("k", 42)
+        cache.clear()
+        assert cache.get("k") == 42
+
+    def test_disk_write_failure_degrades_to_memory_only(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        # An unpicklable payload cannot reach the disk layer, but the store
+        # itself must succeed via the memory layer.
+        unpicklable = lambda: None  # noqa: E731 - locals don't pickle
+        cache.put("k", unpicklable)
+        assert cache.get("k") is unpicklable
+        assert not (tmp_path / "k.pkl").exists()
+
+    def test_corrupt_disk_entry_is_a_miss(self, tmp_path):
+        (tmp_path / "badkey.pkl").write_bytes(b"not a pickle")
+        cache = ResultCache(directory=tmp_path)
+        assert cache.get("badkey") is None
+        assert cache.misses == 1
+        # The torn file was dropped so a recompute can overwrite it.
+        assert not (tmp_path / "badkey.pkl").exists()
+        cache.put("badkey", 7)
+        assert ResultCache(directory=tmp_path).get("badkey") == 7
+
+
+class TestExperimentRunner:
+    def test_results_in_task_order_with_labels(self):
+        runner = ExperimentRunner(max_workers=1, cache=ResultCache())
+        tasks = [
+            ExperimentTask(tiny_spec(seed=5), "first"),
+            ExperimentTask(tiny_spec(seed=6), "second"),
+        ]
+        outcomes = runner.run_batch(tasks)
+        assert [o.result.scenario for o in outcomes] == ["first", "second"]
+
+    def test_identical_specs_in_batch_run_once(self):
+        cache = ResultCache()
+        runner = ExperimentRunner(max_workers=1, cache=cache)
+        tasks = [ExperimentTask(tiny_spec(), f"label-{i}") for i in range(4)]
+        outcomes = runner.run_batch(tasks)
+        # One simulation, one store; all four outcomes share the payload.
+        assert cache.stores == 1
+        assert len({o.key for o in outcomes}) == 1
+        assert [o.result.scenario for o in outcomes] == [f"label-{i}" for i in range(4)]
+        p99s = {o.result.latency.p99 for o in outcomes}
+        assert len(p99s) == 1
+
+    def test_second_batch_served_from_cache(self):
+        cache = ResultCache()
+        runner = ExperimentRunner(max_workers=1, cache=cache)
+        first = runner.run_batch([ExperimentTask(tiny_spec(), "cold")])
+        second = runner.run_batch([ExperimentTask(tiny_spec(), "warm")])
+        assert not first[0].from_cache
+        assert second[0].from_cache
+        assert second[0].result.scenario == "warm"
+        assert second[0].result.latency == first[0].result.latency
+        assert np.array_equal(second[0].latency_samples, first[0].latency_samples)
+
+    def test_cache_hits_never_alias_the_stored_payload(self):
+        """Mutating an outcome must not poison later hits for the same spec."""
+        cache = ResultCache()
+        runner = ExperimentRunner(max_workers=1, cache=cache)
+        first = runner.run_batch([ExperimentTask(tiny_spec(), "a")])[0]
+        pristine = first.latency_samples.copy()
+        pristine_history = list(first.result.secondary_core_history)
+        first.latency_samples[:] = -1.0
+        first.result.cpu_timeseries.clear()
+        first.result.extra["poison"] = 1.0
+        second = runner.run_batch([ExperimentTask(tiny_spec(), "b")])[0]
+        assert second.from_cache
+        assert np.array_equal(second.latency_samples, pristine)
+        assert list(second.result.secondary_core_history) == pristine_history
+        assert "poison" not in second.result.extra
+
+    def test_use_cache_false_always_recomputes(self):
+        cache = ResultCache()
+        runner = ExperimentRunner(max_workers=1, cache=cache, use_cache=False)
+        runner.run_batch([ExperimentTask(tiny_spec(), "a")])
+        outcome = runner.run_batch([ExperimentTask(tiny_spec(), "b")])[0]
+        assert not outcome.from_cache
+        assert cache.stores == 0
+
+    def test_run_convenience_wrapper(self):
+        runner = ExperimentRunner(max_workers=1, cache=ResultCache())
+        result = runner.run(tiny_spec(), scenario="solo")
+        assert result.scenario == "solo"
+        assert result.queries_completed > 0
+
+    def test_map_preserves_order(self):
+        runner = ExperimentRunner(max_workers=2, cache=ResultCache())
+        results = runner.map(_square, [(i,) for i in range(8)])
+        assert results == [i * i for i in range(8)]
+
+    def test_garbage_worker_env_rejected_with_clear_error(self, monkeypatch):
+        from repro.errors import ConfigError
+        from repro.runtime.runner import WORKERS_ENV
+
+        monkeypatch.setenv(WORKERS_ENV, "abc")
+        with pytest.raises(ConfigError, match="REPRO_RUNNER_WORKERS"):
+            ExperimentRunner()
+
+    def test_map_caches_when_namespaced(self):
+        cache = ResultCache()
+        runner = ExperimentRunner(max_workers=1, cache=cache)
+        runner.map(_square, [(3,)], cache_namespace="squares/v1")
+        before = cache.hits
+        again = runner.map(_square, [(3,)], cache_namespace="squares/v1")
+        assert again == [9]
+        assert cache.hits == before + 1
+
+    def test_map_dedupes_identical_payloads_when_namespaced(self):
+        cache = ResultCache()
+        runner = ExperimentRunner(max_workers=1, cache=cache)
+        results = runner.map(
+            _square, [(4,), (4,), (5,)], cache_namespace="squares/v1"
+        )
+        assert results == [16, 16, 25]
+        # The duplicate (4,) payload was computed and stored exactly once.
+        assert cache.stores == 2
+
+    def test_map_serves_cached_none_without_recompute(self):
+        cache = ResultCache()
+        runner = ExperimentRunner(max_workers=1, cache=cache)
+        assert runner.map(_none, [(1,)], cache_namespace="n/v1") == [None]
+        stores = cache.stores
+        assert runner.map(_none, [(1,)], cache_namespace="n/v1") == [None]
+        assert cache.stores == stores  # hit, not recomputed and re-stored
+
+    def test_map_keeps_none_results_for_unhashable_args(self):
+        runner = ExperimentRunner(max_workers=1, cache=ResultCache())
+        results = runner.map(_first_of_pair, [((None, object()),), ((5, object()),)])
+        assert results == [None, 5]
+
+    def test_map_dedupes_without_a_cache_namespace(self):
+        cache = ResultCache()
+        runner = ExperimentRunner(max_workers=1, cache=cache)
+        results = runner.map(_record_call, [(4,), (4,), (5,)])
+        assert [value for value, _ in results] == [16, 16, 25]
+        # Three results but only two computations, and nothing cached.
+        assert len({marker for _, marker in results[:2]}) == 1
+        assert cache.stores == 0
+        # Duplicates are distinct objects: mutating one leaves the other alone.
+        results[0].append("mutated")
+        assert len(results[1]) == 2
+
+    def test_cache_namespaces_are_version_stamped(self):
+        import repro
+        from repro.runtime import versioned_namespace
+
+        assert versioned_namespace("single-machine") == (
+            f"single-machine/v{repro.__version__}"
+        )
+        assert spec_hash(tiny_spec(), namespace=versioned_namespace("a")) != spec_hash(
+            tiny_spec(), namespace="a/v0.0.0"
+        )
+
+
+def _square(value):
+    return value * value
+
+
+def _none(value):
+    return None
+
+
+def _first_of_pair(pair):
+    return pair[0]
+
+
+_calls = iter(range(1_000_000))
+
+
+def _record_call(value):
+    """Returns [result, unique-marker] so tests can count real computations."""
+    return [value * value, next(_calls)]

@@ -1,0 +1,121 @@
+"""Property tests for the event-queue ordering guarantees.
+
+The simulator's determinism rests on one invariant: events pop in
+``(time, priority, insertion order)`` order, under any interleaving of
+push, cancel and pop.  These tests drive :class:`EventQueue` with
+hypothesis-generated operation sequences against a reference model.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.events import EventPriority, EventQueue
+
+#: Small discrete domains so timestamp and priority collisions are common —
+#: ties are exactly where the ordering contract can break.
+_TIMES = st.sampled_from([0.0, 0.5, 1.0, 1.0, 1.5, 2.0])
+_PRIORITIES = st.sampled_from(
+    [EventPriority.HARDWARE, EventPriority.KERNEL, EventPriority.DEFAULT,
+     EventPriority.TENANT, EventPriority.CONTROLLER]
+)
+
+_OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), _TIMES, _PRIORITIES),
+        st.tuples(st.just("pop")),
+        st.tuples(st.just("cancel"), st.integers(min_value=0, max_value=1_000)),
+    ),
+    max_size=60,
+)
+
+
+class _Model:
+    """Reference model: a plain sorted list of live (time, priority, seq)."""
+
+    def __init__(self):
+        self.live = {}  # seq -> (time, priority, seq)
+
+    def push(self, seq, time, priority):
+        self.live[seq] = (time, priority, seq)
+
+    def cancel(self, seq):
+        self.live.pop(seq, None)
+
+    def pop_expected(self):
+        if not self.live:
+            return None
+        key = min(self.live.values())
+        del self.live[key[2]]
+        return key
+
+
+def _run_sequence(operations):
+    queue = EventQueue()
+    model = _Model()
+    handles = {}  # seq -> Event
+    seq = 0
+    for op in operations:
+        if op[0] == "push":
+            _, time, priority = op
+            event = queue.push(time, lambda: None, (seq,), priority=priority)
+            handles[seq] = event
+            model.push(seq, time, priority)
+            seq += 1
+        elif op[0] == "cancel":
+            live = sorted(model.live)
+            if not live:
+                continue
+            target = live[op[1] % len(live)]
+            handles[target].cancel()
+            queue.notify_cancel()
+            model.cancel(target)
+        else:  # pop
+            expected = model.pop_expected()
+            event = queue.pop()
+            if expected is None:
+                assert event is None
+            else:
+                assert (event.time, event.priority) == expected[:2]
+                assert event.args == (expected[2],)
+        assert len(queue) == len(model.live)
+    return queue, model
+
+
+@given(_OPS)
+@settings(max_examples=200, deadline=None)
+def test_pop_always_returns_minimum_live_event(operations):
+    """At every pop, the queue agrees with a sorted-list reference model."""
+    _run_sequence(operations)
+
+
+@given(_OPS)
+@settings(max_examples=200, deadline=None)
+def test_draining_yields_sorted_remainder(operations):
+    """After any op sequence, draining pops the live set in sorted order."""
+    queue, model = _run_sequence(operations)
+    expected_order = sorted(model.live.values())
+    drained = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        drained.append((event.time, event.priority, event.args[0]))
+    assert drained == expected_order
+    assert len(queue) == 0
+
+
+@given(st.lists(st.tuples(_TIMES, _PRIORITIES), min_size=1, max_size=40))
+@settings(max_examples=200, deadline=None)
+def test_same_timestamp_ties_break_by_priority_then_insertion(pushes):
+    """Pure pushes then full drain: (time, priority, insertion) is total."""
+    queue = EventQueue()
+    for index, (time, priority) in enumerate(pushes):
+        queue.push(time, lambda: None, (index,), priority=priority)
+    drained = []
+    while True:
+        event = queue.pop()
+        if event is None:
+            break
+        drained.append((event.time, event.priority, event.args[0]))
+    assert drained == sorted(drained)
+    assert [item[2] for item in drained] != [] and len(drained) == len(pushes)
