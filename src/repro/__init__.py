@@ -31,12 +31,17 @@ from .core.policies import (
     NoIsolationPolicy,
     StaticCoresPolicy,
 )
+from .experiments.matrix import MatrixResult, Scenario, run_matrix, run_scenario
 from .experiments.single_machine import SingleMachineExperiment, SingleMachineResult
 from .runtime import ExperimentRunner, ExperimentTask, ResultCache
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
+    "MatrixResult",
+    "Scenario",
+    "run_matrix",
+    "run_scenario",
     "ExperimentRunner",
     "ExperimentTask",
     "ResultCache",

@@ -31,6 +31,7 @@ __all__ = [
     "DiskBullySpec",
     "HdfsSpec",
     "MlTrainingSpec",
+    "SecondaryJobSpec",
     "BlindIsolationSpec",
     "StaticCoreSpec",
     "CpuCycleSpec",
@@ -306,6 +307,59 @@ class MlTrainingSpec:
             raise ConfigError("ml training needs at least one thread")
 
 
+@dataclass(frozen=True)
+class SecondaryJobSpec:
+    """One named secondary job colocated on the machine.
+
+    The singleton tenant fields of :class:`ExperimentSpec` (``cpu_bully``,
+    ``disk_bully``, ``hdfs``, ``ml_training``) cover the paper's one-of-each
+    experiments; production machines run arbitrary mixes, so additional
+    secondaries are expressed as named jobs, each wrapping exactly one tenant
+    spec.  Names must be unique per experiment — they label the job's OS
+    processes, per-job random streams and the per-secondary result breakdown.
+    """
+
+    name: str
+    cpu_bully: Optional[CpuBullySpec] = None
+    disk_bully: Optional[DiskBullySpec] = None
+    hdfs: Optional[HdfsSpec] = None
+    ml_training: Optional[MlTrainingSpec] = None
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ConfigError("secondary job name must be non-empty and '/'-free")
+        if len(self._set_specs()) != 1:
+            raise ConfigError(
+                f"secondary job {self.name!r} must wrap exactly one tenant spec"
+            )
+
+    def _set_specs(self) -> Tuple[Tuple[str, object], ...]:
+        return tuple(
+            (kind, spec)
+            for kind, spec in (
+                ("cpu_bully", self.cpu_bully),
+                ("disk_bully", self.disk_bully),
+                ("hdfs", self.hdfs),
+                ("ml_training", self.ml_training),
+            )
+            if spec is not None
+        )
+
+    @property
+    def kind(self) -> str:
+        """Which tenant this job runs: 'cpu_bully', 'disk_bully', 'hdfs' or 'ml_training'."""
+        return self._set_specs()[0][0]
+
+    @property
+    def tenant_spec(self):
+        """The wrapped tenant spec."""
+        return self._set_specs()[0][1]
+
+    @property
+    def memory_bytes(self) -> int:
+        return self.tenant_spec.memory_bytes
+
+
 # --------------------------------------------------------------------------- PerfIso
 @dataclass(frozen=True)
 class BlindIsolationSpec:
@@ -499,8 +553,30 @@ class ExperimentSpec:
     disk_bully: Optional[DiskBullySpec] = None
     hdfs: Optional[HdfsSpec] = None
     ml_training: Optional[MlTrainingSpec] = None
+    #: Additional named secondaries beyond the singleton fields above, so one
+    #: machine can co-locate arbitrary mixes (e.g. two CPU bullies of
+    #: different sizes, or CPU bully + disk bully + ML training at once).
+    extra_secondaries: Tuple[SecondaryJobSpec, ...] = ()
     seed: int = 1
 
     def replace(self, **changes) -> "ExperimentSpec":
         """Return a copy with ``changes`` applied (thin dataclasses.replace wrapper)."""
         return dataclasses.replace(self, **changes)
+
+    def secondary_jobs(self) -> Tuple[SecondaryJobSpec, ...]:
+        """Every secondary as a named job, singleton fields first.
+
+        The singleton fields keep their historical tenant names so existing
+        specs simulate bit-identically (random streams are keyed by name).
+        """
+        jobs = []
+        for name, kind, spec in (
+            ("cpu-bully", "cpu_bully", self.cpu_bully),
+            ("disk-bully", "disk_bully", self.disk_bully),
+            ("hdfs", "hdfs", self.hdfs),
+            ("ml-training", "ml_training", self.ml_training),
+        ):
+            if spec is not None:
+                jobs.append(SecondaryJobSpec(name, **{kind: spec}))
+        jobs.extend(self.extra_secondaries)
+        return tuple(jobs)

@@ -55,16 +55,24 @@ def validate_experiment(spec: ExperimentSpec) -> None:
         if perfiso.poll_interval > spec.workload.duration:
             raise ConfigError("PerfIso poll interval is longer than the experiment itself")
 
-    if spec.cpu_bully is not None and spec.cpu_bully.threads > cores * 8:
+    jobs = spec.secondary_jobs()
+    names = [job.name for job in jobs]
+    if len(set(names)) != len(names):
+        duplicates = sorted({name for name in names if names.count(name) > 1})
         raise ConfigError(
-            f"cpu bully thread count ({spec.cpu_bully.threads}) is implausibly large "
+            f"secondary job names must be unique per experiment, duplicated: {duplicates}"
+        )
+
+    bully_threads = sum(
+        job.tenant_spec.threads for job in jobs if job.kind == "cpu_bully"
+    )
+    if bully_threads > cores * 8:
+        raise ConfigError(
+            f"combined cpu bully thread count ({bully_threads}) is implausibly large "
             f"for {cores} cores"
         )
 
-    secondary_memory = 0
-    for tenant in (spec.cpu_bully, spec.disk_bully, spec.hdfs, spec.ml_training):
-        if tenant is not None:
-            secondary_memory += tenant.memory_bytes
+    secondary_memory = sum(job.memory_bytes for job in jobs)
     if spec.indexserve.memory_footprint_bytes + secondary_memory > memory * 1.5:
         raise ConfigError(
             "combined tenant memory footprint is more than 1.5x machine memory; "

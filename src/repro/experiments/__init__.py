@@ -1,19 +1,28 @@
 """Experiment harnesses reproducing the paper's evaluation."""
 
-from . import figures, scenarios
+from . import figures, matrix, scenarios
 from .comparison import ComparisonResult, ComparisonRow, IsolationComparison
-from .reporting import format_figure, format_table, print_figure
+from .matrix import MatrixResult, Scenario, ScenarioVariant, run_matrix, run_scenario
+from .reporting import format_figure, format_table, print_figure, rows_to_csv, rows_to_json
 from .single_machine import SingleMachineExperiment, SingleMachineResult
 
 __all__ = [
     "figures",
+    "matrix",
     "scenarios",
     "ComparisonResult",
     "ComparisonRow",
     "IsolationComparison",
+    "MatrixResult",
+    "Scenario",
+    "ScenarioVariant",
+    "run_matrix",
+    "run_scenario",
     "format_figure",
     "format_table",
     "print_figure",
+    "rows_to_csv",
+    "rows_to_json",
     "SingleMachineExperiment",
     "SingleMachineResult",
 ]

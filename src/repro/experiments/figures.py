@@ -38,6 +38,7 @@ from .single_machine import SingleMachineResult
 
 __all__ = [
     "FigureResult",
+    "figure_from_scenario",
     "fig4_no_isolation",
     "fig5_blind_isolation",
     "fig6_static_cores",
@@ -135,6 +136,32 @@ def _level_sweep(
             column, value = extra_column(level)
             row[column] = value
             figure.rows.append(row)
+
+
+def figure_from_scenario(
+    name: str,
+    grid: Optional[Dict[str, Sequence]] = None,
+    runner=None,
+    **common,
+) -> FigureResult:
+    """Render any registered matrix scenario as a figure table.
+
+    Bridges the declarative catalog (:mod:`repro.experiments.matrix`) into the
+    same :class:`FigureResult` shape the per-paper-figure harnesses return, so
+    benchmarks and examples can print matrix scenarios with
+    :func:`repro.experiments.reporting.print_figure`.
+    """
+    from .matrix import run_scenario
+
+    result = run_scenario(name, runner=runner, grid=grid, **common)
+    figure = FigureResult(
+        figure_id=f"matrix/{name}",
+        title=result.scenario.description,
+        rows=result.rows(),
+    )
+    if result.scenario.tags:
+        figure.notes.append(f"tags: {', '.join(result.scenario.tags)}")
+    return figure
 
 
 # --------------------------------------------------------------------- Fig 4

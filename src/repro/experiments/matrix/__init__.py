@@ -1,0 +1,432 @@
+"""Declarative scenario matrix over the parallel experiment runtime.
+
+PR 1 made single-machine experiments cheap to run in bulk (process fan-out,
+content-addressed caching); this module makes them cheap to *describe*.  A
+:class:`Scenario` is data — a builder returning an :class:`ExperimentSpec`,
+plus named axes whose value grids are expanded into labelled spec batches —
+and every scenario lives in a process-wide registry populated by the
+``@scenario`` decorators in :mod:`repro.experiments.scenarios`.
+
+The registry feeds three consumers:
+
+* :func:`run_scenario` / :func:`run_matrix` — expand a scenario (optionally
+  with overridden axis grids) and execute the batch on an
+  :class:`~repro.runtime.runner.ExperimentRunner`, returning one summary row
+  per variant in deterministic order.
+* the ``python -m repro.experiments.matrix`` CLI — ``--list`` the catalog,
+  ``--run`` any scenario, override grids with ``--grid axis=v1,v2``, and emit
+  ``--out json|csv``.
+* the golden-metrics regression suite — seeded runs of the core paper
+  scenarios compared against checked-in JSON.
+
+Because execution goes through the shared runner, identical variants are
+simulated once, repeat invocations are served from the cache, and row order
+is independent of the worker count.
+"""
+
+from __future__ import annotations
+
+import argparse
+import inspect
+import itertools
+import sys
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ...config.schema import ExperimentSpec
+from ...config.validation import validate_experiment
+from ...errors import ConfigError
+from ..reporting import format_table, rows_to_csv, rows_to_json
+from ..single_machine import SingleMachineResult
+
+__all__ = [
+    "Scenario",
+    "ScenarioVariant",
+    "MatrixResult",
+    "scenario",
+    "register",
+    "get_scenario",
+    "scenario_names",
+    "iter_scenarios",
+    "expand",
+    "run_scenario",
+    "run_matrix",
+    "load_catalog",
+    "main",
+]
+
+#: Builder parameters every scenario accepts (forwarded only when the builder
+#: signature declares them, so e.g. a diurnal scenario may own its QPS).
+COMMON_PARAMS = ("qps", "duration", "warmup", "seed")
+
+_REGISTRY: Dict[str, "Scenario"] = {}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One registered scenario: a spec builder plus its sweep axes.
+
+    ``axes`` maps builder keyword arguments to their default value grids; the
+    cartesian product of the grids is the scenario's variant matrix.  A
+    scenario without axes has exactly one variant.  ``tier`` records which
+    pytest tier the scenario's regression test lives in (``fast`` scenarios
+    are cheap enough for the inner loop; ``slow`` ones run nightly).
+    """
+
+    name: str
+    description: str
+    builder: Callable[..., ExperimentSpec]
+    axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
+    tags: Tuple[str, ...] = ()
+    tier: str = "fast"
+
+    def __post_init__(self) -> None:
+        if self.tier not in ("fast", "slow"):
+            raise ConfigError(f"scenario tier must be 'fast' or 'slow', got {self.tier!r}")
+        parameters = inspect.signature(self.builder).parameters
+        for axis, values in self.axes:
+            if axis not in parameters:
+                raise ConfigError(
+                    f"scenario {self.name!r} declares axis {axis!r} but its builder "
+                    f"does not accept that parameter"
+                )
+            if not values:
+                raise ConfigError(f"scenario {self.name!r} axis {axis!r} has no values")
+
+    @property
+    def axis_names(self) -> Tuple[str, ...]:
+        return tuple(axis for axis, _ in self.axes)
+
+    @property
+    def multi_secondary(self) -> bool:
+        """Whether any variant co-locates more than one secondary job."""
+        return "multi-secondary" in self.tags
+
+    def variant_count(self, grid: Optional[Mapping[str, Sequence[Any]]] = None) -> int:
+        merged = self._merged_axes(grid)
+        count = 1
+        for _, values in merged:
+            count *= len(values)
+        return count
+
+    def _merged_axes(
+        self, grid: Optional[Mapping[str, Sequence[Any]]]
+    ) -> Tuple[Tuple[str, Tuple[Any, ...]], ...]:
+        if not grid:
+            return self.axes
+        known = dict(self.axes)
+        for axis in grid:
+            if axis not in known:
+                raise ConfigError(
+                    f"scenario {self.name!r} has no axis {axis!r} "
+                    f"(axes: {list(known) or 'none'})"
+                )
+        return tuple(
+            (axis, tuple(grid[axis]) if axis in grid else values)
+            for axis, values in self.axes
+        )
+
+    def expand(
+        self,
+        grid: Optional[Mapping[str, Sequence[Any]]] = None,
+        **common: Any,
+    ) -> List["ScenarioVariant"]:
+        """Expand the (optionally overridden) axis grids into labelled specs.
+
+        Keys outside :data:`COMMON_PARAMS` are errors.  A common value is
+        forwarded to the builder only when its signature accepts it and it is
+        not one of the scenario's axes — scenarios that own a knob (diurnal
+        owns its QPS, sweeps own their swept parameter) deliberately ignore
+        the common override; use ``grid`` to reshape an axis instead.
+        """
+        parameters = inspect.signature(self.builder).parameters
+        for key in common:
+            if key not in COMMON_PARAMS:
+                raise ConfigError(f"unknown common parameter {key!r}")
+        merged = self._merged_axes(grid)
+        # A parameter that is also an axis is owned by the grid; override its
+        # values with --grid rather than with a common parameter.
+        axis_names = {axis for axis, _ in merged}
+        forwarded = {
+            key: value
+            for key, value in common.items()
+            if value is not None and key in parameters and key not in axis_names
+        }
+        variants: List[ScenarioVariant] = []
+        for combo in itertools.product(*(values for _, values in merged)):
+            axis_values = dict(zip((axis for axis, _ in merged), combo))
+            spec = self.builder(**axis_values, **forwarded)
+            validate_experiment(spec)
+            variants.append(
+                ScenarioVariant(
+                    scenario=self.name,
+                    label=_variant_label(self.name, axis_values),
+                    axis_values=tuple(axis_values.items()),
+                    spec=spec,
+                )
+            )
+        return variants
+
+
+@dataclass(frozen=True)
+class ScenarioVariant:
+    """One point of a scenario's grid: a label and its fully-built spec."""
+
+    scenario: str
+    label: str
+    axis_values: Tuple[Tuple[str, Any], ...]
+    spec: ExperimentSpec
+
+
+@dataclass
+class MatrixResult:
+    """Executed variants of one scenario, in grid order."""
+
+    scenario: Scenario
+    variants: List[ScenarioVariant]
+    results: List[SingleMachineResult]
+    cache_hits: int = 0
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """One flat row per variant: axes, then the summary metrics.
+
+        Rows are a pure function of the variant specs (cache-hit status is
+        deliberately excluded), so repeat runs and runs at different worker
+        counts emit byte-identical tables.
+        """
+        rows: List[Dict[str, Any]] = []
+        for variant, result in zip(self.variants, self.results):
+            row: Dict[str, Any] = {"scenario": variant.scenario, "label": variant.label}
+            row.update(variant.axis_values)
+            row.update(result.summary())
+            for name in sorted(result.secondary_breakdown):
+                row[f"progress:{name}"] = result.secondary_breakdown[name]["progress"]
+            rows.append(row)
+        return rows
+
+
+def _variant_label(name: str, axis_values: Mapping[str, Any]) -> str:
+    if not axis_values:
+        return name
+    rendered = ",".join(f"{axis}={_render(value)}" for axis, value in axis_values.items())
+    return f"{name}[{rendered}]"
+
+
+def _render(value: Any) -> str:
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+# ------------------------------------------------------------------- registry
+def register(scenario_obj: Scenario) -> Scenario:
+    """Add a scenario to the process-wide registry (name collisions are errors)."""
+    if scenario_obj.name in _REGISTRY:
+        raise ConfigError(f"scenario {scenario_obj.name!r} is already registered")
+    _REGISTRY[scenario_obj.name] = scenario_obj
+    return scenario_obj
+
+
+def scenario(
+    name: str,
+    description: str,
+    axes: Optional[Mapping[str, Sequence[Any]]] = None,
+    tags: Iterable[str] = (),
+    tier: str = "fast",
+) -> Callable[[Callable[..., ExperimentSpec]], Callable[..., ExperimentSpec]]:
+    """Decorator registering a builder function as a named scenario.
+
+    The builder itself is returned unchanged, so decorated functions remain
+    ordinary spec builders for the figure harnesses.
+    """
+
+    def decorate(builder: Callable[..., ExperimentSpec]) -> Callable[..., ExperimentSpec]:
+        register(
+            Scenario(
+                name=name,
+                description=description,
+                builder=builder,
+                axes=tuple((axis, tuple(values)) for axis, values in (axes or {}).items()),
+                tags=tuple(tags),
+                tier=tier,
+            )
+        )
+        return builder
+
+    return decorate
+
+
+def load_catalog() -> None:
+    """Populate the registry with the built-in catalog (idempotent)."""
+    from .. import scenarios  # noqa: F401 — importing runs the decorators
+
+
+def get_scenario(name: str) -> Scenario:
+    load_catalog()
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigError(
+            f"unknown scenario {name!r}; run with --list to see the catalog"
+        ) from None
+
+
+def scenario_names() -> List[str]:
+    load_catalog()
+    return sorted(_REGISTRY)
+
+
+def iter_scenarios() -> List[Scenario]:
+    load_catalog()
+    return [_REGISTRY[name] for name in sorted(_REGISTRY)]
+
+
+def expand(
+    name: str,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    **common: Any,
+) -> List[ScenarioVariant]:
+    """Expand a registered scenario into labelled specs without running it."""
+    return get_scenario(name).expand(grid=grid, **common)
+
+
+# ------------------------------------------------------------------ execution
+def run_scenario(
+    name: str,
+    runner=None,
+    grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    **common: Any,
+) -> MatrixResult:
+    """Expand and execute one scenario as a single runner batch."""
+    from ...runtime.runner import ExperimentTask, default_runner
+
+    scenario_obj = get_scenario(name)
+    variants = scenario_obj.expand(grid=grid, **common)
+    active = runner if runner is not None else default_runner()
+    outcomes = active.run_batch(
+        [ExperimentTask(variant.spec, scenario=variant.label) for variant in variants]
+    )
+    return MatrixResult(
+        scenario=scenario_obj,
+        variants=variants,
+        results=[outcome.result for outcome in outcomes],
+        cache_hits=sum(outcome.from_cache for outcome in outcomes),
+    )
+
+
+def run_matrix(
+    names: Sequence[str],
+    runner=None,
+    **common: Any,
+) -> List[MatrixResult]:
+    """Run several scenarios, sharing the runner's cache across them."""
+    from ...runtime.runner import default_runner
+
+    active = runner if runner is not None else default_runner()
+    return [run_scenario(name, runner=active, **common) for name in names]
+
+
+# ------------------------------------------------------------------------ CLI
+def _parse_grid_value(text: str) -> Any:
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _parse_grid(entries: Sequence[str]) -> Dict[str, Tuple[Any, ...]]:
+    grid: Dict[str, Tuple[Any, ...]] = {}
+    for entry in entries:
+        axis, sep, values = entry.partition("=")
+        if not sep or not axis or not values:
+            raise ConfigError(f"--grid expects axis=v1,v2,..., got {entry!r}")
+        grid[axis] = tuple(_parse_grid_value(value) for value in values.split(","))
+    return grid
+
+
+def _catalog_table() -> str:
+    rows = []
+    for item in iter_scenarios():
+        axes = "; ".join(
+            f"{axis}={','.join(_render(v) for v in values)}" for axis, values in item.axes
+        )
+        rows.append(
+            {
+                "scenario": item.name,
+                "tier": item.tier,
+                "variants": item.variant_count(),
+                "axes": axes or "-",
+                "tags": ",".join(item.tags) or "-",
+                "description": item.description,
+            }
+        )
+    return format_table(
+        rows, columns=["scenario", "tier", "variants", "axes", "tags", "description"]
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.matrix",
+        description="List and run the registered experiment scenario catalog.",
+    )
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument("--list", action="store_true", help="print the scenario catalog")
+    action.add_argument("--run", metavar="NAME", help="expand and run one scenario")
+    parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="AXIS=V1,V2",
+        help="override one axis grid (repeatable)",
+    )
+    parser.add_argument("--workers", type=int, default=None, help="worker process count")
+    parser.add_argument(
+        "--out", choices=("table", "json", "csv"), default="table", help="output format"
+    )
+    parser.add_argument("--qps", type=float, default=None, help="override workload QPS")
+    parser.add_argument("--duration", type=float, default=None, help="override duration (s)")
+    parser.add_argument("--warmup", type=float, default=None, help="override warmup (s)")
+    parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(_catalog_table())
+        count = len(scenario_names())
+        composites = sum(item.multi_secondary for item in iter_scenarios())
+        print(f"\n{count} scenarios ({composites} multi-secondary composites)")
+        return 0
+
+    from ...runtime.runner import ExperimentRunner
+
+    # 0 forces serial (the runner clamps to >= 1), matching REPRO_RUNNER_WORKERS.
+    runner = (
+        ExperimentRunner(max_workers=args.workers) if args.workers is not None else None
+    )
+    try:
+        result = run_scenario(
+            args.run,
+            runner=runner,
+            grid=_parse_grid(args.grid),
+            qps=args.qps,
+            duration=args.duration,
+            warmup=args.warmup,
+            seed=args.seed,
+        )
+    except ConfigError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    rows = result.rows()
+    if args.out == "json":
+        print(rows_to_json(rows))
+    elif args.out == "csv":
+        print(rows_to_csv(rows), end="")
+    else:
+        print(f"== {result.scenario.name}: {result.scenario.description} ==")
+        print(format_table(rows))
+        print(f"\n{len(rows)} variants, {result.cache_hits} served from cache")
+    return 0
+
+

@@ -7,9 +7,12 @@ identical, diff-friendly output.
 
 from __future__ import annotations
 
+import csv
+import io
+import json
 from typing import Dict, Iterable, List, Mapping, Sequence, Union
 
-__all__ = ["format_table", "format_figure", "print_figure"]
+__all__ = ["format_table", "format_figure", "print_figure", "rows_to_csv", "rows_to_json"]
 
 Number = Union[int, float]
 Row = Mapping[str, Union[str, Number]]
@@ -26,12 +29,17 @@ def _format_value(value: Union[str, Number]) -> str:
 
 
 def format_table(rows: Sequence[Row], columns: Sequence[str] = None) -> str:
-    """Render rows as an aligned fixed-width text table."""
+    """Render rows as an aligned fixed-width text table.
+
+    When ``columns`` is omitted, the union of all rows' keys is used (in
+    first-appearance order), so ragged rows — e.g. per-job progress columns
+    that only exist for the larger variants of a sweep — are never dropped.
+    """
     rows = list(rows)
     if not rows:
         return "(no rows)"
     if columns is None:
-        columns = list(rows[0].keys())
+        columns = _all_columns(rows)
     rendered: List[List[str]] = [[str(c) for c in columns]]
     for row in rows:
         rendered.append([_format_value(row.get(column, "")) for column in columns])
@@ -64,3 +72,32 @@ def print_figure(title: str, rows: Sequence[Row], columns: Sequence[str] = None,
 def rows_from_dicts(dicts: Sequence[Dict[str, Number]], label_key: str = "label") -> List[Row]:
     """Helper for turning keyed summaries into printable rows."""
     return [dict(d) for d in dicts]
+
+
+def _all_columns(rows: Sequence[Row]) -> List[str]:
+    """Union of row keys, in first-appearance order (rows may be ragged)."""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def rows_to_csv(rows: Sequence[Row], columns: Sequence[str] = None) -> str:
+    """Render rows as RFC-4180 CSV with a header line."""
+    rows = list(rows)
+    if columns is None:
+        columns = _all_columns(rows)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore",
+                            lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({column: row.get(column, "") for column in columns})
+    return buffer.getvalue()
+
+
+def rows_to_json(rows: Sequence[Row], indent: int = 2) -> str:
+    """Render rows as a deterministic (sorted-key) JSON array."""
+    return json.dumps([dict(row) for row in rows], indent=indent, sort_keys=True)

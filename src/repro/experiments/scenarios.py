@@ -1,10 +1,17 @@
-"""Scenario builders: one function per configuration evaluated in the paper.
+"""Scenario builders and the registered scenario catalog.
 
-Every scenario returns a fully-populated :class:`ExperimentSpec`; the figure
+Every builder returns a fully-populated :class:`ExperimentSpec`; the figure
 harnesses (:mod:`repro.experiments.figures`) and the benchmarks compose these
 into the paper's tables.  All scenarios share the same machine, primary and
 workload parameters so results are directly comparable — only the secondary
-and the isolation policy change.
+mix and the isolation policy change.
+
+Each builder is additionally registered in the scenario matrix
+(:mod:`repro.experiments.matrix`) via the ``@matrix.scenario`` decorator — a
+scenario is the builder plus default sweep grids over its parameters — and
+derived views (wider sweeps, 2-D grids over the same builders) are registered
+explicitly at the bottom of the module.  ``python -m repro.experiments.matrix
+--list`` prints the resulting catalog.
 """
 
 from __future__ import annotations
@@ -19,25 +26,43 @@ from ..config.schema import (
     DiskBullySpec,
     ExperimentSpec,
     HdfsSpec,
+    IndexServeSpec,
     IoThrottleSpec,
+    MlTrainingSpec,
     PerfIsoSpec,
+    SchedulerSpec,
+    SecondaryJobSpec,
     StaticCoreSpec,
     WorkloadSpec,
 )
 from ..units import MB
+from . import matrix
 
 __all__ = [
     "AVERAGE_LOAD_QPS",
     "PEAK_LOAD_QPS",
     "MID_BULLY_THREADS",
     "HIGH_BULLY_THREADS",
+    "DIURNAL_PHASES",
     "base_spec",
     "standalone",
+    "standalone_peak",
     "no_isolation",
     "blind_isolation",
     "static_cores",
     "cpu_cycles",
     "disk_bound_with_throttling",
+    "policy_showdown",
+    "burst_storm",
+    "diurnal",
+    "adaptive_parallelism_off",
+    "global_queue_ablation",
+    "hdfs_colocation",
+    "ml_training_colocation",
+    "mixed_bully",
+    "full_house",
+    "dual_cpu_bully",
+    "bully_storm",
 ]
 
 #: The paper's approximation of average and peak per-machine load (Section 5.3).
@@ -46,6 +71,15 @@ PEAK_LOAD_QPS = 4000.0
 #: "mid" = 24 bully threads, "high" = 48 bully threads (Section 6.1.2).
 MID_BULLY_THREADS = 24
 HIGH_BULLY_THREADS = 48
+
+#: Per-machine QPS of the four diurnal phases used by the ``diurnal`` scenario
+#: (the trough-to-peak swing of the paper's Figure 10 live traffic).
+DIURNAL_PHASES = {
+    "night": 600.0,
+    "morning": 1800.0,
+    "midday": 2800.0,
+    "evening": PEAK_LOAD_QPS,
+}
 
 
 def base_spec(
@@ -69,6 +103,21 @@ def _with_workload(spec: ExperimentSpec, qps: float, duration: float, warmup: fl
     )
 
 
+def _blind_perfiso(buffer_cores: int = 8, io_throttle: Optional[IoThrottleSpec] = None) -> PerfIsoSpec:
+    kwargs = {"io_throttle": io_throttle} if io_throttle is not None else {}
+    return PerfIsoSpec(
+        cpu_policy="blind",
+        blind=BlindIsolationSpec(buffer_cores=buffer_cores),
+        **kwargs,
+    )
+
+
+# ------------------------------------------------------------------ paper core
+@matrix.scenario(
+    "standalone",
+    "IndexServe alone at average load (the Section 6.1.1 baseline)",
+    tags=("paper", "baseline"),
+)
 def standalone(
     qps: float = AVERAGE_LOAD_QPS,
     duration: float = 10.0,
@@ -79,6 +128,27 @@ def standalone(
     return base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
 
 
+@matrix.scenario(
+    "standalone-peak",
+    "IndexServe alone at provisioned peak load",
+    tags=("paper", "baseline"),
+)
+def standalone_peak(
+    qps: float = PEAK_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """IndexServe running alone at the provisioned peak (4,000 QPS)."""
+    return base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+
+
+@matrix.scenario(
+    "no-isolation",
+    "Unrestricted CPU bully colocated at mid/high intensity (Section 6.1.2)",
+    axes={"bully_threads": (MID_BULLY_THREADS, HIGH_BULLY_THREADS)},
+    tags=("paper",),
+)
 def no_isolation(
     bully_threads: int = HIGH_BULLY_THREADS,
     qps: float = AVERAGE_LOAD_QPS,
@@ -91,6 +161,12 @@ def no_isolation(
     return dataclasses.replace(spec, cpu_bully=CpuBullySpec(threads=bully_threads))
 
 
+@matrix.scenario(
+    "blind-isolation",
+    "CPU blind isolation with 4/8 buffer cores under a high bully (Section 6.1.3)",
+    axes={"buffer_cores": (4, 8)},
+    tags=("paper",),
+)
 def blind_isolation(
     buffer_cores: int = 8,
     bully_threads: int = HIGH_BULLY_THREADS,
@@ -101,15 +177,18 @@ def blind_isolation(
 ) -> ExperimentSpec:
     """CPU blind isolation with the given buffer (Section 6.1.3)."""
     spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
-    perfiso = PerfIsoSpec(
-        cpu_policy="blind",
-        blind=BlindIsolationSpec(buffer_cores=buffer_cores),
-    )
+    perfiso = _blind_perfiso(buffer_cores)
     return dataclasses.replace(
         spec, cpu_bully=CpuBullySpec(threads=bully_threads), perfiso=perfiso
     )
 
 
+@matrix.scenario(
+    "static-cores",
+    "Static core restriction of the secondary (Section 6.1.4)",
+    axes={"secondary_cores": (24, 16, 8)},
+    tags=("paper",),
+)
 def static_cores(
     secondary_cores: int = 8,
     bully_threads: int = HIGH_BULLY_THREADS,
@@ -129,6 +208,12 @@ def static_cores(
     )
 
 
+@matrix.scenario(
+    "cpu-cycles",
+    "Duty-cycle (CPU rate) restriction of the secondary (Section 6.1.4)",
+    axes={"cpu_fraction": (0.45, 0.25, 0.05)},
+    tags=("paper",),
+)
 def cpu_cycles(
     cpu_fraction: float = 0.05,
     bully_threads: int = HIGH_BULLY_THREADS,
@@ -148,6 +233,11 @@ def cpu_cycles(
     )
 
 
+@matrix.scenario(
+    "disk-bound-throttled",
+    "Disk bully + HDFS under blind isolation and DWRR I/O throttling (Figure 9c)",
+    tags=("paper", "multi-secondary", "io"),
+)
 def disk_bound_with_throttling(
     qps: float = PEAK_LOAD_QPS,
     duration: float = 10.0,
@@ -164,9 +254,8 @@ def disk_bound_with_throttling(
     on the shared HDD volume.
     """
     spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
-    perfiso = PerfIsoSpec(
-        cpu_policy="blind",
-        blind=BlindIsolationSpec(buffer_cores=buffer_cores),
+    perfiso = _blind_perfiso(
+        buffer_cores,
         io_throttle=IoThrottleSpec(
             secondary_bandwidth_limit=bandwidth_limit if bandwidth_limit else 100 * MB,
             secondary_iops_limit=iops_limit,
@@ -178,3 +267,329 @@ def disk_bound_with_throttling(
         hdfs=HdfsSpec(),
         perfiso=perfiso,
     )
+
+
+# ------------------------------------------------------------------- ablations
+@matrix.scenario(
+    "policy-showdown",
+    "Every CPU policy against the same high bully at average load (Figure 8)",
+    axes={"policy": ("none", "blind", "static_cores", "cpu_cycles")},
+    tags=("paper", "comparison"),
+)
+def policy_showdown(
+    policy: str = "blind",
+    bully_threads: int = HIGH_BULLY_THREADS,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """One spec per isolation policy, all else equal (the Figure 8 matchup)."""
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    perfiso = None if policy == "none" else PerfIsoSpec(cpu_policy=policy)
+    return dataclasses.replace(
+        spec, cpu_bully=CpuBullySpec(threads=bully_threads), perfiso=perfiso
+    )
+
+
+@matrix.scenario(
+    "burst-storm",
+    "Load surges above provisioned peak under blind isolation",
+    axes={"surge_qps": (4000.0, 5000.0, 6000.0)},
+    tags=("stress",),
+    tier="slow",
+)
+def burst_storm(
+    surge_qps: float = 5000.0,
+    buffer_cores: int = 8,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Poisson burst storms past the provisioned peak, bully still attached."""
+    spec = base_spec(qps=surge_qps, duration=duration, warmup=warmup, seed=seed)
+    return dataclasses.replace(
+        spec,
+        cpu_bully=CpuBullySpec(threads=HIGH_BULLY_THREADS),
+        perfiso=_blind_perfiso(buffer_cores),
+    )
+
+
+@matrix.scenario(
+    "diurnal",
+    "The four phases of a diurnal load cycle under blind isolation",
+    axes={"phase": tuple(DIURNAL_PHASES)},
+    tags=("production",),
+)
+def diurnal(
+    phase: str = "midday",
+    buffer_cores: int = 8,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """One diurnal phase: trough/ramp/midday/peak QPS with a colocated bully."""
+    spec = base_spec(
+        qps=DIURNAL_PHASES[phase], duration=duration, warmup=warmup, seed=seed
+    )
+    return dataclasses.replace(
+        spec,
+        cpu_bully=CpuBullySpec(threads=HIGH_BULLY_THREADS),
+        perfiso=_blind_perfiso(buffer_cores),
+    )
+
+
+@matrix.scenario(
+    "adaptive-parallelism-off",
+    "No-isolation colocation with IndexServe's adaptive parallelism disabled",
+    tags=("ablation",),
+)
+def adaptive_parallelism_off(
+    bully_threads: int = HIGH_BULLY_THREADS,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Ablation: the primary cannot compensate by splitting work wider."""
+    spec = no_isolation(
+        bully_threads=bully_threads, qps=qps, duration=duration, warmup=warmup, seed=seed
+    )
+    return dataclasses.replace(
+        spec, indexserve=IndexServeSpec(adaptive_parallelism=False)
+    )
+
+
+@matrix.scenario(
+    "global-queue",
+    "No-isolation colocation on an idealised single ready queue",
+    tags=("ablation",),
+)
+def global_queue_ablation(
+    bully_threads: int = HIGH_BULLY_THREADS,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Ablation: global ready queue instead of per-core queues."""
+    spec = no_isolation(
+        bully_threads=bully_threads, qps=qps, duration=duration, warmup=warmup, seed=seed
+    )
+    return dataclasses.replace(spec, scheduler=SchedulerSpec(placement="global"))
+
+
+# ----------------------------------------------------------- other secondaries
+@matrix.scenario(
+    "hdfs-colo",
+    "HDFS DataNode + client colocated under blind isolation (Section 5.3)",
+    tags=("io",),
+)
+def hdfs_colocation(
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """The cluster machines' always-on HDFS footprint, isolated."""
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    return dataclasses.replace(spec, hdfs=HdfsSpec(), perfiso=_blind_perfiso())
+
+
+@matrix.scenario(
+    "ml-training-colo",
+    "ML training batch job colocated under blind isolation (Figure 10)",
+    tags=("production",),
+)
+def ml_training_colocation(
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """The production experiment's training job on one machine."""
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    return dataclasses.replace(
+        spec, ml_training=MlTrainingSpec(), perfiso=_blind_perfiso()
+    )
+
+
+# ----------------------------------------------------- multi-secondary mixes
+@matrix.scenario(
+    "mixed-bully",
+    "CPU bully + disk bully at once under blind isolation and I/O throttling",
+    axes={"bully_threads": (MID_BULLY_THREADS, HIGH_BULLY_THREADS)},
+    tags=("multi-secondary",),
+)
+def mixed_bully(
+    bully_threads: int = HIGH_BULLY_THREADS,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Both micro-benchmark bullies sharing the machine with the primary."""
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    return dataclasses.replace(
+        spec,
+        cpu_bully=CpuBullySpec(threads=bully_threads),
+        disk_bully=DiskBullySpec(),
+        perfiso=_blind_perfiso(io_throttle=IoThrottleSpec()),
+    )
+
+
+@matrix.scenario(
+    "full-house",
+    "CPU bully + disk bully + HDFS + ML training colocated at once",
+    tags=("multi-secondary", "stress"),
+    tier="slow",
+)
+def full_house(
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Every batch tenant the repo models, on one machine, under PerfIso.
+
+    This is the production-cluster story in miniature: blind isolation does
+    not care *what* the secondaries are, only how many cores stay idle.
+    """
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    return dataclasses.replace(
+        spec,
+        cpu_bully=CpuBullySpec(threads=MID_BULLY_THREADS),
+        disk_bully=DiskBullySpec(),
+        hdfs=HdfsSpec(),
+        ml_training=MlTrainingSpec(threads=24),
+        perfiso=_blind_perfiso(io_throttle=IoThrottleSpec()),
+    )
+
+
+@matrix.scenario(
+    "dual-cpu-bully",
+    "A large and a small CPU bully as independent jobs under blind isolation",
+    axes={"small_threads": (8, 24)},
+    tags=("multi-secondary",),
+)
+def dual_cpu_bully(
+    small_threads: int = 8,
+    bully_threads: int = HIGH_BULLY_THREADS,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Two separately-sized CPU bullies via ``extra_secondaries``."""
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    return dataclasses.replace(
+        spec,
+        cpu_bully=CpuBullySpec(threads=bully_threads),
+        extra_secondaries=(
+            SecondaryJobSpec(
+                "cpu-bully-small", cpu_bully=CpuBullySpec(threads=small_threads)
+            ),
+        ),
+        perfiso=_blind_perfiso(),
+    )
+
+
+@matrix.scenario(
+    "bully-storm",
+    "N independent small CPU bullies arriving as separate jobs",
+    axes={"num_bullies": (2, 4, 8)},
+    tags=("multi-secondary", "stress"),
+    tier="slow",
+)
+def bully_storm(
+    num_bullies: int = 4,
+    threads_each: int = 6,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Many small batch jobs instead of one big one — same aggregate demand."""
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    return dataclasses.replace(
+        spec,
+        extra_secondaries=tuple(
+            SecondaryJobSpec(
+                f"storm-bully-{index}", cpu_bully=CpuBullySpec(threads=threads_each)
+            )
+            for index in range(num_bullies)
+        ),
+        perfiso=_blind_perfiso(),
+    )
+
+
+# ------------------------------------------------------------- derived views
+# Wider sweeps and 2-D grids over the builders above.  Registered explicitly
+# (not via decorators) because they reuse a builder that already anchors a
+# scenario.
+matrix.register(
+    matrix.Scenario(
+        name="bully-sweep",
+        description="Unrestricted bully intensity swept from 8 to 48 threads",
+        builder=no_isolation,
+        axes=(("bully_threads", (8, 16, 24, 32, 40, 48)),),
+        tags=("sweep",),
+        tier="slow",
+    )
+)
+matrix.register(
+    matrix.Scenario(
+        name="blind-buffer-sweep",
+        description="Blind isolation buffer swept from 2 to 16 cores",
+        builder=blind_isolation,
+        axes=(("buffer_cores", (2, 4, 6, 8, 12, 16)),),
+        tags=("sweep",),
+        tier="slow",
+    )
+)
+matrix.register(
+    matrix.Scenario(
+        name="load-sweep",
+        description="Standalone latency-vs-load curve from trough to past peak",
+        builder=standalone,
+        axes=(("qps", (500.0, 1000.0, 2000.0, 3000.0, 4000.0)),),
+        tags=("sweep", "baseline"),
+        tier="slow",
+    )
+)
+matrix.register(
+    matrix.Scenario(
+        name="isolated-load-sweep",
+        description="Blind isolation (8 buffers, high bully) across load levels",
+        builder=blind_isolation,
+        axes=(("qps", (1000.0, 2000.0, 3000.0, 4000.0)),),
+        tags=("sweep",),
+        tier="slow",
+    )
+)
+matrix.register(
+    matrix.Scenario(
+        name="colocation-grid",
+        description="2-D grid: load level x bully intensity, no isolation",
+        builder=no_isolation,
+        axes=(
+            ("qps", (AVERAGE_LOAD_QPS, PEAK_LOAD_QPS)),
+            ("bully_threads", (MID_BULLY_THREADS, HIGH_BULLY_THREADS)),
+        ),
+        tags=("sweep", "grid"),
+        tier="slow",
+    )
+)
+matrix.register(
+    matrix.Scenario(
+        name="buffer-load-grid",
+        description="2-D grid: buffer size x load level under blind isolation",
+        builder=blind_isolation,
+        axes=(
+            ("buffer_cores", (4, 8)),
+            ("qps", (AVERAGE_LOAD_QPS, PEAK_LOAD_QPS)),
+        ),
+        tags=("sweep", "grid"),
+        tier="slow",
+    )
+)

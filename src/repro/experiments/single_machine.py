@@ -52,6 +52,8 @@ class SingleMachineResult:
     controller_polls: int = 0
     controller_updates: int = 0
     secondary_core_history: List[int] = field(default_factory=list)
+    #: Per-secondary ``{job name: {"progress": ..., "cpu_seconds": ...}}``.
+    secondary_breakdown: Dict[str, Dict[str, float]] = field(default_factory=dict)
     extra: Dict[str, float] = field(default_factory=dict)
 
     @property
@@ -155,20 +157,29 @@ class SingleMachineExperiment:
 
     # ------------------------------------------------------------- internals
     def _build_secondaries(self, kernel: Kernel, streams: RandomStreams) -> List[SecondaryTenant]:
-        spec = self._spec
+        # Random streams are keyed by job name, so the singleton jobs (whose
+        # names match the historical stream names) simulate bit-identically
+        # and additional jobs cannot perturb anyone else's draws.
         secondaries: List[SecondaryTenant] = []
-        if spec.cpu_bully is not None:
-            secondaries.append(CpuBullyTenant(kernel, spec.cpu_bully))
-        if spec.disk_bully is not None:
-            secondaries.append(
-                DiskBullyTenant(kernel, spec.disk_bully, rng=streams.stream("disk-bully"))
-            )
-        if spec.hdfs is not None:
-            secondaries.append(HdfsTenant(kernel, spec.hdfs, rng=streams.stream("hdfs")))
-        if spec.ml_training is not None:
-            secondaries.append(
-                MlTrainingTenant(kernel, spec.ml_training, rng=streams.stream("ml-training"))
-            )
+        for job in self._spec.secondary_jobs():
+            if job.kind == "cpu_bully":
+                secondaries.append(CpuBullyTenant(kernel, job.tenant_spec, name=job.name))
+            elif job.kind == "disk_bully":
+                secondaries.append(
+                    DiskBullyTenant(
+                        kernel, job.tenant_spec, rng=streams.stream(job.name), name=job.name
+                    )
+                )
+            elif job.kind == "hdfs":
+                secondaries.append(
+                    HdfsTenant(kernel, job.tenant_spec, rng=streams.stream(job.name), name=job.name)
+                )
+            else:
+                secondaries.append(
+                    MlTrainingTenant(
+                        kernel, job.tenant_spec, rng=streams.stream(job.name), name=job.name
+                    )
+                )
         return secondaries
 
     def _collect(
@@ -180,12 +191,15 @@ class SingleMachineExperiment:
         if self.kernel is None or self.primary is None:
             raise ExperimentError("experiment has not been run")
         spec = self._spec
-        secondary_cpu = sum(
-            process.cpu_time
+        breakdown = {
+            secondary.name: {
+                "progress": secondary.progress(),
+                "cpu_seconds": sum(p.cpu_time for p in secondary.processes()),
+            }
             for secondary in self.secondaries
-            for process in secondary.processes()
-        )
-        progress = sum(secondary.progress() for secondary in self.secondaries)
+        }
+        secondary_cpu = sum(entry["cpu_seconds"] for entry in breakdown.values())
+        progress = sum(entry["progress"] for entry in breakdown.values())
         result = SingleMachineResult(
             scenario=self._scenario,
             qps=spec.workload.qps,
@@ -198,6 +212,7 @@ class SingleMachineExperiment:
             queries_dropped=self.primary.dropped,
             secondary_progress=progress,
             secondary_cpu_seconds=secondary_cpu,
+            secondary_breakdown=breakdown,
         )
         if self.controller is not None:
             result.controller_polls = self.controller.polls

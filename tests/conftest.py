@@ -26,6 +26,21 @@ from repro.simulation.engine import SimulationEngine  # noqa: E402
 from repro.simulation.randomness import RandomStreams  # noqa: E402
 
 
+def pytest_addoption(parser) -> None:
+    parser.addoption(
+        "--update-goldens",
+        action="store_true",
+        default=False,
+        help="rewrite tests/experiments/goldens/*.json from the current simulator "
+        "output instead of comparing against it",
+    )
+
+
+@pytest.fixture
+def update_goldens(request) -> bool:
+    return request.config.getoption("--update-goldens")
+
+
 @pytest.fixture
 def engine() -> SimulationEngine:
     return SimulationEngine()

@@ -90,6 +90,66 @@ class TestSingleMachineExperiment:
             assert key in summary
 
 
+class TestMultiSecondaryExperiment:
+    def test_extra_secondaries_all_run_under_the_controller(self):
+        from repro.config.schema import CpuBullySpec, SecondaryJobSpec
+
+        spec = sc.blind_isolation(
+            8, bully_threads=16, qps=600, duration=1.0, warmup=0.2, seed=5
+        ).replace(
+            extra_secondaries=(
+                SecondaryJobSpec("bully-b", cpu_bully=CpuBullySpec(threads=8)),
+                SecondaryJobSpec("bully-c", cpu_bully=CpuBullySpec(threads=4)),
+            )
+        )
+        experiment = SingleMachineExperiment(spec, "three-bullies")
+        result = experiment.run()
+        assert [s.name for s in experiment.secondaries] == [
+            "cpu-bully", "bully-b", "bully-c"
+        ]
+        assert set(result.secondary_breakdown) == {"cpu-bully", "bully-b", "bully-c"}
+        for entry in result.secondary_breakdown.values():
+            assert entry["progress"] > 0
+            assert entry["cpu_seconds"] > 0
+        assert result.secondary_progress == pytest.approx(
+            sum(e["progress"] for e in result.secondary_breakdown.values())
+        )
+
+    def test_adding_an_extra_secondary_does_not_perturb_existing_streams(self):
+        """Random streams are keyed by name, so adding an extra job cannot
+        perturb anyone else's draws.  The open-loop arrival schedule is a pure
+        function of the "arrivals" stream, so the submission count must be
+        identical with and without the extra secondary (latency may of course
+        change if the new job actually contends for cores)."""
+        from repro.config.schema import CpuBullySpec, SecondaryJobSpec
+
+        base = sc.standalone(qps=500, duration=0.8, warmup=0.2, seed=7)
+        alone = SingleMachineExperiment(base, "alone").run()
+        crowded = SingleMachineExperiment(
+            base.replace(
+                extra_secondaries=(
+                    SecondaryJobSpec("guest", cpu_bully=CpuBullySpec(threads=8)),
+                )
+            ),
+            "crowded",
+        ).run()
+        assert crowded.queries_submitted == alone.queries_submitted
+        assert crowded.secondary_breakdown["guest"]["progress"] > 0
+
+    def test_mixed_kind_extras(self):
+        from repro.config.schema import DiskBullySpec, MlTrainingSpec, SecondaryJobSpec
+
+        spec = sc.standalone(qps=500, duration=0.8, warmup=0.2, seed=5).replace(
+            extra_secondaries=(
+                SecondaryJobSpec("io-job", disk_bully=DiskBullySpec(threads=2)),
+                SecondaryJobSpec("trainer", ml_training=MlTrainingSpec(threads=8)),
+            )
+        )
+        result = SingleMachineExperiment(spec, "mixed").run()
+        assert result.secondary_breakdown["io-job"]["progress"] > 0
+        assert result.secondary_breakdown["trainer"]["progress"] > 0
+
+
 class TestIsolationComparison:
     def test_selected_approaches_only(self):
         comparison = IsolationComparison(qps=500, duration=0.8, warmup=0.2, seed=4,

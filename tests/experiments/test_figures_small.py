@@ -41,6 +41,17 @@ class TestFigureHarnessPlumbing:
         colocated = figure.row(configuration="colocated+blind-isolation")
         assert colocated["busy_cpu_pct"] > figure.row(configuration="standalone")["busy_cpu_pct"]
 
+    def test_figure_from_matrix_scenario(self):
+        figure = figures.figure_from_scenario(
+            "no-isolation", grid={"bully_threads": (16,)},
+            qps=500.0, duration=0.6, warmup=0.2, seed=3,
+        )
+        assert figure.figure_id == "matrix/no-isolation"
+        assert len(figure.rows) == 1
+        row = figure.rows[0]
+        assert row["bully_threads"] == 16
+        assert "p99_ms" in row and "progress:cpu-bully" in row
+
     def test_fig6_and_fig7_structures(self):
         fig6 = figures.fig6_static_cores(core_levels=(8,), qps_levels=(400.0,),
                                          duration=0.5, warmup=0.1, seed=2)

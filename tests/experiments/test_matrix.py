@@ -1,0 +1,252 @@
+"""Tests for the scenario matrix engine and its CLI."""
+
+import json
+
+import pytest
+
+from repro.config.schema import SecondaryJobSpec
+from repro.config.validation import validate_experiment
+from repro.errors import ConfigError
+from repro.experiments import matrix
+from repro.experiments import scenarios as sc
+from repro.runtime import ExperimentRunner, ResultCache
+
+FAST = dict(qps=500.0, duration=0.5, warmup=0.1, seed=5)
+
+
+class TestCatalog:
+    def test_catalog_is_large_enough(self):
+        names = matrix.scenario_names()
+        assert len(names) >= 20
+
+    def test_catalog_has_multi_secondary_composites(self):
+        composites = [s for s in matrix.iter_scenarios() if s.multi_secondary]
+        assert len(composites) >= 3
+        # Composites genuinely co-locate more than one secondary job.
+        for scenario in composites:
+            variant = scenario.expand(**FAST)[0]
+            assert len(variant.spec.secondary_jobs()) >= 2
+
+    def test_every_scenario_expands_to_valid_specs(self):
+        for scenario in matrix.iter_scenarios():
+            variants = scenario.expand(**FAST)
+            assert len(variants) == scenario.variant_count()
+            for variant in variants:
+                validate_experiment(variant.spec)
+
+    def test_every_scenario_has_description_and_tier(self):
+        for scenario in matrix.iter_scenarios():
+            assert scenario.description
+            assert scenario.tier in ("fast", "slow")
+
+    def test_paper_core_scenarios_are_registered(self):
+        names = set(matrix.scenario_names())
+        assert {
+            "standalone",
+            "no-isolation",
+            "blind-isolation",
+            "static-cores",
+            "cpu-cycles",
+        } <= names
+
+    def test_duplicate_registration_is_an_error(self):
+        with pytest.raises(ConfigError, match="already registered"):
+            matrix.register(matrix.get_scenario("standalone"))
+
+    def test_axis_must_match_builder_signature(self):
+        with pytest.raises(ConfigError, match="does not accept"):
+            matrix.Scenario(
+                name="broken",
+                description="axis without a parameter",
+                builder=sc.standalone,
+                axes=(("bogus_axis", (1, 2)),),
+            )
+
+    def test_unknown_scenario_is_an_error(self):
+        with pytest.raises(ConfigError, match="unknown scenario"):
+            matrix.get_scenario("does-not-exist")
+
+
+class TestExpansion:
+    def test_no_axes_yields_one_variant_labelled_by_name(self):
+        variants = matrix.expand("standalone", **FAST)
+        assert len(variants) == 1
+        assert variants[0].label == "standalone"
+        assert variants[0].spec.workload.qps == FAST["qps"]
+
+    def test_axis_grid_expansion_and_labels(self):
+        variants = matrix.expand("no-isolation", **FAST)
+        assert [v.label for v in variants] == [
+            "no-isolation[bully_threads=24]",
+            "no-isolation[bully_threads=48]",
+        ]
+        assert [v.spec.cpu_bully.threads for v in variants] == [24, 48]
+
+    def test_grid_override_replaces_axis_values(self):
+        variants = matrix.expand("no-isolation", grid={"bully_threads": (4, 8, 12)}, **FAST)
+        assert [v.spec.cpu_bully.threads for v in variants] == [4, 8, 12]
+
+    def test_two_dimensional_grid_is_a_cartesian_product(self):
+        variants = matrix.expand("colocation-grid", duration=0.5, warmup=0.1, seed=5)
+        assert len(variants) == 4
+        combos = {(v.spec.workload.qps, v.spec.cpu_bully.threads) for v in variants}
+        assert combos == {(2000.0, 24), (2000.0, 48), (4000.0, 24), (4000.0, 48)}
+
+    def test_unknown_grid_axis_is_an_error(self):
+        with pytest.raises(ConfigError, match="no axis"):
+            matrix.expand("standalone", grid={"bogus": (1,)})
+
+    def test_unknown_common_parameter_is_an_error(self):
+        with pytest.raises(ConfigError, match="unknown common parameter"):
+            matrix.get_scenario("standalone").expand(bogus=1)
+
+    def test_common_params_not_in_signature_are_skipped(self):
+        # ``diurnal`` owns its QPS (the phase axis decides it); forwarding
+        # qps must not crash and must not leak into the spec.
+        variants = matrix.expand(
+            "diurnal", qps=999.0, duration=0.5, warmup=0.1, seed=5
+        )
+        assert {v.spec.workload.qps for v in variants} == set(sc.DIURNAL_PHASES.values())
+
+
+class TestExecution:
+    def test_run_scenario_rows_in_grid_order(self):
+        runner = ExperimentRunner(max_workers=1, cache=ResultCache())
+        result = matrix.run_scenario("no-isolation", runner=runner, **FAST)
+        rows = result.rows()
+        assert [row["bully_threads"] for row in rows] == [24, 48]
+        for row in rows:
+            assert row["p99_ms"] > 0
+            assert "progress:cpu-bully" in row
+
+    def test_rerun_is_served_from_cache(self):
+        runner = ExperimentRunner(max_workers=1, cache=ResultCache())
+        first = matrix.run_scenario("standalone", runner=runner, **FAST)
+        second = matrix.run_scenario("standalone", runner=runner, **FAST)
+        assert first.cache_hits == 0
+        assert second.cache_hits == 1
+        assert first.rows() == second.rows()
+
+    def test_results_identical_across_worker_counts(self):
+        serial = matrix.run_scenario(
+            "no-isolation", runner=ExperimentRunner(max_workers=1, cache=ResultCache()), **FAST
+        )
+        parallel = matrix.run_scenario(
+            "no-isolation", runner=ExperimentRunner(max_workers=4, cache=ResultCache()), **FAST
+        )
+        assert serial.rows() == parallel.rows()
+
+    def test_run_matrix_shares_one_runner(self):
+        runner = ExperimentRunner(max_workers=1, cache=ResultCache())
+        results = matrix.run_matrix(["standalone", "standalone"], runner=runner, **FAST)
+        # The second scenario's only variant is the first one's cache entry.
+        assert results[1].cache_hits == 1
+
+    def test_multi_secondary_composite_runs_and_reports_breakdown(self):
+        runner = ExperimentRunner(max_workers=1, cache=ResultCache())
+        result = matrix.run_scenario(
+            "mixed-bully", runner=runner, grid={"bully_threads": (24,)}, **FAST
+        )
+        (row,) = result.rows()
+        assert row["progress:cpu-bully"] > 0
+        assert row["progress:disk-bully"] > 0
+
+
+class TestCli:
+    def test_list_prints_catalog(self, capsys):
+        assert matrix.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "standalone" in out and "mixed-bully" in out
+        assert "multi-secondary composites" in out
+
+    def test_run_table_output(self, capsys):
+        code = matrix.main(
+            ["--run", "standalone", "--qps", "500", "--duration", "0.5",
+             "--warmup", "0.1", "--seed", "5"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "standalone" in out and "p99_ms" in out
+
+    def test_run_json_output_parses(self, capsys):
+        code = matrix.main(
+            ["--run", "no-isolation", "--grid", "bully_threads=24", "--qps", "500",
+             "--duration", "0.5", "--warmup", "0.1", "--seed", "5", "--out", "json"]
+        )
+        assert code == 0
+        rows = json.loads(capsys.readouterr().out)
+        assert len(rows) == 1
+        assert rows[0]["bully_threads"] == 24
+
+    def test_run_csv_output_has_header_and_rows(self, capsys):
+        code = matrix.main(
+            ["--run", "no-isolation", "--qps", "500", "--duration", "0.5",
+             "--warmup", "0.1", "--seed", "5", "--out", "csv"]
+        )
+        assert code == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("scenario,label,bully_threads")
+        assert len(lines) == 3
+
+    def test_workers_flag_matches_serial_output(self, capsys):
+        argv = ["--run", "no-isolation", "--qps", "500", "--duration", "0.5",
+                "--warmup", "0.1", "--seed", "5", "--out", "json"]
+        assert matrix.main(argv + ["--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert matrix.main(argv + ["--workers", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_unknown_scenario_exits_nonzero(self, capsys):
+        assert matrix.main(["--run", "nope"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_bad_grid_syntax_exits_nonzero(self, capsys):
+        assert matrix.main(["--run", "no-isolation", "--grid", "oops"]) == 2
+        assert "--grid" in capsys.readouterr().err
+
+
+class TestSecondaryJobSpec:
+    def test_exactly_one_tenant_spec_required(self):
+        from repro.config.schema import CpuBullySpec, DiskBullySpec
+
+        with pytest.raises(ConfigError):
+            SecondaryJobSpec("empty")
+        with pytest.raises(ConfigError):
+            SecondaryJobSpec(
+                "both", cpu_bully=CpuBullySpec(), disk_bully=DiskBullySpec()
+            )
+
+    def test_kind_and_tenant_spec(self):
+        from repro.config.schema import MlTrainingSpec
+
+        job = SecondaryJobSpec("trainer", ml_training=MlTrainingSpec())
+        assert job.kind == "ml_training"
+        assert job.tenant_spec.threads == MlTrainingSpec().threads
+        assert job.memory_bytes == MlTrainingSpec().memory_bytes
+
+    def test_duplicate_job_names_rejected_at_validation(self):
+        from repro.config.schema import CpuBullySpec
+
+        spec = sc.standalone(**FAST).replace(
+            cpu_bully=CpuBullySpec(threads=4),
+            extra_secondaries=(SecondaryJobSpec("cpu-bully", cpu_bully=CpuBullySpec(threads=2)),),
+        )
+        with pytest.raises(ConfigError, match="unique"):
+            validate_experiment(spec)
+
+    def test_combined_bully_threads_validated(self):
+        from repro.config.schema import CpuBullySpec
+
+        spec = sc.standalone(**FAST).replace(
+            cpu_bully=CpuBullySpec(threads=200),
+            extra_secondaries=(
+                SecondaryJobSpec("extra", cpu_bully=CpuBullySpec(threads=200)),
+            ),
+        )
+        with pytest.raises(ConfigError, match="implausibly large"):
+            validate_experiment(spec)
+
+    def test_singleton_jobs_keep_historical_names(self):
+        spec = sc.disk_bound_with_throttling(**FAST)
+        assert [job.name for job in spec.secondary_jobs()] == ["disk-bully", "hdfs"]

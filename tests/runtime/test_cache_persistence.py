@@ -1,0 +1,121 @@
+"""Persistence tests for the on-disk result cache layer (``REPRO_CACHE_DIR``).
+
+The disk layer must behave like a cache, never like a dependency: reloads are
+hits, version drift and corruption are silent misses that fall back to
+recomputation, and nothing in this file may crash a run.
+"""
+
+import pickle
+
+import pytest
+
+import repro
+from repro.experiments import scenarios
+from repro.runtime import ExperimentRunner, ExperimentTask, ResultCache
+from repro.runtime.cache import CACHE_DIR_ENV, default_cache, reset_default_cache
+from repro.runtime.runner import reset_default_runner
+from repro.runtime.spec_hash import spec_hash, versioned_namespace
+
+
+def tiny_spec(seed=5):
+    return scenarios.standalone(qps=300.0, duration=0.4, warmup=0.1, seed=seed)
+
+
+def fresh_runner(directory):
+    """A runner backed by a brand-new cache object over ``directory`` —
+    equivalent to a new process reusing the same cache dir."""
+    return ExperimentRunner(max_workers=1, cache=ResultCache(directory=directory))
+
+
+def entry_path(directory, spec):
+    return directory / f"{spec_hash(spec, namespace=versioned_namespace('single-machine'))}.pkl"
+
+
+class TestReloadHits:
+    def test_second_process_reloads_from_disk(self, tmp_path):
+        spec = tiny_spec()
+        first = fresh_runner(tmp_path).run_batch([ExperimentTask(spec)])
+        assert not first[0].from_cache
+        assert entry_path(tmp_path, spec).is_file()
+
+        second = fresh_runner(tmp_path).run_batch([ExperimentTask(spec)])
+        assert second[0].from_cache
+        assert second[0].result.summary() == first[0].result.summary()
+        assert (second[0].latency_samples == first[0].latency_samples).all()
+
+    def test_env_variable_wires_default_cache_to_disk(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        reset_default_cache()
+        reset_default_runner()
+        try:
+            cache = default_cache()
+            assert cache.directory == tmp_path
+            cache.put("probe", {"v": 1})
+            assert (tmp_path / "probe.pkl").is_file()
+        finally:
+            reset_default_cache()
+            reset_default_runner()
+
+
+class TestVersionStamp:
+    def test_namespace_carries_package_version(self):
+        assert repro.__version__ in versioned_namespace("single-machine")
+
+    def test_version_bump_changes_cache_keys(self, monkeypatch):
+        spec = tiny_spec()
+        old = spec_hash(spec, namespace=versioned_namespace("single-machine"))
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        new = spec_hash(spec, namespace=versioned_namespace("single-machine"))
+        assert old != new
+
+    def test_entries_from_another_version_are_misses(self, tmp_path, monkeypatch):
+        spec = tiny_spec()
+        fresh_runner(tmp_path).run_batch([ExperimentTask(spec)])
+        # A "newer simulator" process computes different keys, so the stale
+        # entry is simply never consulted and the run recomputes.
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        outcome = fresh_runner(tmp_path).run_batch([ExperimentTask(spec)])[0]
+        assert not outcome.from_cache
+
+
+class TestCorruption:
+    @pytest.mark.parametrize(
+        "corrupt",
+        [
+            lambda path: path.write_bytes(b""),  # empty file
+            lambda path: path.write_bytes(path.read_bytes()[: max(1, path.stat().st_size // 3)]),
+            lambda path: path.write_bytes(b"\x80\x05garbage"),  # bad pickle body
+            lambda path: path.write_bytes(b"not a pickle at all"),
+        ],
+        ids=["empty", "truncated", "bad-body", "not-pickle"],
+    )
+    def test_corrupt_entry_recomputes_instead_of_crashing(self, tmp_path, corrupt):
+        spec = tiny_spec()
+        baseline = fresh_runner(tmp_path).run_batch([ExperimentTask(spec)])[0]
+        path = entry_path(tmp_path, spec)
+        corrupt(path)
+
+        outcome = fresh_runner(tmp_path).run_batch([ExperimentTask(spec)])[0]
+        assert not outcome.from_cache
+        assert outcome.result.summary() == baseline.result.summary()
+        # The recompute re-wrote a healthy entry over the corpse.
+        with path.open("rb") as handle:
+            pickle.load(handle)
+        assert fresh_runner(tmp_path).run_batch([ExperimentTask(spec)])[0].from_cache
+
+    def test_unreadable_entry_is_skipped(self, tmp_path):
+        spec = tiny_spec()
+        fresh_runner(tmp_path).run_batch([ExperimentTask(spec)])
+        path = entry_path(tmp_path, spec)
+        path.write_bytes(b"junk")
+        cache = ResultCache(directory=tmp_path)
+        sentinel = object()
+        assert cache.get(path.stem, default=sentinel) is sentinel
+        assert not path.exists()  # the corpse was removed
+
+    def test_foreign_files_in_cache_dir_are_ignored(self, tmp_path):
+        (tmp_path / "README.txt").write_text("not a cache entry")
+        spec = tiny_spec()
+        outcome = fresh_runner(tmp_path).run_batch([ExperimentTask(spec)])[0]
+        assert not outcome.from_cache
+        assert fresh_runner(tmp_path).run_batch([ExperimentTask(spec)])[0].from_cache
