@@ -1,0 +1,96 @@
+"""Wall-clock benchmark of the sharded fleet simulation.
+
+Runs the canonical heterogeneous fleet three ways — serial, fanned across
+all cores, and re-run against the warm cache — verifies the three produce
+byte-identical accounting, and records throughput (machine-buckets simulated
+per second), the shard speedup and the warm-run cache hit rate in
+``BENCH_fleet.json`` at the repository root, alongside ``BENCH_runtime.json``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from repro.experiments.reporting import rows_to_json
+from repro.fleet.scenarios import default_fleet_spec
+from repro.fleet.simulate import FleetSimulation
+from repro.runtime import ExperimentRunner, ResultCache
+
+_BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_fleet.json"
+)
+
+#: Big enough to exercise sharding (several shards per group), small enough
+#: for a nightly benchmark: the calibration dominates the cold runs.
+MACHINES = 600
+STAGES = 3
+
+
+def _spec():
+    return default_fleet_spec(
+        machines=MACHINES,
+        stages=STAGES,
+        seed=1,
+        calibration_qps=(1200.0, 2400.0),
+        calibration_duration=1.0,
+        calibration_warmup=0.2,
+        bake_buckets=3,
+        stage_buckets=3,
+        samples_per_machine_bucket=32,
+    ).replace(shard_machines=64)
+
+
+def _timed_run(runner):
+    start = time.perf_counter()
+    result = FleetSimulation(_spec(), runner=runner).run()
+    return time.perf_counter() - start, result
+
+
+def test_fleet_scale_benchmark():
+    cores = os.cpu_count() or 1
+
+    serial_seconds, serial = _timed_run(
+        ExperimentRunner(max_workers=1, cache=ResultCache())
+    )
+
+    cache = ResultCache()
+    parallel_runner = ExperimentRunner(max_workers=cores, cache=cache)
+    parallel_seconds, parallel = _timed_run(parallel_runner)
+
+    hits_before, misses_before = cache.hits, cache.misses
+    warm_seconds, warm = _timed_run(parallel_runner)
+    warm_hits = cache.hits - hits_before
+    warm_misses = cache.misses - misses_before
+
+    # Correctness first: all three executions are byte-identical.
+    assert rows_to_json(serial.rows()) == rows_to_json(parallel.rows())
+    assert rows_to_json(serial.rows()) == rows_to_json(warm.rows())
+    assert serial.status == "completed"
+
+    # The warm run must be served (almost) entirely from the cache.
+    hit_rate = warm_hits / max(1, warm_hits + warm_misses)
+    assert hit_rate > 0.9
+    assert warm_seconds < serial_seconds
+
+    machine_buckets = parallel.machine_buckets
+    record = {
+        "benchmark": f"fleet staged rollout ({MACHINES} machines, {STAGES} stages)",
+        "machines": MACHINES,
+        "machine_buckets": machine_buckets,
+        "cpu_count": cores,
+        "serial_s": round(serial_seconds, 3),
+        "parallel_cold_s": round(parallel_seconds, 3),
+        "warm_cached_s": round(warm_seconds, 4),
+        "shard_speedup": round(serial_seconds / parallel_seconds, 2),
+        "cached_speedup": round(serial_seconds / warm_seconds, 1),
+        "machines_per_s_parallel": round(MACHINES / parallel_seconds, 1),
+        "machine_buckets_per_s_parallel": round(machine_buckets / parallel_seconds, 1),
+        "warm_cache_hit_rate": round(hit_rate, 4),
+        "reclaimed_core_hours": serial.summary()["reclaimed_core_hours"],
+    }
+    with open(_BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"\nBENCH_fleet: {json.dumps(record, indent=2)}")

@@ -20,9 +20,11 @@ The public API is organised in layers:
   every figure of the paper's evaluation.
 * :mod:`repro.runtime` — the parallel experiment runtime: process fan-out
   over ``ExperimentSpec`` batches plus a content-addressed result cache.
+* :mod:`repro.fleet` — fleet operations: staged PerfIso rollout, secondary
+  placement and capacity-reclamation accounting over sharded execution.
 """
 
-from .config.schema import ExperimentSpec, PerfIsoSpec
+from .config.schema import ExperimentSpec, FleetSpec, PerfIsoSpec
 from .core.controller import PerfIsoController
 from .core.policies import (
     AllocationDecision,
@@ -33,11 +35,14 @@ from .core.policies import (
 )
 from .experiments.matrix import MatrixResult, Scenario, run_matrix, run_scenario
 from .experiments.single_machine import SingleMachineExperiment, SingleMachineResult
+from .fleet.simulate import FleetSimulation
 from .runtime import ExperimentRunner, ExperimentTask, ResultCache
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
+    "FleetSimulation",
+    "FleetSpec",
     "MatrixResult",
     "Scenario",
     "run_matrix",

@@ -38,32 +38,83 @@ class ManagedService:
 
 
 class ConfigStore:
-    """Cluster-wide configuration files, keyed by file name.
+    """Cluster-wide configuration files, keyed by file name and versioned.
 
     Configurations are stored as JSON text (exactly what would be shipped to
     machines), so the store also validates that every spec round-trips through
     the serialisation layer.
+
+    Every ``publish`` appends a new immutable version and makes it active;
+    the full history is retained so a staged rollout can roll back to the
+    *exact* configuration that was live before it began, rather than to
+    whatever happens to be in the store at halt time.
     """
 
     def __init__(self) -> None:
-        self._files: Dict[str, str] = {}
+        self._versions: Dict[str, List[str]] = {}
+        self._active: Dict[str, int] = {}
         self.pushes = 0
 
-    def publish(self, name: str, spec: object) -> None:
-        """Publish (or replace) a configuration file."""
-        self._files[name] = dump_json(spec)
+    def publish(self, name: str, spec: object) -> int:
+        """Publish a new version of a configuration file and return its number.
+
+        Versions are numbered from 1 in publication order; the newly
+        published version becomes the active one.
+        """
+        history = self._versions.setdefault(name, [])
+        history.append(dump_json(spec))
+        version = len(history)
+        self._active[name] = version
         self.pushes += 1
+        return version
 
     def fetch(self, name: str, cls: type) -> object:
-        if name not in self._files:
-            raise ClusterError(f"no configuration file named {name!r}")
-        return load_json(cls, self._files[name])
+        """Return the *active* version of a configuration file."""
+        return self.fetch_version(name, self.active_version(name), cls)
+
+    def fetch_version(self, name: str, version: int, cls: type) -> object:
+        history = self._require(name)
+        if not 1 <= version <= len(history):
+            raise ClusterError(
+                f"configuration {name!r} has no version {version} "
+                f"(history: 1..{len(history)})"
+            )
+        return load_json(cls, history[version - 1])
 
     def fetch_perfiso(self, name: str = "perfiso.json") -> PerfIsoSpec:
         return self.fetch(name, PerfIsoSpec)
 
+    def active_version(self, name: str) -> int:
+        self._require(name)
+        return self._active[name]
+
+    def version_count(self, name: str) -> int:
+        return len(self._require(name))
+
+    def rollback(self, name: str, version: Optional[int] = None) -> int:
+        """Make an older version active again (default: the previous one).
+
+        Rolling back is itself a configuration push (machines re-fetch), so it
+        counts towards ``pushes``; the history is never rewritten.
+        """
+        history = self._require(name)
+        target = self._active[name] - 1 if version is None else version
+        if not 1 <= target <= len(history):
+            raise ClusterError(
+                f"cannot roll {name!r} back to version {target} "
+                f"(history: 1..{len(history)})"
+            )
+        self._active[name] = target
+        self.pushes += 1
+        return target
+
     def files(self) -> List[str]:
-        return sorted(self._files)
+        return sorted(self._versions)
+
+    def _require(self, name: str) -> List[str]:
+        if name not in self._versions:
+            raise ClusterError(f"no configuration file named {name!r}")
+        return self._versions[name]
 
 
 class Autopilot:

@@ -42,7 +42,14 @@ __all__ = [
     "WorkloadSpec",
     "ClusterSpec",
     "ExperimentSpec",
+    "MachineGroupSpec",
+    "PlacementSpec",
+    "RolloutSpec",
+    "FleetSpec",
 ]
+
+#: Tenant kinds a fleet machine group may run as its harvested secondary.
+SECONDARY_KINDS = ("cpu_bully", "disk_bully", "hdfs", "ml_training")
 
 
 # --------------------------------------------------------------------------- hardware
@@ -537,6 +544,182 @@ class ClusterSpec:
     @property
     def total_machines(self) -> int:
         return self.index_machines + self.tla_machines
+
+
+# --------------------------------------------------------------------------- fleet
+@dataclass(frozen=True)
+class MachineGroupSpec:
+    """One homogeneous slice of the fleet.
+
+    A production fleet is not 2,000 copies of one machine: rows differ in
+    buffer-core configuration, in which batch workload Autopilot assigns to
+    them, and in *when* their users are awake (per-row diurnal phase).  A
+    group names one such slice; the fleet model calibrates each distinct
+    group configuration once and scales it to ``machines`` instances.
+    """
+
+    name: str
+    machines: int = 100
+    buffer_cores: int = 8
+    #: Which batch tenant is harvested onto this group's machines.
+    secondary: str = "ml_training"
+    #: Thread count for the secondary; ``0`` keeps the tenant's default.
+    secondary_threads: int = 0
+    peak_qps: float = 4000.0
+    trough_qps: float = 1600.0
+    #: Diurnal phase offset as a fraction of the period (rows serve different
+    #: geographies, so their load peaks are shifted against each other).
+    phase_offset: float = 0.0
+    machine: MachineSpec = field(default_factory=MachineSpec)
+
+    def __post_init__(self) -> None:
+        if not self.name or "/" in self.name:
+            raise ConfigError("machine group name must be non-empty and '/'-free")
+        if self.machines < 1:
+            raise ConfigError(f"group {self.name!r} needs at least one machine")
+        if self.buffer_cores < 0:
+            raise ConfigError(f"group {self.name!r} buffer_cores must be >= 0")
+        if self.secondary not in SECONDARY_KINDS:
+            raise ConfigError(
+                f"group {self.name!r} secondary must be one of {SECONDARY_KINDS}, "
+                f"got {self.secondary!r}"
+            )
+        if self.secondary_threads < 0:
+            raise ConfigError(f"group {self.name!r} secondary_threads must be >= 0")
+        if not 0.0 < self.trough_qps < self.peak_qps:
+            raise ConfigError(
+                f"group {self.name!r} requires 0 < trough_qps < peak_qps"
+            )
+        if not 0.0 <= self.phase_offset < 1.0:
+            raise ConfigError(f"group {self.name!r} phase_offset must be in [0, 1)")
+
+
+@dataclass(frozen=True)
+class PlacementSpec:
+    """How batch demand is bin-packed onto reclaimable fleet capacity.
+
+    ``job_cores`` pins an explicit list of job sizes; when empty, the fleet
+    harness derives a deterministic job list targeting ``demand_fraction`` of
+    the fleet's estimated reclaimable cores, in jobs of ``job_cores_each``.
+    """
+
+    strategy: str = "first_fit"
+    job_cores: Tuple[int, ...] = ()
+    demand_fraction: float = 0.7
+    job_cores_each: int = 6
+
+    VALID_STRATEGIES = ("first_fit", "best_fit", "worst_fit")
+
+    def __post_init__(self) -> None:
+        if self.strategy not in self.VALID_STRATEGIES:
+            raise ConfigError(
+                f"placement strategy must be one of {self.VALID_STRATEGIES}, "
+                f"got {self.strategy!r}"
+            )
+        if any(cores < 1 for cores in self.job_cores):
+            raise ConfigError("every placement job must demand at least one core")
+        if not 0.0 < self.demand_fraction <= 1.0:
+            raise ConfigError("demand_fraction must be in (0, 1]")
+        if self.job_cores_each < 1:
+            raise ConfigError("job_cores_each must be >= 1")
+
+
+@dataclass(frozen=True)
+class RolloutSpec:
+    """A staged (canary -> wave -> fleet) PerfIso rollout with SLO guardrails.
+
+    ``stage_fractions`` are cumulative fractions of each group enabled per
+    stage; the guardrail halts the rollout (and rolls the configuration back)
+    when any group's P99 under colocation exceeds
+    ``guardrail_p99_multiplier`` times its baseline P99.
+    """
+
+    stage_fractions: Tuple[float, ...] = (0.02, 0.25, 1.0)
+    #: CPU policy the rollout ships ('none' models an unprotected rollout).
+    target_policy: str = "blind"
+    guardrail_p99_multiplier: float = 1.5
+    #: Buckets of pre-rollout baseline measurement (the guardrail reference).
+    bake_buckets: int = 4
+    #: Buckets each stage must hold before the guardrail verdict.
+    stage_buckets: int = 4
+
+    def __post_init__(self) -> None:
+        if not self.stage_fractions:
+            raise ConfigError("rollout needs at least one stage")
+        previous = 0.0
+        for fraction in self.stage_fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise ConfigError("stage fractions must be in (0, 1]")
+            if fraction < previous:
+                raise ConfigError("stage fractions must be non-decreasing")
+            previous = fraction
+        if self.stage_fractions[-1] != 1.0:
+            raise ConfigError("the final rollout stage must cover the whole fleet")
+        if self.target_policy not in PerfIsoSpec.VALID_POLICIES:
+            raise ConfigError(
+                f"target_policy must be one of {PerfIsoSpec.VALID_POLICIES}, "
+                f"got {self.target_policy!r}"
+            )
+        if self.guardrail_p99_multiplier < 1.0:
+            raise ConfigError("guardrail_p99_multiplier must be >= 1.0")
+        if self.bake_buckets < 1 or self.stage_buckets < 1:
+            raise ConfigError("bake_buckets and stage_buckets must be >= 1")
+
+
+@dataclass(frozen=True)
+class FleetSpec:
+    """Everything needed to simulate operating PerfIso across a fleet."""
+
+    groups: Tuple[MachineGroupSpec, ...]
+    rollout: RolloutSpec = field(default_factory=RolloutSpec)
+    placement: PlacementSpec = field(default_factory=PlacementSpec)
+    #: Wall-clock length of one accounting bucket (seconds).
+    bucket_seconds: float = 60.0
+    #: Period of the per-group diurnal load curves (seconds).
+    diurnal_period: float = 3600.0
+    #: Latency samples drawn per machine per bucket.
+    samples_per_machine_bucket: int = 32
+    #: Floor on colocated samples drawn per group per bucket: canary stages
+    #: have few colocated machines, and a P99 estimated from a handful of
+    #: draws is biased upward against the fleet-sized baseline reference
+    #: (a real canary pipeline keeps every query from its canary machines).
+    min_colocated_samples_per_bucket: int = 2048
+    #: Load points of the single-machine calibration runs.
+    calibration_qps: Tuple[float, ...] = (1500.0, 3500.0)
+    calibration_duration: float = 1.0
+    calibration_warmup: float = 0.2
+    #: Machines per execution shard (fixed, so results never depend on the
+    #: worker count).
+    shard_machines: int = 256
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not self.groups:
+            raise ConfigError("a fleet needs at least one machine group")
+        if self.bucket_seconds <= 0 or self.diurnal_period <= 0:
+            raise ConfigError("bucket_seconds and diurnal_period must be positive")
+        if self.samples_per_machine_bucket < 1:
+            raise ConfigError("samples_per_machine_bucket must be >= 1")
+        if self.min_colocated_samples_per_bucket < 1:
+            raise ConfigError("min_colocated_samples_per_bucket must be >= 1")
+        if len(self.calibration_qps) < 2:
+            raise ConfigError("need at least two calibration load points")
+        if any(qps <= 0 for qps in self.calibration_qps):
+            raise ConfigError("calibration load points must be positive")
+        if list(self.calibration_qps) != sorted(set(self.calibration_qps)):
+            raise ConfigError("calibration load points must be strictly increasing")
+        if self.calibration_duration <= 0 or self.calibration_warmup < 0:
+            raise ConfigError("calibration duration must be > 0 and warmup >= 0")
+        if self.shard_machines < 1:
+            raise ConfigError("shard_machines must be >= 1")
+
+    @property
+    def total_machines(self) -> int:
+        return sum(group.machines for group in self.groups)
+
+    def replace(self, **changes) -> "FleetSpec":
+        """Return a copy with ``changes`` applied (thin dataclasses.replace wrapper)."""
+        return dataclasses.replace(self, **changes)
 
 
 # --------------------------------------------------------------------------- experiment

@@ -12,9 +12,9 @@ from __future__ import annotations
 from typing import List
 
 from ..errors import ConfigError
-from .schema import ClusterSpec, ExperimentSpec
+from .schema import ClusterSpec, ExperimentSpec, FleetSpec
 
-__all__ = ["validate_experiment", "validate_cluster", "collect_warnings"]
+__all__ = ["validate_experiment", "validate_cluster", "validate_fleet", "collect_warnings"]
 
 
 def validate_experiment(spec: ExperimentSpec) -> None:
@@ -89,6 +89,27 @@ def validate_cluster(spec: ClusterSpec) -> None:
         raise ConfigError("more rows than is plausible for the number of partitions")
     if spec.request_timeout <= spec.network_hop_latency * 4:
         raise ConfigError("request timeout must exceed round-trip network overheads")
+
+
+def validate_fleet(spec: FleetSpec) -> None:
+    """Raise :class:`ConfigError` if a fleet configuration is inconsistent."""
+    names = [group.name for group in spec.groups]
+    if len(set(names)) != len(names):
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        raise ConfigError(f"machine group names must be unique, duplicated: {duplicates}")
+    for group in spec.groups:
+        cores = group.machine.logical_cores
+        if group.buffer_cores >= cores:
+            raise ConfigError(
+                f"group {group.name!r} buffer_cores ({group.buffer_cores}) must be "
+                f"smaller than its machines' logical core count ({cores})"
+            )
+    total_buckets = spec.rollout.bake_buckets + len(spec.rollout.stage_fractions) * spec.rollout.stage_buckets
+    if total_buckets * spec.bucket_seconds > spec.diurnal_period * 48:
+        raise ConfigError(
+            "the rollout spans more than 48 diurnal periods; shrink the bucket "
+            "counts or bucket_seconds, or grow diurnal_period"
+        )
 
 
 def collect_warnings(spec: ExperimentSpec) -> List[str]:

@@ -27,6 +27,7 @@ is independent of the worker count.
 from __future__ import annotations
 
 import argparse
+import difflib
 import inspect
 import itertools
 import sys
@@ -34,7 +35,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ...config.schema import ExperimentSpec
-from ...config.validation import validate_experiment
+from ...config.validation import validate_experiment, validate_fleet
 from ...errors import ConfigError
 from ..reporting import format_table, rows_to_csv, rows_to_json
 from ..single_machine import SingleMachineResult
@@ -71,6 +72,10 @@ class Scenario:
     scenario without axes has exactly one variant.  ``tier`` records which
     pytest tier the scenario's regression test lives in (``fast`` scenarios
     are cheap enough for the inner loop; ``slow`` ones run nightly).
+    ``kind`` selects the execution engine: ``"experiment"`` builders return
+    an :class:`ExperimentSpec` run on the single-machine simulator;
+    ``"fleet"`` builders return a :class:`~repro.config.schema.FleetSpec`
+    run by :class:`~repro.fleet.simulate.FleetSimulation`.
     """
 
     name: str
@@ -79,10 +84,15 @@ class Scenario:
     axes: Tuple[Tuple[str, Tuple[Any, ...]], ...] = ()
     tags: Tuple[str, ...] = ()
     tier: str = "fast"
+    kind: str = "experiment"
 
     def __post_init__(self) -> None:
         if self.tier not in ("fast", "slow"):
             raise ConfigError(f"scenario tier must be 'fast' or 'slow', got {self.tier!r}")
+        if self.kind not in ("experiment", "fleet"):
+            raise ConfigError(
+                f"scenario kind must be 'experiment' or 'fleet', got {self.kind!r}"
+            )
         parameters = inspect.signature(self.builder).parameters
         for axis, values in self.axes:
             if axis not in parameters:
@@ -156,7 +166,10 @@ class Scenario:
         for combo in itertools.product(*(values for _, values in merged)):
             axis_values = dict(zip((axis for axis, _ in merged), combo))
             spec = self.builder(**axis_values, **forwarded)
-            validate_experiment(spec)
+            if self.kind == "fleet":
+                validate_fleet(spec)
+            else:
+                validate_experiment(spec)
             variants.append(
                 ScenarioVariant(
                     scenario=self.name,
@@ -199,8 +212,9 @@ class MatrixResult:
             row: Dict[str, Any] = {"scenario": variant.scenario, "label": variant.label}
             row.update(variant.axis_values)
             row.update(result.summary())
-            for name in sorted(result.secondary_breakdown):
-                row[f"progress:{name}"] = result.secondary_breakdown[name]["progress"]
+            breakdown = getattr(result, "secondary_breakdown", None) or {}
+            for name in sorted(breakdown):
+                row[f"progress:{name}"] = breakdown[name]["progress"]
             rows.append(row)
         return rows
 
@@ -233,6 +247,7 @@ def scenario(
     axes: Optional[Mapping[str, Sequence[Any]]] = None,
     tags: Iterable[str] = (),
     tier: str = "fast",
+    kind: str = "experiment",
 ) -> Callable[[Callable[..., ExperimentSpec]], Callable[..., ExperimentSpec]]:
     """Decorator registering a builder function as a named scenario.
 
@@ -249,6 +264,7 @@ def scenario(
                 axes=tuple((axis, tuple(values)) for axis, values in (axes or {}).items()),
                 tags=tuple(tags),
                 tier=tier,
+                kind=kind,
             )
         )
         return builder
@@ -259,6 +275,7 @@ def scenario(
 def load_catalog() -> None:
     """Populate the registry with the built-in catalog (idempotent)."""
     from .. import scenarios  # noqa: F401 — importing runs the decorators
+    from ...fleet import scenarios as fleet_scenarios  # noqa: F401
 
 
 def get_scenario(name: str) -> Scenario:
@@ -266,8 +283,10 @@ def get_scenario(name: str) -> Scenario:
     try:
         return _REGISTRY[name]
     except KeyError:
+        close = difflib.get_close_matches(name, sorted(_REGISTRY), n=3, cutoff=0.5)
+        hint = f"; did you mean {', '.join(repr(match) for match in close)}?" if close else ""
         raise ConfigError(
-            f"unknown scenario {name!r}; run with --list to see the catalog"
+            f"unknown scenario {name!r}{hint} (run with --list to see the catalog)"
         ) from None
 
 
@@ -303,6 +322,19 @@ def run_scenario(
     scenario_obj = get_scenario(name)
     variants = scenario_obj.expand(grid=grid, **common)
     active = runner if runner is not None else default_runner()
+    if scenario_obj.kind == "fleet":
+        from ...fleet.simulate import FleetSimulation
+
+        hits_before = active.cache.hits
+        results = [
+            FleetSimulation(variant.spec, runner=active).run() for variant in variants
+        ]
+        return MatrixResult(
+            scenario=scenario_obj,
+            variants=variants,
+            results=results,
+            cache_hits=active.cache.hits - hits_before,
+        )
     outcomes = active.run_batch(
         [ExperimentTask(variant.spec, scenario=variant.label) for variant in variants]
     )
@@ -355,6 +387,7 @@ def _catalog_table() -> str:
         rows.append(
             {
                 "scenario": item.name,
+                "kind": item.kind,
                 "tier": item.tier,
                 "variants": item.variant_count(),
                 "axes": axes or "-",
@@ -363,7 +396,7 @@ def _catalog_table() -> str:
             }
         )
     return format_table(
-        rows, columns=["scenario", "tier", "variants", "axes", "tags", "description"]
+        rows, columns=["scenario", "kind", "tier", "variants", "axes", "tags", "description"]
     )
 
 
@@ -396,7 +429,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_catalog_table())
         count = len(scenario_names())
         composites = sum(item.multi_secondary for item in iter_scenarios())
-        print(f"\n{count} scenarios ({composites} multi-secondary composites)")
+        fleet = sum(item.kind == "fleet" for item in iter_scenarios())
+        print(
+            f"\n{count} scenarios "
+            f"({composites} multi-secondary composites, {fleet} fleet)"
+        )
         return 0
 
     from ...runtime.runner import ExperimentRunner

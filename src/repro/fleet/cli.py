@@ -1,0 +1,199 @@
+"""The ``python -m repro.fleet`` command line.
+
+Runs the canonical heterogeneous fleet (or any ``kind="fleet"`` scenario
+from the matrix catalog) through the staged-rollout simulation and prints
+per-stage accounting as a table, JSON or CSV.  Output is a pure function of
+the spec: serial runs, ``--workers N`` runs and cache-served repeats emit
+byte-identical bytes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from ..errors import ConfigError, ReproError
+from ..experiments.reporting import format_table, rows_to_csv, rows_to_json
+
+__all__ = ["main"]
+
+
+def _parse_qps_list(text: str) -> tuple:
+    try:
+        values = tuple(float(part) for part in text.split(",") if part)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"expects Q1,Q2,..., got {text!r}"
+        ) from None
+    return values
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet",
+        description="Simulate a staged PerfIso rollout across a machine fleet.",
+    )
+    parser.add_argument("--list", action="store_true", help="list the fleet scenario catalog")
+    parser.add_argument(
+        "--scenario",
+        metavar="NAME",
+        default=None,
+        help="run a registered fleet scenario instead of the default fleet",
+    )
+    parser.add_argument("--machines", type=int, default=2000, help="total fleet size")
+    parser.add_argument("--stages", type=int, default=3, help="rollout stage count")
+    parser.add_argument(
+        "--policy",
+        default="blind",
+        help="CPU policy the rollout ships (blind/static_cores/cpu_cycles/none)",
+    )
+    parser.add_argument(
+        "--strategy",
+        default="first_fit",
+        help="placement strategy (first_fit/best_fit/worst_fit)",
+    )
+    parser.add_argument(
+        "--guardrail", type=float, default=1.5, help="P99 guardrail multiplier"
+    )
+    parser.add_argument("--buckets", type=int, default=4, help="buckets per stage and bake")
+    parser.add_argument(
+        "--samples", type=int, default=32, help="latency samples per machine per bucket"
+    )
+    parser.add_argument(
+        "--calibration-qps",
+        type=_parse_qps_list,
+        default=None,
+        metavar="Q1,Q2",
+        help="calibration load points (comma separated)",
+    )
+    parser.add_argument(
+        "--calibration-duration", type=float, default=None, help="calibration run length (s)"
+    )
+    parser.add_argument(
+        "--calibration-warmup", type=float, default=None, help="calibration warmup (s)"
+    )
+    parser.add_argument("--workers", type=int, default=None, help="worker process count")
+    parser.add_argument("--seed", type=int, default=7, help="fleet seed")
+    parser.add_argument(
+        "--out", choices=("table", "json", "csv"), default="table", help="output format"
+    )
+    return parser
+
+
+def _fleet_catalog_rows() -> List[dict]:
+    from ..experiments import matrix
+
+    rows = []
+    for item in matrix.iter_scenarios():
+        if item.kind != "fleet":
+            continue
+        axes = "; ".join(
+            f"{axis}={','.join(str(v) for v in values)}" for axis, values in item.axes
+        )
+        rows.append(
+            {
+                "scenario": item.name,
+                "variants": item.variant_count(),
+                "axes": axes or "-",
+                "description": item.description,
+            }
+        )
+    return rows
+
+
+#: Flags that shape the default fleet and are therefore meaningless (and
+#: silently confusing) when a catalog scenario defines the whole spec.
+_SCENARIO_INCOMPATIBLE = (
+    "machines",
+    "stages",
+    "policy",
+    "strategy",
+    "guardrail",
+    "buckets",
+    "samples",
+    "calibration_qps",
+    "calibration_duration",
+    "calibration_warmup",
+)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list:
+        print(format_table(_fleet_catalog_rows()))
+        return 0
+
+    from ..runtime.runner import ExperimentRunner
+
+    runner = (
+        ExperimentRunner(max_workers=args.workers) if args.workers is not None else None
+    )
+    try:
+        if args.scenario is not None:
+            overridden = [
+                "--" + name.replace("_", "-")
+                for name in _SCENARIO_INCOMPATIBLE
+                if getattr(args, name) != parser.get_default(name)
+            ]
+            if overridden:
+                raise ConfigError(
+                    f"--scenario runs the catalog definition of {args.scenario!r}; "
+                    f"{', '.join(overridden)} would be ignored — drop them, or "
+                    "build a custom fleet without --scenario"
+                )
+            rows = _run_catalog_scenario(args, runner)
+        else:
+            rows = _run_default_fleet(args, runner)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    if args.out == "json":
+        print(rows_to_json(rows))
+    elif args.out == "csv":
+        print(rows_to_csv(rows), end="")
+    else:
+        print(format_table(rows))
+    return 0
+
+
+def _run_catalog_scenario(args, runner) -> List[dict]:
+    from ..experiments import matrix
+
+    scenario = matrix.get_scenario(args.scenario)
+    if scenario.kind != "fleet":
+        raise ConfigError(
+            f"scenario {args.scenario!r} is not a fleet scenario; "
+            "use python -m repro.experiments.matrix to run it"
+        )
+    result = matrix.run_scenario(args.scenario, runner=runner, seed=args.seed)
+    return result.rows()
+
+
+def _run_default_fleet(args, runner) -> List[dict]:
+    from .scenarios import default_fleet_spec
+    from .simulate import FleetSimulation
+
+    spec = default_fleet_spec(
+        machines=args.machines,
+        stages=args.stages,
+        seed=args.seed,
+        target_policy=args.policy,
+        guardrail=args.guardrail,
+        strategy=args.strategy,
+        calibration_qps=args.calibration_qps,
+        calibration_duration=args.calibration_duration,
+        calibration_warmup=args.calibration_warmup,
+        bake_buckets=args.buckets,
+        stage_buckets=args.buckets,
+        samples_per_machine_bucket=args.samples,
+    )
+    result = FleetSimulation(spec, runner=runner).run()
+    rows = result.rows()
+    totals = {"stage": "total"}
+    totals.update(result.totals())
+    rows.append(totals)
+    return rows

@@ -1,0 +1,281 @@
+"""The fleet model: machine groups, diurnal load and per-group calibration.
+
+A fleet of thousands of machines cannot be event-simulated directly, so the
+model follows the ``largescale`` recipe one level up: every *distinct group
+configuration* is calibrated once with the detailed single-machine simulator
+(through the shared experiment runner, so repeated calibrations are cache
+hits), and per-machine behaviour is then drawn from the calibrated latency
+distributions by inverse-CDF sampling.
+
+Calibration is captured in compact, hashable form — quantile curves and CPU
+fractions per load point — because shard tasks carry it into worker
+processes and into the content-addressed result cache.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..config.schema import (
+    BlindIsolationSpec,
+    CpuBullySpec,
+    DiskBullySpec,
+    ExperimentSpec,
+    FleetSpec,
+    HdfsSpec,
+    MachineGroupSpec,
+    MlTrainingSpec,
+    PerfIsoSpec,
+    WorkloadSpec,
+)
+from ..errors import ExperimentError
+
+__all__ = [
+    "QUANTILE_POINTS",
+    "QUANTILE_GRID_MAX",
+    "quantile_grid",
+    "ModeCalibration",
+    "GroupCalibration",
+    "FleetModel",
+    "stable_seed",
+    "interpolate_mode",
+]
+
+#: Resolution of the calibrated inverse-CDF curves.
+QUANTILE_POINTS = 129
+
+#: The curves stop at q=0.999 rather than the raw maximum: a short
+#: calibration run's single largest sample is an outlier, and stretching the
+#: last grid cell out to it would give every machine a fat synthetic tail
+#: that small canary groups then mistake for a latency regression.
+QUANTILE_GRID_MAX = 0.999
+
+
+def quantile_grid() -> np.ndarray:
+    """The fixed quantile grid shared by calibration and shard sampling."""
+    grid = np.linspace(0.0, 1.0, QUANTILE_POINTS)
+    grid[-1] = QUANTILE_GRID_MAX
+    return grid
+
+#: The calibrated operating modes of a fleet machine.
+BASELINE, COLOCATED = "baseline", "colocated"
+
+
+def stable_seed(*parts: object) -> int:
+    """A process-independent integer seed derived from ``parts``.
+
+    ``hash()`` is salted per process (PYTHONHASHSEED), so shard RNG seeds are
+    derived from a cryptographic digest of the parts' reprs instead — the
+    same fleet spec must draw the same samples in every process and on every
+    run.
+    """
+    text = "\x1f".join(repr(part) for part in parts)
+    digest = hashlib.sha256(text.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+@dataclass(frozen=True)
+class ModeCalibration:
+    """One operating mode's calibrated behaviour across the load points."""
+
+    qps: Tuple[float, ...]
+    #: Latency quantile curve per load point (inverse CDF on a fixed grid).
+    quantiles: Tuple[Tuple[float, ...], ...]
+    busy_cpu: Tuple[float, ...]
+    secondary_cpu: Tuple[float, ...]
+    #: Secondary progress units per simulated second.
+    progress_per_s: Tuple[float, ...]
+
+
+@dataclass(frozen=True)
+class GroupCalibration:
+    """Both modes of one machine group, plus its capacity estimate inputs."""
+
+    group: str
+    logical_cores: int
+    baseline: ModeCalibration
+    colocated: ModeCalibration
+
+    def reclaimable_cores(self, buffer_cores: int) -> int:
+        """Whole cores the placement scheduler may hand to batch jobs.
+
+        Estimated from the baseline calibration: cores idle at the mean
+        calibrated load, minus the inviolable buffer.
+        """
+        busy = float(np.mean(self.baseline.busy_cpu))
+        idle_cores = (1.0 - busy) * self.logical_cores - buffer_cores
+        return max(0, int(math.floor(idle_cores)))
+
+
+def interpolate_mode(mode: ModeCalibration, qps: float) -> Tuple[np.ndarray, float, float, float]:
+    """Blend the two nearest load points: (quantile curve, busy, sec_cpu, rate)."""
+    points = mode.qps
+    curves = [np.asarray(curve, dtype=np.float64) for curve in mode.quantiles]
+    if qps <= points[0]:
+        index = 0
+        return curves[0], mode.busy_cpu[index], mode.secondary_cpu[index], mode.progress_per_s[index]
+    if qps >= points[-1]:
+        index = len(points) - 1
+        return curves[index], mode.busy_cpu[index], mode.secondary_cpu[index], mode.progress_per_s[index]
+    upper = next(i for i, point in enumerate(points) if point >= qps)
+    lower = upper - 1
+    weight = (qps - points[lower]) / (points[upper] - points[lower])
+    blend = (1.0 - weight) * curves[lower] + weight * curves[upper]
+
+    def mix(values: Tuple[float, ...]) -> float:
+        return (1.0 - weight) * values[lower] + weight * values[upper]
+
+    return blend, mix(mode.busy_cpu), mix(mode.secondary_cpu), mix(mode.progress_per_s)
+
+
+def _secondary_fields(group: MachineGroupSpec) -> Dict[str, object]:
+    """The ExperimentSpec tenant field for the group's harvested secondary."""
+    threads = group.secondary_threads
+    if group.secondary == "cpu_bully":
+        spec = CpuBullySpec(threads=threads) if threads else CpuBullySpec()
+    elif group.secondary == "disk_bully":
+        spec = DiskBullySpec(threads=threads) if threads else DiskBullySpec()
+    elif group.secondary == "hdfs":
+        spec = HdfsSpec()
+    else:
+        spec = MlTrainingSpec(threads=threads) if threads else MlTrainingSpec()
+    return {group.secondary: spec}
+
+
+class FleetModel:
+    """Machine naming, sharding, load curves and calibration for one fleet."""
+
+    def __init__(self, spec: FleetSpec) -> None:
+        self._spec = spec
+        self._machine_names: Dict[str, Tuple[str, ...]] = {
+            group.name: tuple(
+                f"{group.name}-{index:05d}" for index in range(group.machines)
+            )
+            for group in spec.groups
+        }
+
+    @property
+    def spec(self) -> FleetSpec:
+        return self._spec
+
+    @property
+    def total_machines(self) -> int:
+        return self._spec.total_machines
+
+    def machine_names(self, group: MachineGroupSpec) -> Tuple[str, ...]:
+        return self._machine_names[group.name]
+
+    def enabled_count(self, group: MachineGroupSpec, fraction: float) -> int:
+        """Machines of ``group`` covered by a cumulative rollout fraction."""
+        return min(group.machines, int(math.ceil(fraction * group.machines)))
+
+    def load_at(self, group: MachineGroupSpec, t: float) -> float:
+        """Per-machine QPS of ``group`` at simulation time ``t``."""
+        mid = (group.peak_qps + group.trough_qps) / 2.0
+        amplitude = (group.peak_qps - group.trough_qps) / 2.0
+        phase = 2.0 * math.pi * (t / self._spec.diurnal_period + group.phase_offset)
+        return max(1.0, mid + amplitude * math.cos(phase))
+
+    def shards(self, group: MachineGroupSpec) -> List[Tuple[int, int, int]]:
+        """Fixed-size shards as (shard_index, start, stop) machine slices.
+
+        Shard boundaries depend only on the spec (never on the worker count),
+        so fleet results are bit-identical at any parallelism.
+        """
+        size = self._spec.shard_machines
+        return [
+            (index, start, min(start + size, group.machines))
+            for index, start in enumerate(range(0, group.machines, size))
+        ]
+
+    # ------------------------------------------------------------ calibration
+    def calibration_spec(
+        self, group: MachineGroupSpec, mode: str, point_index: int
+    ) -> ExperimentSpec:
+        """The single-machine experiment calibrating one (group, mode, load)."""
+        qps = self._spec.calibration_qps[point_index]
+        workload = WorkloadSpec(
+            qps=qps,
+            duration=self._spec.calibration_duration,
+            warmup=self._spec.calibration_warmup,
+        )
+        base = ExperimentSpec(
+            machine=group.machine,
+            workload=workload,
+            seed=self._spec.seed + point_index,
+        )
+        if mode == BASELINE:
+            return base
+        policy = self._spec.rollout.target_policy
+        if policy == "none":
+            perfiso = None
+        else:
+            perfiso = PerfIsoSpec(
+                cpu_policy=policy,
+                blind=BlindIsolationSpec(buffer_cores=group.buffer_cores),
+            )
+        return dataclasses.replace(base, perfiso=perfiso, **_secondary_fields(group))
+
+    def calibrate(self, runner) -> Dict[str, GroupCalibration]:
+        """Calibrate every group in one runner batch (deduped + cached).
+
+        Groups sharing a configuration resolve to the same cache entries, so
+        a 10-group fleet with three distinct row configurations costs three
+        calibrations.
+        """
+        from ..runtime.runner import ExperimentTask
+
+        grid = quantile_grid()
+        tasks: List[ExperimentTask] = []
+        labels: List[Tuple[str, str, int]] = []
+        for group in self._spec.groups:
+            for mode in (BASELINE, COLOCATED):
+                for point_index in range(len(self._spec.calibration_qps)):
+                    tasks.append(
+                        ExperimentTask(
+                            self.calibration_spec(group, mode, point_index),
+                            scenario=f"fleet-calibration/{group.name}/{mode}",
+                        )
+                    )
+                    labels.append((group.name, mode, point_index))
+
+        measured: Dict[Tuple[str, str, int], Tuple] = {}
+        for label, outcome in zip(labels, runner.run_batch(tasks)):
+            samples = outcome.latency_samples
+            if samples.size == 0:
+                raise ExperimentError(
+                    f"fleet calibration {label} produced no latency samples; "
+                    "increase calibration_duration or load"
+                )
+            quantile_curve = tuple(float(v) for v in np.quantile(samples, grid))
+            cpu = outcome.result.cpu
+            busy = cpu.primary + cpu.secondary + cpu.os
+            progress = outcome.result.secondary_progress / self._spec.calibration_duration
+            measured[label] = (quantile_curve, busy, cpu.secondary, progress)
+
+        calibrations: Dict[str, GroupCalibration] = {}
+        for group in self._spec.groups:
+            modes = {}
+            for mode in (BASELINE, COLOCATED):
+                points = range(len(self._spec.calibration_qps))
+                rows = [measured[(group.name, mode, index)] for index in points]
+                modes[mode] = ModeCalibration(
+                    qps=tuple(self._spec.calibration_qps),
+                    quantiles=tuple(row[0] for row in rows),
+                    busy_cpu=tuple(row[1] for row in rows),
+                    secondary_cpu=tuple(row[2] for row in rows),
+                    progress_per_s=tuple(row[3] for row in rows),
+                )
+            calibrations[group.name] = GroupCalibration(
+                group=group.name,
+                logical_cores=group.machine.logical_cores,
+                baseline=modes[BASELINE],
+                colocated=modes[COLOCATED],
+            )
+        return calibrations

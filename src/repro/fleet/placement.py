@@ -1,0 +1,179 @@
+"""Secondary placement: bin-packing batch demand onto reclaimable capacity.
+
+The fleet does not run one secondary per machine by decree — a batch queue of
+jobs is *placed* onto whatever capacity the calibration says each machine can
+reclaim without violating its buffer.  The scheduler below is a classic
+decreasing-size greedy packer with three machine-selection strategies:
+
+* ``first_fit`` — machines in canonical (name) order, first one that fits;
+* ``best_fit``  — the fitting machine with the least remaining capacity;
+* ``worst_fit`` — the fitting machine with the most remaining capacity
+  (spreads load, the friendliest to tail latency).
+
+Determinism is by construction, not by seeding: inputs are canonically
+ordered before packing (demands by decreasing size then name, machines by
+name) and all ties break on the canonical order, so any permutation of the
+input sequences yields the identical plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..config.schema import PlacementSpec
+from ..errors import ConfigError
+
+__all__ = [
+    "MachineCapacity",
+    "PlacementDemand",
+    "Assignment",
+    "PlacementPlan",
+    "plan_placement",
+]
+
+
+@dataclass(frozen=True)
+class MachineCapacity:
+    """One machine's reclaimable capacity estimate, in whole cores."""
+
+    machine: str
+    cores: int
+
+    def __post_init__(self) -> None:
+        if not self.machine:
+            raise ConfigError("machine name must be non-empty")
+        if self.cores < 0:
+            raise ConfigError(f"machine {self.machine!r} capacity must be >= 0")
+
+
+@dataclass(frozen=True)
+class PlacementDemand:
+    """One batch job waiting for placement."""
+
+    name: str
+    cores: int
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigError("placement demand name must be non-empty")
+        if self.cores < 1:
+            raise ConfigError(f"job {self.name!r} must demand at least one core")
+
+
+@dataclass(frozen=True)
+class Assignment:
+    """One job pinned to one machine."""
+
+    machine: str
+    job: str
+    cores: int
+
+
+@dataclass(frozen=True)
+class PlacementPlan:
+    """The scheduler's output: assignments in placement order, plus leftovers."""
+
+    assignments: Tuple[Assignment, ...]
+    unplaced: Tuple[PlacementDemand, ...]
+
+    @property
+    def total_placed_cores(self) -> int:
+        return sum(assignment.cores for assignment in self.assignments)
+
+    @property
+    def placed_jobs(self) -> int:
+        return len(self.assignments)
+
+    def placed_cores_by_machine(self) -> Dict[str, int]:
+        placed: Dict[str, int] = {}
+        for assignment in self.assignments:
+            placed[assignment.machine] = placed.get(assignment.machine, 0) + assignment.cores
+        return placed
+
+
+def _canonical_demands(demands: Sequence[PlacementDemand]) -> List[PlacementDemand]:
+    names = [demand.name for demand in demands]
+    if len(set(names)) != len(names):
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        raise ConfigError(f"placement job names must be unique, duplicated: {duplicates}")
+    return sorted(demands, key=lambda demand: (-demand.cores, demand.name))
+
+
+def _canonical_machines(machines: Sequence[MachineCapacity]) -> List[MachineCapacity]:
+    names = [machine.machine for machine in machines]
+    if len(set(names)) != len(names):
+        duplicates = sorted({name for name in names if names.count(name) > 1})
+        raise ConfigError(f"machine names must be unique, duplicated: {duplicates}")
+    return sorted(machines, key=lambda machine: machine.machine)
+
+
+def plan_placement(
+    machines: Sequence[MachineCapacity],
+    demands: Sequence[PlacementDemand],
+    strategy: str = "first_fit",
+) -> PlacementPlan:
+    """Pack ``demands`` onto ``machines`` without exceeding any capacity.
+
+    Returns the same plan for any permutation of either input sequence.  A
+    job that fits nowhere is reported in ``unplaced`` (the fleet's batch
+    queue simply keeps it pending) — placement never overcommits a machine.
+    """
+    if strategy not in PlacementSpec.VALID_STRATEGIES:
+        raise ConfigError(
+            f"placement strategy must be one of {PlacementSpec.VALID_STRATEGIES}, "
+            f"got {strategy!r}"
+        )
+    ordered_demands = _canonical_demands(demands)
+    ordered_machines = _canonical_machines(machines)
+
+    # ``active`` keeps (name, remaining) in canonical order.  Machines whose
+    # remaining capacity falls below the smallest *future* demand can never
+    # host anything again (demands are processed in decreasing size), so the
+    # first-fit scan drops them as it passes — the common homogeneous-job
+    # case then packs in near-linear time instead of O(jobs x machines).
+    active: List[List[object]] = [[m.machine, m.cores] for m in ordered_machines]
+    suffix_min = [0] * len(ordered_demands)
+    smallest = None
+    for index in range(len(ordered_demands) - 1, -1, -1):
+        cores = ordered_demands[index].cores
+        smallest = cores if smallest is None else min(smallest, cores)
+        suffix_min[index] = smallest
+
+    assignments: List[Assignment] = []
+    unplaced: List[PlacementDemand] = []
+    for index, demand in enumerate(ordered_demands):
+        floor = suffix_min[index]
+        chosen = None
+        if strategy == "first_fit":
+            scan = 0
+            while scan < len(active):
+                name, remaining = active[scan]
+                if remaining < floor:
+                    active.pop(scan)
+                    continue
+                if remaining >= demand.cores:
+                    chosen = scan
+                    break
+                scan += 1
+        else:
+            best_remaining = None
+            for position, (name, remaining) in enumerate(active):
+                if remaining < demand.cores:
+                    continue
+                better = (
+                    best_remaining is None
+                    or (strategy == "best_fit" and remaining < best_remaining)
+                    or (strategy == "worst_fit" and remaining > best_remaining)
+                )
+                if better:
+                    best_remaining = remaining
+                    chosen = position
+        if chosen is None:
+            unplaced.append(demand)
+            continue
+        slot = active[chosen]
+        assignments.append(Assignment(machine=slot[0], job=demand.name, cores=demand.cores))
+        slot[1] -= demand.cores
+
+    return PlacementPlan(assignments=tuple(assignments), unplaced=tuple(unplaced))

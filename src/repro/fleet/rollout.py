@@ -1,0 +1,135 @@
+"""Staged rollout engine: canary -> wave -> fleet with SLO guardrails.
+
+PerfIso reached tens of thousands of machines the way every config change
+does in production: a small canary first, progressively wider waves, and an
+automatic halt-and-rollback whenever the tail-latency guardrail trips.  The
+engine below drives the versioned :class:`~repro.cluster.autopilot.ConfigStore`
+— it publishes the baseline and target configurations as explicit versions,
+records a decision per stage, and on a guardrail breach restores the exact
+baseline version for every file it touched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Tuple
+
+from ..cluster.autopilot import ConfigStore
+from ..config.schema import RolloutSpec
+from ..errors import ClusterError
+
+__all__ = ["GuardrailMonitor", "StageDecision", "StagedRollout"]
+
+
+@dataclass(frozen=True)
+class StageDecision:
+    """One stage's guardrail verdict."""
+
+    stage: str
+    fraction: float
+    #: Worst colocated-to-baseline P99 ratio observed across groups.
+    p99_ratio: float
+    breached: bool
+    action: str  # "advance" | "halt"
+
+
+class GuardrailMonitor:
+    """Compares each group's colocated P99 against its baseline reference."""
+
+    def __init__(self, p99_multiplier: float) -> None:
+        if p99_multiplier < 1.0:
+            raise ClusterError("guardrail multiplier must be >= 1.0")
+        self._multiplier = p99_multiplier
+
+    @property
+    def p99_multiplier(self) -> float:
+        return self._multiplier
+
+    def ratio(self, measured_p99: float, reference_p99: float) -> float:
+        if reference_p99 <= 0.0:
+            return 0.0 if measured_p99 <= 0.0 else float("inf")
+        return measured_p99 / reference_p99
+
+    def breached(self, measured_p99: float, reference_p99: float) -> bool:
+        return self.ratio(measured_p99, reference_p99) > self._multiplier
+
+
+class StagedRollout:
+    """Drives one staged configuration rollout through a ConfigStore."""
+
+    def __init__(
+        self,
+        store: ConfigStore,
+        rollout: RolloutSpec,
+        entries: Mapping[str, Tuple[object, object]],
+    ) -> None:
+        """``entries`` maps config file name -> (baseline_spec, target_spec)."""
+        if not entries:
+            raise ClusterError("a rollout needs at least one configuration file")
+        self._store = store
+        self._rollout = rollout
+        self._entries = dict(entries)
+        self._baseline_versions: Dict[str, int] = {}
+        self._target_versions: Dict[str, int] = {}
+        self.status = "pending"  # pending -> in_progress -> completed | halted
+        self.history: List[StageDecision] = []
+        self.monitor = GuardrailMonitor(rollout.guardrail_p99_multiplier)
+
+    # ---------------------------------------------------------------- wiring
+    @property
+    def store(self) -> ConfigStore:
+        return self._store
+
+    @property
+    def stage_fractions(self) -> Tuple[float, ...]:
+        return self._rollout.stage_fractions
+
+    def baseline_version(self, name: str) -> int:
+        return self._baseline_versions[name]
+
+    def target_version(self, name: str) -> int:
+        return self._target_versions[name]
+
+    # ------------------------------------------------------------- lifecycle
+    def begin(self) -> None:
+        """Publish baseline then target versions for every managed file."""
+        if self.status != "pending":
+            raise ClusterError(f"rollout already {self.status}")
+        for name in sorted(self._entries):
+            baseline, target = self._entries[name]
+            self._baseline_versions[name] = self._store.publish(name, baseline)
+            self._target_versions[name] = self._store.publish(name, target)
+        self.status = "in_progress"
+
+    def record_stage(self, stage: str, fraction: float, p99_ratio: float) -> StageDecision:
+        """Apply the guardrail verdict for one completed stage.
+
+        On a breach the rollout halts immediately: every file is rolled back
+        to the exact baseline version captured by :meth:`begin`, regardless
+        of what else was published to the store in the meantime.
+        """
+        if self.status != "in_progress":
+            raise ClusterError(f"cannot record a stage on a rollout that is {self.status}")
+        breached = p99_ratio > self.monitor.p99_multiplier
+        decision = StageDecision(
+            stage=stage,
+            fraction=fraction,
+            p99_ratio=p99_ratio,
+            breached=breached,
+            action="halt" if breached else "advance",
+        )
+        self.history.append(decision)
+        if breached:
+            for name in sorted(self._entries):
+                self._store.rollback(name, self._baseline_versions[name])
+            self.status = "halted"
+        return decision
+
+    def finish(self) -> None:
+        """Mark a rollout that survived every stage as completed."""
+        if self.status == "in_progress":
+            self.status = "completed"
+
+    def active_specs(self, cls: type) -> Dict[str, object]:
+        """The configuration currently live for every managed file."""
+        return {name: self._store.fetch(name, cls) for name in sorted(self._entries)}

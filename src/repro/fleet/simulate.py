@@ -1,0 +1,373 @@
+"""Sharded execution of a fleet spec: bake, staged rollout, accounting.
+
+The simulation composes the other fleet modules:
+
+1. :class:`~repro.fleet.model.FleetModel` calibrates every machine group
+   through the shared experiment runner (content-addressed, so repeat runs
+   and overlapping fleets are cache hits);
+2. the placement scheduler packs batch demand onto the stage's enabled
+   machines under the calibrated reclaimable-capacity estimates;
+3. machine groups are cut into fixed-size shards and fanned out through
+   ``ExperimentRunner.map`` — each shard draws its machines' latencies by
+   inverse-CDF sampling and returns *mergeable digests*, never raw samples;
+4. the staged rollout engine advances canary -> wave -> fleet, halting and
+   rolling the Autopilot configuration back on a guardrail breach.
+
+Everything downstream of the spec is deterministic: shard boundaries and RNG
+seeds depend only on the spec, so serial runs, N-worker runs and cache-served
+repeats produce byte-identical results.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.autopilot import Autopilot
+from ..config.schema import FleetSpec, PerfIsoSpec, BlindIsolationSpec
+from ..config.validation import validate_fleet
+from ..metrics.latency import LatencyDigest
+from ..units import to_millis
+from .accounting import FleetResult, StageAccount
+from .model import (
+    FleetModel,
+    GroupCalibration,
+    ModeCalibration,
+    interpolate_mode,
+    quantile_grid,
+    stable_seed,
+)
+from .placement import MachineCapacity, PlacementDemand, PlacementPlan, plan_placement
+from .rollout import StagedRollout
+
+__all__ = ["FleetShardTask", "FleetShardResult", "FleetSimulation", "build_demands"]
+
+#: Per-machine multiplicative latency skew (hardware generations, daemons).
+MACHINE_SKEW_SIGMA = 0.03
+
+
+@dataclass(frozen=True)
+class FleetShardTask:
+    """One shard of one group for one stage — the unit of fan-out and caching."""
+
+    stage: str
+    group: str
+    shard_index: int
+    seed: int
+    logical_cores: int
+    samples_per_machine: int
+    #: Colocated machines are sampled at a (possibly) higher rate so canary
+    #: stages have enough draws for a fair P99 against the baseline reference.
+    colocated_samples_per_machine: int
+    bucket_seconds: float
+    loads: Tuple[float, ...]
+    #: Per machine in the shard: cores of placed batch demand (0 = baseline).
+    placed_cores: Tuple[int, ...]
+    baseline: ModeCalibration
+    colocated: ModeCalibration
+
+
+@dataclass
+class FleetShardResult:
+    """Mergeable per-bucket summaries plus exact accounting tallies."""
+
+    group: str
+    stage: str
+    shard_index: int
+    machines: int
+    baseline_digests: List[LatencyDigest]
+    colocated_digests: List[LatencyDigest]
+    reclaimed_core_hours: float
+    #: Machine-hours of batch work completed, normalised to one machine
+    #: running its secondary at the full calibrated rate for one hour (tenant
+    #: progress units differ per kind, so raw progress cannot be summed).
+    batch_machine_hours: float
+
+
+def _simulate_shard(task: FleetShardTask) -> FleetShardResult:
+    """Worker entry point: sample one shard's machines across the buckets."""
+    machines = len(task.placed_cores)
+    rng = np.random.default_rng(
+        stable_seed("fleet-shard", task.seed, task.group, task.stage, task.shard_index)
+    )
+    skew = rng.lognormal(mean=0.0, sigma=MACHINE_SKEW_SIGMA, size=machines)
+    placed = np.asarray(task.placed_cores, dtype=np.float64)
+    colocated_index = np.flatnonzero(placed > 0)
+    baseline_index = np.flatnonzero(placed == 0)
+    grid = quantile_grid()
+
+    baseline_digests: List[LatencyDigest] = []
+    colocated_digests: List[LatencyDigest] = []
+    reclaimed = 0.0
+    progress = 0.0
+    for qps in task.loads:
+        bucket_baseline = LatencyDigest()
+        bucket_colocated = LatencyDigest()
+        for calibration, index, digest, per_machine in (
+            (task.baseline, baseline_index, bucket_baseline, task.samples_per_machine),
+            (task.colocated, colocated_index, bucket_colocated,
+             task.colocated_samples_per_machine),
+        ):
+            if index.size == 0:
+                continue
+            curve, _, _, _ = interpolate_mode(calibration, qps)
+            uniforms = rng.random((index.size, per_machine))
+            samples = np.interp(uniforms, grid, curve) * skew[index][:, None]
+            digest.add(samples.ravel())
+        if colocated_index.size:
+            _, _, secondary_cpu, _ = interpolate_mode(task.colocated, qps)
+            granted = secondary_cpu * task.logical_cores
+            effective = np.minimum(placed[colocated_index], granted)
+            reclaimed += float(effective.sum()) * task.bucket_seconds / 3600.0
+            if granted > 0.0:
+                progress += float((effective / granted).sum()) * task.bucket_seconds / 3600.0
+        baseline_digests.append(bucket_baseline)
+        colocated_digests.append(bucket_colocated)
+
+    return FleetShardResult(
+        group=task.group,
+        stage=task.stage,
+        shard_index=task.shard_index,
+        machines=machines,
+        baseline_digests=baseline_digests,
+        colocated_digests=colocated_digests,
+        reclaimed_core_hours=reclaimed,
+        batch_machine_hours=progress,
+    )
+
+
+def build_demands(spec: FleetSpec, calibrations: Dict[str, GroupCalibration]) -> List[PlacementDemand]:
+    """The batch queue awaiting placement, derived deterministically.
+
+    Explicit ``placement.job_cores`` wins; otherwise the queue targets
+    ``demand_fraction`` of the fleet's estimated reclaimable cores in jobs of
+    ``job_cores_each``.
+    """
+    if spec.placement.job_cores:
+        sizes: Sequence[int] = spec.placement.job_cores
+    else:
+        total_reclaimable = sum(
+            group.machines * calibrations[group.name].reclaimable_cores(group.buffer_cores)
+            for group in spec.groups
+        )
+        target = int(total_reclaimable * spec.placement.demand_fraction)
+        sizes = (spec.placement.job_cores_each,) * (target // spec.placement.job_cores_each)
+    return [
+        PlacementDemand(name=f"batch-{index:06d}", cores=cores)
+        for index, cores in enumerate(sizes)
+    ]
+
+
+class FleetSimulation:
+    """Operates one fleet spec end to end and returns a :class:`FleetResult`."""
+
+    def __init__(self, spec: FleetSpec, runner=None) -> None:
+        validate_fleet(spec)
+        self._spec = spec
+        self._runner = runner
+        self.autopilot = Autopilot()
+        self.rollout: Optional[StagedRollout] = None
+
+    # ---------------------------------------------------------------- wiring
+    def _config_entries(self) -> Dict[str, Tuple[PerfIsoSpec, PerfIsoSpec]]:
+        """Per group: the pre-rollout (disabled) and target PerfIso configs."""
+        entries: Dict[str, Tuple[PerfIsoSpec, PerfIsoSpec]] = {}
+        for group in self._spec.groups:
+            baseline = PerfIsoSpec(enabled=False)
+            target = PerfIsoSpec(
+                cpu_policy=self._spec.rollout.target_policy,
+                blind=BlindIsolationSpec(buffer_cores=group.buffer_cores),
+            )
+            entries[f"perfiso-{group.name}.json"] = (baseline, target)
+        return entries
+
+    # -------------------------------------------------------------- execution
+    def run(self) -> FleetResult:
+        from ..runtime.runner import default_runner
+        from ..runtime.spec_hash import versioned_namespace
+
+        spec = self._spec
+        runner = self._runner if self._runner is not None else default_runner()
+        model = FleetModel(spec)
+        calibrations = model.calibrate(runner)
+        demands = build_demands(spec, calibrations)
+
+        rollout = StagedRollout(self.autopilot.config, spec.rollout, self._config_entries())
+        self.rollout = rollout
+        rollout.begin()
+
+        namespace = versioned_namespace("fleet-shard")
+        bucket_cursor = 0
+        result = FleetResult(
+            machines=spec.total_machines,
+            groups=len(spec.groups),
+            status="completed",
+            stages_completed=0,
+            stages_total=len(spec.rollout.stage_fractions),
+            placement_strategy=spec.placement.strategy,
+            target_policy=spec.rollout.target_policy,
+        )
+
+        def run_buckets(
+            stage: str, buckets: int, placed_by_machine: Dict[str, int]
+        ) -> Tuple[Dict[str, Dict[str, List[LatencyDigest]]], float, float]:
+            """Fan one stage's shards out and merge their digests per bucket."""
+            nonlocal bucket_cursor
+            tasks: List[FleetShardTask] = []
+            for group in spec.groups:
+                names = model.machine_names(group)
+                loads = tuple(
+                    model.load_at(group, (bucket_cursor + index) * spec.bucket_seconds)
+                    for index in range(buckets)
+                )
+                calibration = calibrations[group.name]
+                colocated_count = sum(
+                    1 for name in names if placed_by_machine.get(name, 0) > 0
+                )
+                colocated_rate = spec.samples_per_machine_bucket
+                if colocated_count:
+                    floor = -(-spec.min_colocated_samples_per_bucket // colocated_count)
+                    colocated_rate = max(colocated_rate, floor)
+                for shard_index, start, stop in model.shards(group):
+                    placed = tuple(
+                        placed_by_machine.get(name, 0) for name in names[start:stop]
+                    )
+                    tasks.append(
+                        FleetShardTask(
+                            stage=stage,
+                            group=group.name,
+                            shard_index=shard_index,
+                            seed=spec.seed,
+                            logical_cores=group.machine.logical_cores,
+                            samples_per_machine=spec.samples_per_machine_bucket,
+                            colocated_samples_per_machine=colocated_rate,
+                            bucket_seconds=spec.bucket_seconds,
+                            loads=loads,
+                            placed_cores=placed,
+                            baseline=calibration.baseline,
+                            colocated=calibration.colocated,
+                        )
+                    )
+            shard_results = runner.map(
+                _simulate_shard, [(task,) for task in tasks], cache_namespace=namespace
+            )
+            bucket_cursor += buckets
+            merged: Dict[str, Dict[str, List[LatencyDigest]]] = {
+                group.name: {
+                    "baseline": [LatencyDigest() for _ in range(buckets)],
+                    "colocated": [LatencyDigest() for _ in range(buckets)],
+                }
+                for group in spec.groups
+            }
+            reclaimed = 0.0
+            progress = 0.0
+            for shard in shard_results:
+                for bucket in range(buckets):
+                    merged[shard.group]["baseline"][bucket].merge(shard.baseline_digests[bucket])
+                    merged[shard.group]["colocated"][bucket].merge(shard.colocated_digests[bucket])
+                reclaimed += shard.reclaimed_core_hours
+                progress += shard.batch_machine_hours
+                result.machine_buckets += shard.machines * buckets
+            return merged, reclaimed, progress
+
+        # ------------------------------------------------------ baseline bake
+        bake_buckets = spec.rollout.bake_buckets
+        bake_merged, _, _ = run_buckets("bake", bake_buckets, {})
+        reference_p99: Dict[str, float] = {}
+        bake_digest = LatencyDigest()
+        for group in spec.groups:
+            group_digest = LatencyDigest.merged(bake_merged[group.name]["baseline"])
+            reference_p99[group.name] = group_digest.percentile(99.0)
+            bake_digest.merge(group_digest)
+        result.baseline_digest.merge(bake_digest)
+        result.stages.append(
+            StageAccount(
+                stage="bake",
+                fraction=0.0,
+                buckets=bake_buckets,
+                machines_enabled=0,
+                colocated_machines=0,
+                placed_jobs=0,
+                unplaced_jobs=len(demands),
+                baseline_p99_ms=to_millis(bake_digest.percentile(99.0)),
+                colocated_p99_ms=0.0,
+                p99_ratio=0.0,
+                decision="reference",
+                reclaimed_core_hours=0.0,
+                batch_machine_hours=0.0,
+                slo_violation_minutes=0.0,
+            )
+        )
+
+        # ----------------------------------------------------- rollout stages
+        for stage_index, fraction in enumerate(spec.rollout.stage_fractions):
+            stage = f"stage-{stage_index + 1}"
+            capacities: List[MachineCapacity] = []
+            machines_enabled = 0
+            for group in spec.groups:
+                enabled = model.enabled_count(group, fraction)
+                machines_enabled += enabled
+                reclaimable = calibrations[group.name].reclaimable_cores(group.buffer_cores)
+                names = model.machine_names(group)[:enabled]
+                capacities.extend(
+                    MachineCapacity(machine=name, cores=reclaimable) for name in names
+                )
+            plan: PlacementPlan = plan_placement(capacities, demands, spec.placement.strategy)
+            placed_by_machine = plan.placed_cores_by_machine()
+
+            merged, reclaimed, progress = run_buckets(
+                stage, spec.rollout.stage_buckets, placed_by_machine
+            )
+
+            stage_baseline = LatencyDigest()
+            stage_colocated = LatencyDigest()
+            worst_ratio = 0.0
+            violation_minutes = 0.0
+            for group in spec.groups:
+                group_colocated = LatencyDigest.merged(merged[group.name]["colocated"])
+                stage_baseline.merge(LatencyDigest.merged(merged[group.name]["baseline"]))
+                stage_colocated.merge(group_colocated)
+                reference = reference_p99[group.name]
+                if group_colocated.count:
+                    ratio = rollout.monitor.ratio(group_colocated.percentile(99.0), reference)
+                    worst_ratio = max(worst_ratio, ratio)
+                for bucket_digest in merged[group.name]["colocated"]:
+                    if bucket_digest.count and rollout.monitor.breached(
+                        bucket_digest.percentile(99.0), reference
+                    ):
+                        violation_minutes += spec.bucket_seconds / 60.0
+            result.baseline_digest.merge(stage_baseline)
+            result.colocated_digest.merge(stage_colocated)
+
+            decision = rollout.record_stage(stage, fraction, worst_ratio)
+            result.stages.append(
+                StageAccount(
+                    stage=stage,
+                    fraction=fraction,
+                    buckets=spec.rollout.stage_buckets,
+                    machines_enabled=machines_enabled,
+                    colocated_machines=len(placed_by_machine),
+                    placed_jobs=plan.placed_jobs,
+                    unplaced_jobs=len(plan.unplaced),
+                    baseline_p99_ms=to_millis(stage_baseline.percentile(99.0)),
+                    colocated_p99_ms=to_millis(stage_colocated.percentile(99.0)),
+                    p99_ratio=worst_ratio,
+                    decision=decision.action,
+                    reclaimed_core_hours=reclaimed,
+                    batch_machine_hours=progress,
+                    slo_violation_minutes=violation_minutes,
+                )
+            )
+            if decision.breached:
+                result.status = "halted"
+                break
+            result.stages_completed += 1
+
+        rollout.finish()
+        result.active_config_versions = {
+            name: self.autopilot.config.active_version(name)
+            for name in sorted(self._config_entries())
+        }
+        return result

@@ -18,7 +18,7 @@ import numpy as np
 from ..errors import ExperimentError
 from ..units import to_millis
 
-__all__ = ["LatencyStats", "LatencyCollector", "ReservoirCollector"]
+__all__ = ["LatencyStats", "LatencyCollector", "ReservoirCollector", "LatencyDigest"]
 
 
 @dataclass(frozen=True)
@@ -240,6 +240,152 @@ class ReservoirCollector:
 
     def stats(self) -> LatencyStats:
         return _stats_from_array(np.asarray(self._reservoir, dtype=float), self._dropped)
+
+
+class LatencyDigest:
+    """Exactly-mergeable latency summary over fixed log-spaced bins.
+
+    The fleet harness aggregates latency behaviour across thousands of
+    machines simulated in separate shards (often separate processes), so it
+    cannot pool raw samples the way :class:`LatencyCollector` does.  A digest
+    is a histogram over a *fixed* geometric bin grid plus exact count / sum /
+    max accumulators: merging the digests of disjoint shards yields, bit for
+    bit, the digest of the union of their samples, so every statistic derived
+    from a merged digest is independent of how the fleet was sharded.
+
+    Percentiles are resolved to the geometric midpoint of the covering bin;
+    with the default 512 bins spanning 20 us .. 120 s the relative
+    quantisation error is ~1.5 %, far below the machine-to-machine variation
+    the fleet model cares about.
+    """
+
+    DEFAULT_BINS = 512
+    DEFAULT_LOWEST = 20e-6
+    DEFAULT_HIGHEST = 120.0
+
+    def __init__(
+        self,
+        bins: int = DEFAULT_BINS,
+        lowest: float = DEFAULT_LOWEST,
+        highest: float = DEFAULT_HIGHEST,
+    ) -> None:
+        if bins < 1:
+            raise ExperimentError("digest needs at least one bin")
+        if not 0.0 < lowest < highest:
+            raise ExperimentError("digest bounds must satisfy 0 < lowest < highest")
+        self._bins = bins
+        self._lowest = float(lowest)
+        self._highest = float(highest)
+        self._edges = np.geomspace(self._lowest, self._highest, bins + 1)
+        # Layout: [underflow, bin 1..bins, overflow].
+        self._counts = np.zeros(bins + 2, dtype=np.int64)
+        self._sum = 0.0
+        self._max = 0.0
+        self._dropped = 0
+
+    # ---------------------------------------------------------------- identity
+    @property
+    def grid(self) -> tuple:
+        """The (bins, lowest, highest) triple two digests must share to merge."""
+        return (self._bins, self._lowest, self._highest)
+
+    @property
+    def count(self) -> int:
+        return int(self._counts.sum())
+
+    @property
+    def dropped(self) -> int:
+        return self._dropped
+
+    @property
+    def maximum(self) -> float:
+        return self._max
+
+    # --------------------------------------------------------------- mutation
+    def add(self, latencies: Iterable[float]) -> None:
+        """Accumulate a batch of samples (seconds)."""
+        values = _as_nonnegative_array(latencies)
+        if values.size == 0:
+            return
+        indices = np.searchsorted(self._edges, values, side="right")
+        self._counts += np.bincount(indices, minlength=self._counts.size).astype(np.int64)
+        self._sum += float(values.sum())
+        self._max = max(self._max, float(values.max()))
+
+    def record_drop(self, count: int = 1) -> None:
+        self._dropped += count
+
+    def merge(self, other: "LatencyDigest") -> None:
+        """Fold ``other`` into this digest (grids must match exactly)."""
+        if self.grid != other.grid:
+            raise ExperimentError(
+                f"cannot merge digests with different grids: {self.grid} vs {other.grid}"
+            )
+        self._counts += other._counts
+        self._sum += other._sum
+        self._max = max(self._max, other._max)
+        self._dropped += other._dropped
+
+    def copy(self) -> "LatencyDigest":
+        clone = LatencyDigest(self._bins, self._lowest, self._highest)
+        clone._counts = self._counts.copy()
+        clone._sum = self._sum
+        clone._max = self._max
+        clone._dropped = self._dropped
+        return clone
+
+    @classmethod
+    def from_samples(cls, latencies: Iterable[float], **grid: float) -> "LatencyDigest":
+        digest = cls(**grid)
+        digest.add(latencies)
+        return digest
+
+    @classmethod
+    def merged(cls, parts: Sequence["LatencyDigest"]) -> "LatencyDigest":
+        """A new digest holding the union of ``parts`` (empty parts allowed)."""
+        parts = list(parts)
+        if not parts:
+            return cls()
+        merged = parts[0].copy()
+        for part in parts[1:]:
+            merged.merge(part)
+        return merged
+
+    # ---------------------------------------------------------------- queries
+    def percentile(self, q: float) -> float:
+        """The q-th percentile, resolved within the covering bin."""
+        total = self.count
+        if total == 0:
+            return 0.0
+        target = q / 100.0 * total
+        cumulative = np.cumsum(self._counts)
+        index = int(np.searchsorted(cumulative, max(target, 1e-12), side="left"))
+        index = min(index, self._bins + 1)
+        if index == 0:
+            value = self._lowest
+        elif index == self._bins + 1:
+            value = self._max
+        else:
+            value = float(np.sqrt(self._edges[index - 1] * self._edges[index]))
+        return min(value, self._max)
+
+    def stats(self) -> LatencyStats:
+        total = self.count
+        if total == 0:
+            return LatencyStats(0, self._dropped, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0)
+        return LatencyStats(
+            count=total,
+            dropped=self._dropped,
+            mean=self._sum / total,
+            p50=self.percentile(50.0),
+            p95=self.percentile(95.0),
+            p99=self.percentile(99.0),
+            p999=self.percentile(99.9),
+            maximum=self._max,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"LatencyDigest(count={self.count}, max={self._max:.6f})"
 
 
 def merge_stats(parts: Sequence[LatencyStats]) -> LatencyStats:

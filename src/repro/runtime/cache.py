@@ -13,6 +13,14 @@ Two storage layers:
 * an optional on-disk layer (one pickle per entry under a cache directory),
   enabled by passing ``directory`` or by setting ``REPRO_CACHE_DIR``, which
   persists calibrations across processes and CI runs.
+
+The disk layer can be bounded with ``max_entries`` (or the
+``REPRO_CACHE_MAX_ENTRIES`` environment variable): long fleet and matrix
+sweeps write thousands of shard results, and an unbounded cache directory
+would otherwise grow without limit.  Eviction is least-recently-used — disk
+hits refresh an entry's mtime, and every store drops the stalest entries
+over the cap.  An evicted entry is simply a future miss: the caller
+recomputes and the result is re-admitted.
 """
 
 from __future__ import annotations
@@ -23,23 +31,61 @@ import tempfile
 from pathlib import Path
 from typing import Any, Optional
 
+from ..errors import ConfigError
+
 __all__ = ["ResultCache", "default_cache", "reset_default_cache"]
 
 #: Environment variable naming a directory for the persistent cache layer.
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 
+#: Environment variable bounding the number of on-disk entries (LRU evicted).
+CACHE_MAX_ENTRIES_ENV = "REPRO_CACHE_MAX_ENTRIES"
+
+
+def _max_entries_from_env() -> Optional[int]:
+    raw = os.environ.get(CACHE_MAX_ENTRIES_ENV)
+    if not raw:
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ConfigError(
+            f"{CACHE_MAX_ENTRIES_ENV} must be an integer, got {raw!r}"
+        ) from None
+    if value < 0:
+        raise ConfigError(f"{CACHE_MAX_ENTRIES_ENV} must be >= 0, got {value}")
+    return value or None  # 0 means unbounded
+
 
 class ResultCache:
     """Two-layer (memory + optional disk) content-addressed cache."""
 
-    def __init__(self, directory: Optional[os.PathLike] = None) -> None:
+    def __init__(
+        self,
+        directory: Optional[os.PathLike] = None,
+        max_entries: Optional[int] = None,
+    ) -> None:
         self._memory: dict = {}
         self._directory: Optional[Path] = Path(directory) if directory else None
         if self._directory is not None:
             self._directory.mkdir(parents=True, exist_ok=True)
+        if max_entries is None:
+            max_entries = _max_entries_from_env()
+        elif max_entries < 0:
+            raise ConfigError(f"max_entries must be >= 0, got {max_entries}")
+        self._max_entries = max_entries or None  # 0 means unbounded
+        #: Approximate count of on-disk entries, seeded lazily; lets the LRU
+        #: cap skip the directory scan until the cap is actually reached.
+        self._disk_entries: Optional[int] = None
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.evictions = 0
+
+    @property
+    def max_entries(self) -> Optional[int]:
+        """The disk layer's entry cap (``None`` = unbounded)."""
+        return self._max_entries
 
     @property
     def directory(self) -> Optional[Path]:
@@ -79,12 +125,19 @@ class ResultCache:
                 # caller recompute (the put will overwrite it).
                 try:
                     path.unlink()
+                    if self._disk_entries is not None and self._disk_entries > 0:
+                        self._disk_entries -= 1
                 except OSError:
                     pass
                 self.misses += 1
                 return default
             self._memory[key] = value
             self.hits += 1
+            # Refresh the entry's recency so LRU eviction spares hot entries.
+            try:
+                os.utime(path)
+            except OSError:
+                pass
             return value
         self.misses += 1
         return default
@@ -101,20 +154,64 @@ class ResultCache:
         if self._directory is not None:
             try:
                 # Write-then-rename so concurrent workers never read a torn file.
+                target = self._directory / f"{key}.pkl"
+                # Entry-count bookkeeping only matters when a cap is set; an
+                # unbounded cache never pays the scan or the per-put stat.
+                bounded = self._max_entries is not None
+                replacing = bounded and target.is_file()
+                entries_before = self._disk_count() if bounded else 0
                 fd, tmp_name = tempfile.mkstemp(dir=self._directory, suffix=".tmp")
                 try:
                     with os.fdopen(fd, "wb") as handle:
                         pickle.dump(value, handle, protocol=pickle.HIGHEST_PROTOCOL)
-                    os.replace(tmp_name, self._directory / f"{key}.pkl")
+                    os.replace(tmp_name, target)
                 except BaseException:
                     if os.path.exists(tmp_name):
                         os.unlink(tmp_name)
                     raise
+                if bounded and not replacing:
+                    self._disk_entries = entries_before + 1
+                self._enforce_disk_cap()
             except Exception:
                 # Mirrors get(): pickling can fail with PickleError,
                 # AttributeError or TypeError depending on the payload, and
                 # the filesystem with OSError — all degrade the same way.
                 pass
+
+    def _disk_count(self) -> int:
+        """On-disk entry count, seeded by one directory scan then maintained.
+
+        The count is advisory — another process sharing the directory can
+        make it drift — but every over-cap enforcement rescans the directory
+        and resynchronises it, so drift only ever delays an eviction.
+        """
+        if self._directory is None:
+            return 0
+        if self._disk_entries is None:
+            self._disk_entries = sum(1 for _ in self._directory.glob("*.pkl"))
+        return self._disk_entries
+
+    def _enforce_disk_cap(self) -> None:
+        """Drop the least-recently-used entries over ``max_entries``."""
+        if self._directory is None or self._max_entries is None:
+            return
+        if self._disk_count() <= self._max_entries:
+            return
+        entries = []
+        for path in self._directory.glob("*.pkl"):
+            try:
+                entries.append((path.stat().st_mtime_ns, path.name, path))
+            except OSError:
+                continue  # raced with another worker's eviction
+        excess = len(entries) - self._max_entries
+        entries.sort()
+        for _, _, path in entries[: max(excess, 0)]:
+            try:
+                path.unlink()
+                self.evictions += 1
+            except OSError:
+                pass
+        self._disk_entries = min(len(entries), self._max_entries)
 
     def clear(self) -> None:
         """Drop the in-memory layer (the disk layer, if any, is left intact)."""

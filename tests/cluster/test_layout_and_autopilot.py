@@ -60,6 +60,61 @@ class TestConfigStore:
         assert autopilot.config.pushes == 2
 
 
+class TestConfigStoreVersions:
+    def test_publish_returns_increasing_versions(self):
+        store = Autopilot().config
+        assert store.publish("perfiso.json", PerfIsoSpec(cpu_policy="blind")) == 1
+        assert store.publish("perfiso.json", PerfIsoSpec(cpu_policy="none")) == 2
+        assert store.version_count("perfiso.json") == 2
+        assert store.active_version("perfiso.json") == 2
+
+    def test_fetch_version_returns_exact_historical_spec(self):
+        store = Autopilot().config
+        original = PerfIsoSpec(cpu_policy="static_cores")
+        store.publish("perfiso.json", original)
+        store.publish("perfiso.json", PerfIsoSpec(cpu_policy="blind"))
+        assert store.fetch_version("perfiso.json", 1, PerfIsoSpec) == original
+
+    def test_rollback_restores_prior_version(self):
+        store = Autopilot().config
+        original = PerfIsoSpec(cpu_policy="blind", enabled=False)
+        store.publish("perfiso.json", original)
+        store.publish("perfiso.json", PerfIsoSpec(cpu_policy="blind"))
+        assert store.rollback("perfiso.json") == 1
+        assert store.fetch_perfiso() == original
+        # Rolling back is a push (machines re-fetch the file).
+        assert store.pushes == 3
+
+    def test_rollback_to_explicit_version_even_after_more_pushes(self):
+        store = Autopilot().config
+        original = PerfIsoSpec(enabled=False)
+        store.publish("perfiso.json", original)
+        store.publish("perfiso.json", PerfIsoSpec(cpu_policy="cpu_cycles"))
+        store.publish("perfiso.json", PerfIsoSpec(cpu_policy="none"))
+        assert store.rollback("perfiso.json", 1) == 1
+        assert store.fetch_perfiso() == original
+        # History is never rewritten: the newer versions are still there.
+        assert store.version_count("perfiso.json") == 3
+
+    def test_rollback_bounds_checked(self):
+        store = Autopilot().config
+        store.publish("perfiso.json", PerfIsoSpec())
+        with pytest.raises(ClusterError):
+            store.rollback("perfiso.json")  # no prior version
+        with pytest.raises(ClusterError):
+            store.rollback("perfiso.json", 7)
+        with pytest.raises(ClusterError):
+            store.rollback("missing.json")
+
+    def test_fetch_version_bounds_checked(self):
+        store = Autopilot().config
+        store.publish("perfiso.json", PerfIsoSpec())
+        with pytest.raises(ClusterError):
+            store.fetch_version("perfiso.json", 0, PerfIsoSpec)
+        with pytest.raises(ClusterError):
+            store.fetch_version("perfiso.json", 2, PerfIsoSpec)
+
+
 class TestAutopilotServices:
     def _make_service(self, machine="m0", name="perfiso", state=None):
         calls = {"start": 0, "stop": 0}

@@ -13,6 +13,14 @@ _SRC = os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
 
+# Make the fleet test helpers importable as ``fleet_testing`` from anywhere
+# (tests/fleet has no conftest of its own: a third conftest.py would collide
+# with the flat module names pytest gives tests/conftest.py and
+# benchmarks/conftest.py).
+_FLEET = os.path.join(os.path.dirname(os.path.abspath(__file__)), "fleet")
+if _FLEET not in sys.path:
+    sys.path.insert(0, _FLEET)
+
 from repro.config.schema import (  # noqa: E402
     ExperimentSpec,
     IndexServeSpec,
@@ -102,3 +110,23 @@ def make_fast_experiment_spec(
 @pytest.fixture
 def fast_spec() -> ExperimentSpec:
     return make_fast_experiment_spec()
+
+
+# ----------------------------------------------------------------- fleet tests
+@pytest.fixture(scope="session")
+def fleet_runner():
+    """One runner (and cache) shared by every fleet test in the session.
+
+    Calibration runs are the expensive part of a fleet simulation; sharing
+    the cache means the tiny calibration specs are simulated exactly once.
+    """
+    from repro.runtime import ExperimentRunner, ResultCache
+
+    return ExperimentRunner(max_workers=2, cache=ResultCache())
+
+
+@pytest.fixture
+def tiny_fleet_spec():
+    from fleet_testing import make_tiny_fleet_spec
+
+    return make_tiny_fleet_spec()

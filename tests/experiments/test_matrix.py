@@ -4,8 +4,8 @@ import json
 
 import pytest
 
-from repro.config.schema import SecondaryJobSpec
-from repro.config.validation import validate_experiment
+from repro.config.schema import FleetSpec, SecondaryJobSpec
+from repro.config.validation import validate_experiment, validate_fleet
 from repro.errors import ConfigError
 from repro.experiments import matrix
 from repro.experiments import scenarios as sc
@@ -32,7 +32,21 @@ class TestCatalog:
             variants = scenario.expand(**FAST)
             assert len(variants) == scenario.variant_count()
             for variant in variants:
-                validate_experiment(variant.spec)
+                if scenario.kind == "fleet":
+                    assert isinstance(variant.spec, FleetSpec)
+                    validate_fleet(variant.spec)
+                else:
+                    validate_experiment(variant.spec)
+
+    def test_fleet_scenarios_are_registered(self):
+        fleet = [s for s in matrix.iter_scenarios() if s.kind == "fleet"]
+        assert len(fleet) >= 4
+        names = {s.name for s in fleet}
+        assert {"fleet-staged-rollout", "fleet-guardrail-breach"} <= names
+        # Fleet scenarios cover the new diversity axes: rollout staging,
+        # placement strategy and fleet size.
+        axes = {axis for s in fleet for axis in s.axis_names}
+        assert {"machines", "strategy", "stages"} <= axes
 
     def test_every_scenario_has_description_and_tier(self):
         for scenario in matrix.iter_scenarios():
@@ -200,6 +214,32 @@ class TestCli:
     def test_unknown_scenario_exits_nonzero(self, capsys):
         assert matrix.main(["--run", "nope"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+    def test_unknown_scenario_suggests_close_matches(self, capsys):
+        assert matrix.main(["--run", "standalon"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err
+        assert "'standalone'" in err
+
+    def test_unrecognisable_name_gets_no_suggestion(self):
+        with pytest.raises(ConfigError) as excinfo:
+            matrix.get_scenario("zzzzqqqq")
+        assert "did you mean" not in str(excinfo.value)
+
+    def test_seed_flag_threads_into_expanded_specs(self, capsys):
+        code = matrix.main(
+            ["--run", "standalone", "--qps", "500", "--duration", "0.5",
+             "--warmup", "0.1", "--seed", "123", "--out", "json"]
+        )
+        assert code == 0
+        capsys.readouterr()
+        assert matrix.expand("standalone", seed=123)[0].spec.seed == 123
+
+    def test_list_shows_fleet_scenarios(self, capsys):
+        assert matrix.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet-staged-rollout" in out
+        assert "fleet)" in out  # the catalog footer counts fleet scenarios
 
     def test_bad_grid_syntax_exits_nonzero(self, capsys):
         assert matrix.main(["--run", "no-isolation", "--grid", "oops"]) == 2

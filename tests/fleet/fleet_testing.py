@@ -1,0 +1,22 @@
+"""Helpers shared by the fleet tests (kept out of conftest so test modules
+can import them by a collision-free module name)."""
+
+from __future__ import annotations
+
+from repro.fleet.scenarios import default_fleet_spec
+
+#: Calibration small enough for the fast tier (~seconds, cached afterwards).
+TINY_FLEET = dict(
+    calibration_qps=(300.0, 900.0),
+    calibration_duration=0.4,
+    calibration_warmup=0.1,
+    bake_buckets=2,
+    stage_buckets=2,
+    samples_per_machine_bucket=8,
+)
+
+
+def make_tiny_fleet_spec(machines: int = 24, stages: int = 2, **overrides):
+    params = dict(TINY_FLEET)
+    params.update(overrides)
+    return default_fleet_spec(machines=machines, stages=stages, **params)

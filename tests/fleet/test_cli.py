@@ -1,0 +1,83 @@
+"""Tests for the ``python -m repro.fleet`` command line."""
+
+import json
+
+import pytest
+
+from repro.fleet import cli
+
+TINY_ARGS = [
+    "--machines", "24", "--stages", "2", "--buckets", "2", "--samples", "8",
+    "--calibration-qps", "300,900", "--calibration-duration", "0.4",
+    "--calibration-warmup", "0.1",
+]
+
+
+class TestCli:
+    def test_list_prints_fleet_catalog(self, capsys):
+        assert cli.main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet-staged-rollout" in out
+        assert "fleet-guardrail-breach" in out
+
+    def test_default_fleet_json_output(self, capsys):
+        assert cli.main(TINY_ARGS + ["--out", "json"]) == 0
+        rows = json.loads(capsys.readouterr().out)
+        stages = [row["stage"] for row in rows]
+        assert stages == ["bake", "stage-1", "stage-2", "total"]
+        assert rows[-1]["machines"] == 24
+        assert rows[-1]["status"] == "completed"
+
+    def test_serial_and_parallel_output_is_byte_identical(self, capsys):
+        assert cli.main(TINY_ARGS + ["--out", "json", "--workers", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert cli.main(TINY_ARGS + ["--out", "json", "--workers", "4"]) == 0
+        parallel = capsys.readouterr().out
+        assert serial == parallel
+
+    def test_csv_output_has_header(self, capsys):
+        assert cli.main(TINY_ARGS + ["--out", "csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("stage,fraction,buckets")
+        assert len(lines) == 5  # header + bake + 2 stages + total
+
+    def test_table_output_mentions_stages(self, capsys):
+        assert cli.main(TINY_ARGS) == 0
+        out = capsys.readouterr().out
+        assert "stage-1" in out and "reclaimed_core_hours" in out
+
+    def test_scenario_flag_runs_catalog_entry(self, capsys):
+        assert cli.main(["--scenario", "fleet-guardrail-breach", "--out", "json"]) == 0
+        (row,) = json.loads(capsys.readouterr().out)
+        assert row["status"] == "halted"
+
+    def test_unknown_scenario_exits_nonzero_with_suggestion(self, capsys):
+        assert cli.main(["--scenario", "fleet-guardrail-breech"]) == 2
+        err = capsys.readouterr().err
+        assert "did you mean" in err and "fleet-guardrail-breach" in err
+
+    def test_experiment_scenario_rejected(self, capsys):
+        assert cli.main(["--scenario", "standalone"]) == 2
+        assert "not a fleet scenario" in capsys.readouterr().err
+
+    def test_scenario_with_fleet_shaping_flags_rejected(self, capsys):
+        code = cli.main(
+            ["--scenario", "fleet-guardrail-breach", "--machines", "48"]
+        )
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "--machines" in err and "ignored" in err
+
+    def test_too_few_machines_exits_cleanly(self, capsys):
+        assert cli.main(["--machines", "2"]) == 2
+        assert "at least three machines" in capsys.readouterr().err
+
+    def test_zero_stages_exits_cleanly(self, capsys):
+        assert cli.main(TINY_ARGS + ["--stages", "0"]) == 2
+        assert "at least one stage" in capsys.readouterr().err
+
+    def test_bad_calibration_qps_exits_nonzero(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            cli.main(["--calibration-qps", "300,oops"])
+        assert excinfo.value.code == 2
+        assert "--calibration-qps" in capsys.readouterr().err

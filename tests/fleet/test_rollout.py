@@ -1,0 +1,111 @@
+"""Unit tests for the staged rollout engine (no simulation involved)."""
+
+import pytest
+
+from repro.cluster.autopilot import Autopilot
+from repro.config.schema import PerfIsoSpec, RolloutSpec
+from repro.errors import ClusterError
+from repro.fleet.rollout import GuardrailMonitor, StagedRollout
+
+BASELINE = PerfIsoSpec(enabled=False)
+TARGET = PerfIsoSpec(cpu_policy="blind")
+
+
+def make_rollout(store=None, **rollout_kwargs):
+    store = store if store is not None else Autopilot().config
+    rollout = RolloutSpec(**rollout_kwargs)
+    return StagedRollout(
+        store,
+        rollout,
+        {"perfiso-a.json": (BASELINE, TARGET), "perfiso-b.json": (BASELINE, TARGET)},
+    )
+
+
+class TestGuardrailMonitor:
+    def test_ratio_and_breach(self):
+        monitor = GuardrailMonitor(1.5)
+        assert monitor.ratio(3.0, 2.0) == pytest.approx(1.5)
+        assert not monitor.breached(3.0, 2.0)
+        assert monitor.breached(3.1, 2.0)
+
+    def test_zero_reference_is_only_breached_by_nonzero_measurement(self):
+        monitor = GuardrailMonitor(1.5)
+        assert monitor.ratio(0.0, 0.0) == 0.0
+        assert monitor.breached(1.0, 0.0)
+
+    def test_multiplier_below_one_rejected(self):
+        with pytest.raises(ClusterError):
+            GuardrailMonitor(0.9)
+
+
+class TestStagedRollout:
+    def test_begin_publishes_baseline_then_target(self):
+        engine = make_rollout()
+        engine.begin()
+        assert engine.status == "in_progress"
+        for name in ("perfiso-a.json", "perfiso-b.json"):
+            assert engine.baseline_version(name) == 1
+            assert engine.target_version(name) == 2
+            assert engine.store.fetch_perfiso(name) == TARGET
+
+    def test_begin_twice_rejected(self):
+        engine = make_rollout()
+        engine.begin()
+        with pytest.raises(ClusterError, match="already"):
+            engine.begin()
+
+    def test_clean_rollout_completes_with_target_active(self):
+        engine = make_rollout()
+        engine.begin()
+        for index, fraction in enumerate(engine.stage_fractions):
+            decision = engine.record_stage(f"stage-{index}", fraction, p99_ratio=1.1)
+            assert decision.action == "advance"
+        engine.finish()
+        assert engine.status == "completed"
+        assert engine.active_specs(PerfIsoSpec) == {
+            "perfiso-a.json": TARGET,
+            "perfiso-b.json": TARGET,
+        }
+
+    def test_breach_halts_and_restores_exact_baseline_version(self):
+        store = Autopilot().config
+        # Unrelated history before the rollout: the baseline version the
+        # rollout must restore is NOT simply "the previous version".
+        store.publish("perfiso-a.json", PerfIsoSpec(cpu_policy="cpu_cycles"))
+        engine = make_rollout(store=store)
+        engine.begin()
+        # More noise after begin(): a hotfix push to one file.
+        store.publish("perfiso-a.json", PerfIsoSpec(cpu_policy="static_cores"))
+        decision = engine.record_stage("stage-1", 0.02, p99_ratio=9.0)
+        assert decision.breached and decision.action == "halt"
+        assert engine.status == "halted"
+        # Both files are back at the exact version begin() captured.
+        assert store.fetch_perfiso("perfiso-a.json") == BASELINE
+        assert store.fetch_perfiso("perfiso-b.json") == BASELINE
+        assert store.active_version("perfiso-a.json") == engine.baseline_version("perfiso-a.json")
+
+    def test_no_stage_recording_after_halt(self):
+        engine = make_rollout()
+        engine.begin()
+        engine.record_stage("stage-1", 0.02, p99_ratio=9.0)
+        with pytest.raises(ClusterError, match="halted"):
+            engine.record_stage("stage-2", 0.25, p99_ratio=1.0)
+
+    def test_finish_does_not_resurrect_a_halted_rollout(self):
+        engine = make_rollout()
+        engine.begin()
+        engine.record_stage("stage-1", 0.02, p99_ratio=9.0)
+        engine.finish()
+        assert engine.status == "halted"
+
+    def test_empty_entries_rejected(self):
+        with pytest.raises(ClusterError, match="at least one"):
+            StagedRollout(Autopilot().config, RolloutSpec(), {})
+
+    def test_history_records_decisions(self):
+        engine = make_rollout()
+        engine.begin()
+        engine.record_stage("stage-1", 0.02, p99_ratio=1.2)
+        engine.record_stage("stage-2", 1.0, p99_ratio=1.4)
+        assert [d.stage for d in engine.history] == ["stage-1", "stage-2"]
+        assert all(not d.breached for d in engine.history)

@@ -1,0 +1,137 @@
+"""End-to-end fleet simulation tests: determinism, accounting, guardrails."""
+
+import pytest
+
+from repro.config.schema import PlacementSpec
+from repro.experiments import matrix
+from repro.experiments.reporting import rows_to_json
+from repro.fleet.model import FleetModel
+from repro.fleet.simulate import FleetSimulation, build_demands
+from repro.runtime import ExperimentRunner, ResultCache
+
+from fleet_testing import make_tiny_fleet_spec
+
+
+@pytest.fixture(scope="module")
+def healthy_result(fleet_runner):
+    spec = make_tiny_fleet_spec()
+    result = FleetSimulation(spec, runner=fleet_runner).run()
+    return spec, result
+
+
+class TestHealthyRollout:
+    def test_rollout_completes_and_reclaims_capacity(self, healthy_result):
+        spec, result = healthy_result
+        assert result.status == "completed"
+        assert result.stages_completed == result.stages_total == 2
+        assert result.machines == spec.total_machines
+        assert result.reclaimed_core_hours > 0
+        assert result.batch_machine_hours > 0
+        assert [stage.decision for stage in result.stages] == [
+            "reference",
+            "advance",
+            "advance",
+        ]
+
+    def test_target_config_stays_active(self, healthy_result):
+        _, result = healthy_result
+        assert all(version == 2 for version in result.active_config_versions.values())
+
+    def test_digest_counts_cover_every_machine_bucket_sample(self, healthy_result):
+        spec, result = healthy_result
+        total_samples = result.machine_buckets * spec.samples_per_machine_bucket
+        # Colocated machines are oversampled (canary fairness), never under.
+        assert result.baseline_digest.count + result.colocated_digest.count >= total_samples
+        assert result.baseline_digest.count > 0
+        assert result.colocated_digest.count > 0
+
+    def test_final_stage_enables_the_whole_fleet(self, healthy_result):
+        spec, result = healthy_result
+        assert result.stages[-1].machines_enabled == spec.total_machines
+        assert result.stages[-1].colocated_machines > 0
+
+    def test_rows_round_to_stable_payload(self, healthy_result):
+        _, result = healthy_result
+        rows = result.rows()
+        assert [row["stage"] for row in rows] == ["bake", "stage-1", "stage-2"]
+        summary = result.summary()
+        assert summary["status"] == "completed"
+        assert summary["machines"] == result.machines
+
+
+class TestDeterminism:
+    def test_serial_parallel_and_cached_runs_are_byte_identical(self):
+        spec = make_tiny_fleet_spec()
+        serial = FleetSimulation(
+            spec, runner=ExperimentRunner(max_workers=1, cache=ResultCache())
+        ).run()
+        cache = ResultCache()
+        shared = ExperimentRunner(max_workers=4, cache=cache)
+        parallel = FleetSimulation(spec, runner=shared).run()
+        hits_before = cache.hits
+        repeat = FleetSimulation(spec, runner=shared).run()
+        assert (
+            rows_to_json(serial.rows())
+            == rows_to_json(parallel.rows())
+            == rows_to_json(repeat.rows())
+        )
+        assert cache.hits > hits_before  # the repeat was served from the cache
+
+    def test_seed_changes_the_measurement(self, fleet_runner):
+        base = FleetSimulation(make_tiny_fleet_spec(), runner=fleet_runner).run()
+        other = FleetSimulation(
+            make_tiny_fleet_spec(seed=99), runner=fleet_runner
+        ).run()
+        assert rows_to_json(base.rows()) != rows_to_json(other.rows())
+
+
+class TestGuardrailBreach:
+    def test_unprotected_rollout_halts_and_restores_prior_config(self, fleet_runner):
+        result = matrix.run_scenario("fleet-guardrail-breach", runner=fleet_runner)
+        fleet_result = result.results[0]
+        assert fleet_result.status == "halted"
+        assert fleet_result.stages_completed == 0
+        assert fleet_result.stages[-1].decision == "halt"
+        assert fleet_result.stages[-1].p99_ratio > 1.5
+        assert fleet_result.slo_violation_minutes > 0
+        # Every group's configuration is back at the pre-rollout version.
+        assert all(v == 1 for v in fleet_result.active_config_versions.values())
+
+    def test_matrix_row_reports_the_halt_and_rollback(self, fleet_runner):
+        result = matrix.run_scenario("fleet-guardrail-breach", runner=fleet_runner)
+        (row,) = result.rows()
+        assert row["status"] == "halted"
+        assert row["policy"] == "none"
+        # The rollback observable: every config file back at version 1.
+        assert row["config_versions"] == "1/1/1"
+
+
+class TestPlacementIntegration:
+    def test_build_demands_targets_reclaimable_fraction(self, fleet_runner):
+        spec = make_tiny_fleet_spec()
+        calibrations = FleetModel(spec).calibrate(fleet_runner)
+        demands = build_demands(spec, calibrations)
+        total = sum(demand.cores for demand in demands)
+        reclaimable = sum(
+            group.machines * calibrations[group.name].reclaimable_cores(group.buffer_cores)
+            for group in spec.groups
+        )
+        assert 0 < total <= reclaimable * spec.placement.demand_fraction + spec.placement.job_cores_each
+
+    def test_explicit_job_cores_override_auto_demand(self, fleet_runner):
+        spec = make_tiny_fleet_spec().replace(
+            placement=PlacementSpec(strategy="worst_fit", job_cores=(4, 4, 2))
+        )
+        calibrations = FleetModel(spec).calibrate(fleet_runner)
+        demands = build_demands(spec, calibrations)
+        assert [demand.cores for demand in demands] == [4, 4, 2]
+
+    def test_strategies_produce_identical_totals_when_capacity_abounds(self, fleet_runner):
+        base = make_tiny_fleet_spec()
+        totals = {}
+        for strategy in ("first_fit", "best_fit", "worst_fit"):
+            spec = base.replace(placement=PlacementSpec(strategy=strategy))
+            result = FleetSimulation(spec, runner=fleet_runner).run()
+            totals[strategy] = result.summary()["reclaimed_core_hours"]
+        assert len(totals) == 3
+        assert all(value > 0 for value in totals.values())

@@ -1,0 +1,103 @@
+"""Tests for the exactly-mergeable latency digest."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ExperimentError
+from repro.metrics.latency import LatencyDigest
+
+
+def samples(seed, size=5000, scale=0.004):
+    return np.random.default_rng(seed).lognormal(mean=np.log(scale), sigma=0.8, size=size)
+
+
+class TestMergeExactness:
+    def test_merged_shards_equal_single_digest_of_union(self):
+        parts = [samples(seed) for seed in range(5)]
+        union = LatencyDigest.from_samples(np.concatenate(parts))
+        shards = [LatencyDigest.from_samples(part) for part in parts]
+        merged = LatencyDigest.merged(shards)
+        assert merged.count == union.count
+        assert merged.maximum == union.maximum
+        assert merged.stats() == union.stats()
+
+    def test_merge_order_is_irrelevant(self):
+        parts = [LatencyDigest.from_samples(samples(seed)) for seed in range(4)]
+        forward = LatencyDigest.merged(parts)
+        backward = LatencyDigest.merged(list(reversed(parts)))
+        assert forward.stats() == backward.stats()
+
+    def test_merging_an_empty_digest_is_identity(self):
+        digest = LatencyDigest.from_samples(samples(0))
+        before = digest.stats()
+        digest.merge(LatencyDigest())
+        assert digest.stats() == before
+
+    def test_merged_of_nothing_is_empty(self):
+        assert LatencyDigest.merged([]).count == 0
+
+    def test_incompatible_grids_refuse_to_merge(self):
+        with pytest.raises(ExperimentError, match="grids"):
+            LatencyDigest(bins=128).merge(LatencyDigest(bins=256))
+
+
+class TestAccuracy:
+    def test_percentiles_close_to_exact_empirical_values(self):
+        values = samples(7, size=50_000)
+        digest = LatencyDigest.from_samples(values)
+        for q in (50.0, 95.0, 99.0):
+            exact = float(np.percentile(values, q))
+            approx = digest.percentile(q)
+            # Geometric bins are ~3 % wide; the midpoint is within half that.
+            assert approx == pytest.approx(exact, rel=0.05)
+
+    def test_mean_and_max_are_exact(self):
+        values = samples(11)
+        digest = LatencyDigest.from_samples(values)
+        stats = digest.stats()
+        assert stats.mean == pytest.approx(float(values.mean()), rel=1e-12)
+        assert stats.maximum == float(values.max())
+        assert stats.count == values.size
+
+    def test_percentile_never_exceeds_observed_max(self):
+        digest = LatencyDigest.from_samples([0.001, 0.002, 1000.0])  # overflow bin
+        assert digest.percentile(99.9) <= digest.maximum
+
+
+class TestEdges:
+    def test_empty_digest_stats(self):
+        digest = LatencyDigest()
+        assert digest.percentile(99.0) == 0.0
+        stats = digest.stats()
+        assert stats.count == 0 and stats.p99 == 0.0
+
+    def test_underflow_and_overflow_are_counted(self):
+        digest = LatencyDigest(bins=8, lowest=1e-3, highest=1.0)
+        digest.add([1e-6, 0.5, 100.0])
+        assert digest.count == 3
+        assert digest.maximum == 100.0
+
+    def test_drops_are_tracked_and_merged(self):
+        a = LatencyDigest()
+        a.record_drop(2)
+        b = LatencyDigest()
+        b.record_drop()
+        a.merge(b)
+        assert a.dropped == 3
+        assert a.stats().dropped == 3
+
+    def test_negative_samples_rejected(self):
+        with pytest.raises(ExperimentError):
+            LatencyDigest().add([-0.1])
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ExperimentError):
+            LatencyDigest(bins=0)
+        with pytest.raises(ExperimentError):
+            LatencyDigest(lowest=1.0, highest=0.5)
+
+    def test_copy_is_independent(self):
+        digest = LatencyDigest.from_samples(samples(3))
+        clone = digest.copy()
+        clone.add(samples(4))
+        assert clone.count != digest.count

@@ -1,0 +1,75 @@
+"""Property-based tests (hypothesis) for the placement scheduler.
+
+The invariants the fleet's capacity story rests on:
+
+* placement never overcommits — no machine hosts more cores than its
+  reclaimable-capacity estimate, under any strategy;
+* placement is a pure function of the *set* of inputs — permuting the
+  machine or demand sequences yields the identical plan;
+* under first-fit, removing a machine never *increases* the total demand
+  placed (capacity loss cannot conjure capacity).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.schema import PlacementSpec
+from repro.fleet.placement import MachineCapacity, PlacementDemand, plan_placement
+
+
+@st.composite
+def placement_cases(draw):
+    machine_count = draw(st.integers(min_value=1, max_value=10))
+    machines = [
+        MachineCapacity(f"m{index:03d}", draw(st.integers(min_value=0, max_value=24)))
+        for index in range(machine_count)
+    ]
+    demand_count = draw(st.integers(min_value=0, max_value=14))
+    demands = [
+        PlacementDemand(f"j{index:03d}", draw(st.integers(min_value=1, max_value=12)))
+        for index in range(demand_count)
+    ]
+    return machines, demands
+
+
+@settings(max_examples=200, deadline=None)
+@given(case=placement_cases(), strategy=st.sampled_from(PlacementSpec.VALID_STRATEGIES))
+def test_no_machine_exceeds_its_reclaimable_capacity(case, strategy):
+    machines, demands = case
+    plan = plan_placement(machines, demands, strategy)
+    capacities = {machine.machine: machine.cores for machine in machines}
+    for machine, cores in plan.placed_cores_by_machine().items():
+        assert cores <= capacities[machine]
+    # Conservation: every demand is either assigned exactly once or unplaced.
+    assigned = [assignment.job for assignment in plan.assignments]
+    pending = [demand.name for demand in plan.unplaced]
+    assert sorted(assigned + pending) == sorted(demand.name for demand in demands)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    case=placement_cases(),
+    strategy=st.sampled_from(PlacementSpec.VALID_STRATEGIES),
+    data=st.data(),
+)
+def test_placement_is_deterministic_under_input_permutation(case, strategy, data):
+    machines, demands = case
+    baseline = plan_placement(machines, demands, strategy)
+    shuffled_machines = data.draw(st.permutations(machines))
+    shuffled_demands = data.draw(st.permutations(demands))
+    assert plan_placement(shuffled_machines, shuffled_demands, strategy) == baseline
+
+
+@settings(max_examples=200, deadline=None)
+@given(case=placement_cases(), data=st.data())
+def test_removing_a_machine_never_increases_placed_demand(case, data):
+    machines, demands = case
+    full = plan_placement(machines, demands, "first_fit")
+    removed = data.draw(st.integers(min_value=0, max_value=len(machines) - 1))
+    remaining = machines[:removed] + machines[removed + 1 :]
+    reduced = plan_placement(remaining, demands, "first_fit")
+    assert reduced.total_placed_cores <= full.total_placed_cores
+    # And the removed machine's jobs never overcommit the survivors.
+    capacities = {machine.machine: machine.cores for machine in remaining}
+    for machine, cores in reduced.placed_cores_by_machine().items():
+        assert cores <= capacities[machine]

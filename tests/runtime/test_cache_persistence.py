@@ -5,14 +5,21 @@ hits, version drift and corruption are silent misses that fall back to
 recomputation, and nothing in this file may crash a run.
 """
 
+import os
 import pickle
 
 import pytest
 
 import repro
+from repro.errors import ConfigError
 from repro.experiments import scenarios
 from repro.runtime import ExperimentRunner, ExperimentTask, ResultCache
-from repro.runtime.cache import CACHE_DIR_ENV, default_cache, reset_default_cache
+from repro.runtime.cache import (
+    CACHE_DIR_ENV,
+    CACHE_MAX_ENTRIES_ENV,
+    default_cache,
+    reset_default_cache,
+)
 from repro.runtime.runner import reset_default_runner
 from repro.runtime.spec_hash import spec_hash, versioned_namespace
 
@@ -119,3 +126,96 @@ class TestCorruption:
         outcome = fresh_runner(tmp_path).run_batch([ExperimentTask(spec)])[0]
         assert not outcome.from_cache
         assert fresh_runner(tmp_path).run_batch([ExperimentTask(spec)])[0].from_cache
+
+
+def _age(path, seconds):
+    """Backdate an entry's mtime so LRU ordering is deterministic in tests."""
+    stamp = path.stat().st_mtime - seconds
+    os.utime(path, (stamp, stamp))
+
+
+class TestEviction:
+    def test_cap_evicts_least_recently_used_entry(self, tmp_path):
+        cache = ResultCache(directory=tmp_path, max_entries=2)
+        cache.put("a", 1)
+        _age(tmp_path / "a.pkl", 30)
+        cache.put("b", 2)
+        _age(tmp_path / "b.pkl", 20)
+        cache.put("c", 3)
+        assert sorted(p.stem for p in tmp_path.glob("*.pkl")) == ["b", "c"]
+        assert cache.evictions == 1
+
+    def test_disk_hit_refreshes_recency(self, tmp_path):
+        seeding = ResultCache(directory=tmp_path, max_entries=2)
+        seeding.put("a", 1)
+        _age(tmp_path / "a.pkl", 30)
+        seeding.put("b", 2)
+        _age(tmp_path / "b.pkl", 20)
+        # A fresh cache (new process) reads "a" from disk: "a" becomes the
+        # most recently used entry, so the next eviction takes "b".
+        cache = ResultCache(directory=tmp_path, max_entries=2)
+        assert cache.get("a") == 1
+        cache.put("c", 3)
+        assert sorted(p.stem for p in tmp_path.glob("*.pkl")) == ["a", "c"]
+
+    def test_unbounded_by_default(self, tmp_path):
+        cache = ResultCache(directory=tmp_path)
+        assert cache.max_entries is None
+        for index in range(20):
+            cache.put(f"k{index}", index)
+        assert len(list(tmp_path.glob("*.pkl"))) == 20
+
+    def test_env_variable_sets_the_cap(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV, "3")
+        cache = ResultCache(directory=tmp_path)
+        assert cache.max_entries == 3
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV, "0")
+        assert ResultCache(directory=tmp_path).max_entries is None
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV, "three")
+        with pytest.raises(ConfigError):
+            ResultCache(directory=tmp_path)
+        monkeypatch.setenv(CACHE_MAX_ENTRIES_ENV, "-5")
+        with pytest.raises(ConfigError):
+            ResultCache(directory=tmp_path)
+
+    def test_negative_constructor_cap_rejected(self, tmp_path):
+        with pytest.raises(ConfigError):
+            ResultCache(directory=tmp_path, max_entries=-1)
+
+    def test_cap_applies_to_entries_from_previous_processes(self, tmp_path):
+        seeding = ResultCache(directory=tmp_path)
+        for index in range(4):
+            seeding.put(f"k{index}", index)
+            _age(tmp_path / f"k{index}.pkl", 40 - index)
+        # A fresh capped cache counts the pre-existing entries too.
+        capped = ResultCache(directory=tmp_path, max_entries=3)
+        capped.put("fresh", 99)
+        remaining = sorted(p.stem for p in tmp_path.glob("*.pkl"))
+        assert len(remaining) == 3
+        assert "fresh" in remaining and "k0" not in remaining
+
+    def test_reload_after_eviction_recomputes_and_readmits(self, tmp_path):
+        """The acceptance path: evicted entry -> miss -> recompute -> re-store."""
+        first = tiny_spec(seed=5)
+        second = tiny_spec(seed=6)
+
+        def capped_runner():
+            return ExperimentRunner(
+                max_workers=1, cache=ResultCache(directory=tmp_path, max_entries=1)
+            )
+
+        baseline = capped_runner().run_batch([ExperimentTask(first)])[0]
+        _age(entry_path(tmp_path, first), 30)
+        capped_runner().run_batch([ExperimentTask(second)])  # evicts ``first``
+        assert not entry_path(tmp_path, first).exists()
+        assert entry_path(tmp_path, second).exists()
+
+        # A later process asks for ``first`` again: recomputed, identical,
+        # and re-admitted to the disk layer (evicting ``second`` in turn).
+        outcome = capped_runner().run_batch([ExperimentTask(first)])[0]
+        assert not outcome.from_cache
+        assert outcome.result.summary() == baseline.result.summary()
+        assert entry_path(tmp_path, first).exists()
+        assert not entry_path(tmp_path, second).exists()
+        # And the freshly re-admitted entry serves the next reload as a hit.
+        assert capped_runner().run_batch([ExperimentTask(first)])[0].from_cache
