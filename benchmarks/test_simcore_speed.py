@@ -1,0 +1,166 @@
+"""Simulation-kernel speed benchmark and perf regression guard.
+
+Measures the hot path three ways and records the results in
+``BENCH_simcore.json`` at the repository root:
+
+* **events/s** — the five Figure 8 scenarios run straight on
+  :class:`SingleMachineExperiment` (no runner, no cache), with the engines'
+  executed-event counters summed.  This is the purest kernel-throughput
+  number and the one the nightly perf guard watches.
+* **fig8 serial-uncached wall time** — the same five scenarios through the
+  serial, cache-disabled runner, directly comparable to the
+  ``fig8_serial_uncached_s`` field PR 3 recorded in ``BENCH_runtime.json``.
+* **fleet machines/s** — the ``BENCH_fleet.json`` configuration (600
+  machines, 3 stages, 64-machine shards) on an all-cores runner.
+
+The ``*_baseline_*`` fields are the numbers committed at PR 3, so the JSON
+itself documents before vs. after.
+
+Perf guard: when ``REPRO_PERF_GUARD`` is set (the nightly CI job sets it),
+the test loads the *committed* ``BENCH_simcore.json`` before overwriting it
+and fails if events/s regressed by more than 25 %.  The committed baseline
+carries the machine it was measured on implicitly: if the nightly runner
+fleet's single-thread performance drops below ~75 % of the committing
+machine's, refresh the baseline by re-running this benchmark in CI and
+committing the artifact rather than widening the tolerance.
+"""
+
+from __future__ import annotations
+
+import gc
+import json
+import os
+import time
+
+from conftest import DURATION, SEED, WARMUP
+
+from repro.experiments import figures
+from repro.experiments.comparison import IsolationComparison
+from repro.experiments.single_machine import SingleMachineExperiment
+from repro.fleet.scenarios import default_fleet_spec
+from repro.fleet.simulate import FleetSimulation
+from repro.runtime import ExperimentRunner, ResultCache
+
+_BENCH_PATH = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "BENCH_simcore.json"
+)
+
+#: Environment variable enabling the regression guard against the committed
+#: BENCH_simcore.json (set by the nightly CI job).
+PERF_GUARD_ENV = "REPRO_PERF_GUARD"
+
+#: Maximum tolerated events/s regression before the guard fails the test.
+MAX_REGRESSION = 0.25
+
+#: PR 3 baselines, from BENCH_runtime.json / BENCH_fleet.json as committed at
+#: d2a4bd2 (same scenario parameters and seed, cpu_count=1 container).
+FIG8_BASELINE_S = 16.468
+FLEET_BASELINE_MACHINES_PER_S = 108.6
+
+#: Fleet benchmark shape — identical to benchmarks/test_fleet_scale.py.
+FLEET_MACHINES = 600
+FLEET_STAGES = 3
+
+
+def _fig8_specs():
+    comparison = IsolationComparison(duration=DURATION, warmup=WARMUP, seed=SEED)
+    return [
+        (approach, comparison._spec_for(approach))
+        for approach in IsolationComparison.APPROACHES
+    ]
+
+
+def _fleet_spec():
+    return default_fleet_spec(
+        machines=FLEET_MACHINES,
+        stages=FLEET_STAGES,
+        seed=1,
+        calibration_qps=(1200.0, 2400.0),
+        calibration_duration=1.0,
+        calibration_warmup=0.2,
+        bake_buckets=3,
+        stage_buckets=3,
+        samples_per_machine_bucket=32,
+    ).replace(shard_machines=64)
+
+
+def test_simcore_speed_and_guard():
+    cores = os.cpu_count() or 1
+
+    # Committed record, read *before* this run overwrites it.
+    committed = None
+    if os.path.isfile(_BENCH_PATH):
+        with open(_BENCH_PATH, "r", encoding="utf-8") as handle:
+            committed = json.load(handle)
+
+    # ---- raw kernel throughput: direct experiments, engines instrumented.
+    gc.collect()  # don't charge earlier tests' garbage to this measurement
+    events_executed = 0
+    start = time.perf_counter()
+    for _approach, spec in _fig8_specs():
+        experiment = SingleMachineExperiment(spec)
+        experiment.run()
+        events_executed += experiment.engine.events_executed
+    direct_seconds = time.perf_counter() - start
+    simulated_seconds = len(IsolationComparison.APPROACHES) * DURATION
+    events_per_s = events_executed / direct_seconds
+    assert events_executed > 0
+
+    # ---- fig8 through the serial uncached runner (BENCH_runtime's metric).
+    gc.collect()
+    runner = ExperimentRunner(max_workers=1, cache=ResultCache(), use_cache=False)
+    start = time.perf_counter()
+    figure = figures.fig8_comparison(
+        duration=DURATION, warmup=WARMUP, seed=SEED, runner=runner
+    )
+    fig8_seconds = time.perf_counter() - start
+    assert figure.rows
+
+    # ---- fleet throughput (BENCH_fleet's configuration).  Best of two
+    # cold trials: the cold fleet run is short enough that a single
+    # scheduler hiccup on a shared runner skews it by double-digit percent.
+    fleet_seconds = None
+    for _trial in range(2):
+        gc.collect()
+        fleet_runner = ExperimentRunner(max_workers=cores, cache=ResultCache())
+        start = time.perf_counter()
+        fleet = FleetSimulation(_fleet_spec(), runner=fleet_runner).run()
+        trial_seconds = time.perf_counter() - start
+        assert fleet.status == "completed"
+        if fleet_seconds is None or trial_seconds < fleet_seconds:
+            fleet_seconds = trial_seconds
+    fleet_machines_per_s = FLEET_MACHINES / fleet_seconds
+
+    record = {
+        "benchmark": "simulation kernel hot path (fig8 direct + serial runner + fleet)",
+        "duration_simulated_s": DURATION,
+        "warmup_simulated_s": WARMUP,
+        "seed": SEED,
+        "cpu_count": cores,
+        "events_executed": events_executed,
+        "events_per_s": round(events_per_s, 1),
+        "simulated_s_per_wall_s": round(simulated_seconds / direct_seconds, 4),
+        "fig8_serial_uncached_s": round(fig8_seconds, 3),
+        "fig8_baseline_s": FIG8_BASELINE_S,
+        "fig8_speedup_vs_baseline": round(FIG8_BASELINE_S / fig8_seconds, 2),
+        "fleet_wall_s": round(fleet_seconds, 3),
+        "fleet_machines_per_s": round(fleet_machines_per_s, 1),
+        "fleet_baseline_machines_per_s": FLEET_BASELINE_MACHINES_PER_S,
+        "fleet_speedup_vs_baseline": round(
+            fleet_machines_per_s / FLEET_BASELINE_MACHINES_PER_S, 2
+        ),
+    }
+    with open(_BENCH_PATH, "w", encoding="utf-8") as handle:
+        json.dump(record, handle, indent=2)
+        handle.write("\n")
+    print(f"\nBENCH_simcore: {json.dumps(record, indent=2)}")
+
+    if os.environ.get(PERF_GUARD_ENV) and committed is not None:
+        floor = committed["events_per_s"] * (1.0 - MAX_REGRESSION)
+        assert events_per_s >= floor, (
+            f"kernel throughput regressed: {events_per_s:.0f} events/s is below "
+            f"{floor:.0f} (committed {committed['events_per_s']:.0f} events/s "
+            f"minus the {MAX_REGRESSION:.0%} tolerance); if the slowdown is "
+            "intentional, re-run this benchmark and commit the new "
+            "BENCH_simcore.json"
+        )

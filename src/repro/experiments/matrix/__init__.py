@@ -419,6 +419,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--out", choices=("table", "json", "csv"), default="table", help="output format"
     )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="run under cProfile and write a cumulative-time report to PATH",
+    )
     parser.add_argument("--qps", type=float, default=None, help="override workload QPS")
     parser.add_argument("--duration", type=float, default=None, help="override duration (s)")
     parser.add_argument("--warmup", type=float, default=None, help="override warmup (s)")
@@ -442,8 +448,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runner = (
         ExperimentRunner(max_workers=args.workers) if args.workers is not None else None
     )
-    try:
-        result = run_scenario(
+    def _execute():
+        return run_scenario(
             args.run,
             runner=runner,
             grid=_parse_grid(args.grid),
@@ -452,6 +458,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             warmup=args.warmup,
             seed=args.seed,
         )
+
+    try:
+        if args.profile:
+            from ...runtime.profiling import run_profiled
+
+            result = run_profiled(_execute, args.profile)
+        else:
+            result = _execute()
     except ConfigError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -33,6 +33,29 @@ from ..workloads.query_trace import QueryTrace
 
 __all__ = ["SingleMachineResult", "SingleMachineExperiment"]
 
+#: In-process memo of generated query traces.  A trace is a pure function of
+#: ``(indexserve spec, size, seed)`` — the "trace" random stream it consumes
+#: is derived from the experiment seed and used for nothing else — so
+#: experiments sharing those three (every Figure 8 scenario at one load, every
+#: fleet calibration point per group) can replay one generated trace instead
+#: of regenerating it.  Sharing is sound because traces are immutable after
+#: construction and reuse leaves every other random stream untouched.
+_TRACE_MEMO: Dict[str, QueryTrace] = {}
+_TRACE_MEMO_MAX = 32
+
+
+def _trace_for(spec: ExperimentSpec, size: int, streams: RandomStreams) -> QueryTrace:
+    from ..runtime.spec_hash import spec_hash
+
+    key = spec_hash([spec.indexserve, size, spec.seed], namespace="query-trace")
+    trace = _TRACE_MEMO.get(key)
+    if trace is None:
+        trace = QueryTrace(spec.indexserve, size=size, rng=streams.stream("trace"))
+        if len(_TRACE_MEMO) >= _TRACE_MEMO_MAX:
+            _TRACE_MEMO.pop(next(iter(_TRACE_MEMO)))
+        _TRACE_MEMO[key] = trace
+    return trace
+
 
 @dataclass
 class SingleMachineResult:
@@ -114,10 +137,10 @@ class SingleMachineExperiment:
         primary.start()
         self.primary = primary
 
-        trace = QueryTrace(
-            spec.indexserve,
+        trace = _trace_for(
+            spec,
             size=min(spec.workload.trace_queries, max(1000, int(spec.workload.qps * spec.workload.total_time))),
-            rng=streams.stream("trace"),
+            streams=streams,
         )
         client = OpenLoopClient(
             engine,

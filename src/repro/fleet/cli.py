@@ -78,6 +78,12 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--out", choices=("table", "json", "csv"), default="table", help="output format"
     )
+    parser.add_argument(
+        "--profile",
+        metavar="PATH",
+        default=None,
+        help="run under cProfile and write a cumulative-time report to PATH",
+    )
     return parser
 
 
@@ -131,7 +137,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runner = (
         ExperimentRunner(max_workers=args.workers) if args.workers is not None else None
     )
-    try:
+    def _execute():
         if args.scenario is not None:
             overridden = [
                 "--" + name.replace("_", "-")
@@ -144,9 +150,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"{', '.join(overridden)} would be ignored — drop them, or "
                     "build a custom fleet without --scenario"
                 )
-            rows = _run_catalog_scenario(args, runner)
+            return _run_catalog_scenario(args, runner)
+        return _run_default_fleet(args, runner)
+
+    try:
+        if args.profile:
+            from ..runtime.profiling import run_profiled
+
+            rows = run_profiled(_execute, args.profile)
         else:
-            rows = _run_default_fleet(args, runner)
+            rows = _execute()
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -18,12 +18,23 @@ from ..config.schema import DiskSpec, VolumeSpec
 from ..errors import ResourceError
 from ..simulation.engine import SimulationEngine
 from ..simulation.events import EventPriority
+from ..simulation.randomness import BatchedDraws
 
-__all__ = ["IoRequest", "DiskDevice", "StripedVolume"]
+__all__ = ["IoRequest", "DiskDevice", "StripedVolume", "jitter_source"]
 
 _READ = "read"
 _WRITE = "write"
 _VALID_OPS = (_READ, _WRITE)
+
+
+def jitter_source(rng: np.random.Generator) -> BatchedDraws:
+    """Batched ``uniform(0.8, 1.2)`` service-time jitter draws.
+
+    Every device sharing one RNG must also share one source, so the draws
+    are handed out in exactly the order the devices used to pull them one by
+    one from the generator — batching is invisible to the simulation output.
+    """
+    return BatchedDraws(lambda size: rng.uniform(0.8, 1.2, size))
 
 
 class IoRequest:
@@ -90,11 +101,15 @@ class DiskDevice:
         spec: DiskSpec,
         name: str,
         rng: Optional[np.random.Generator] = None,
+        jitter: Optional[BatchedDraws] = None,
     ) -> None:
         self._engine = engine
         self._spec = spec
         self._name = name
         self._rng = rng
+        if jitter is None and rng is not None:
+            jitter = jitter_source(rng)
+        self._jitter = jitter
         self._in_service = 0
         self._queue: Deque[tuple] = deque()
         # statistics
@@ -141,19 +156,21 @@ class DiskDevice:
     def _start(self, entry: tuple) -> None:
         enqueue_time, size_bytes, op, done = entry
         self._in_service += 1
-        duration = self.service_time(size_bytes)
-        if self._rng is not None:
+        spec = self._spec
+        engine = self._engine
+        duration = spec.base_latency + size_bytes / spec.bandwidth_bytes_per_s
+        if self._jitter is not None:
             # Mild service-time variability: +/-20 % uniform jitter, which is
             # enough to avoid artificial synchronisation between devices.
-            duration *= float(self._rng.uniform(0.8, 1.2))
-        queue_delay = self._engine.now - enqueue_time
+            duration *= float(self._jitter.next())
+        queue_delay = engine.now - enqueue_time
         self.total_queue_delay += queue_delay
         self.busy_time += duration
         if op == _READ:
             self.bytes_read += size_bytes
         else:
             self.bytes_written += size_bytes
-        self._engine.schedule(
+        engine.schedule(
             duration, self._complete, done, queue_delay, priority=EventPriority.HARDWARE
         )
 
@@ -182,11 +199,18 @@ class StripedVolume:
         engine: SimulationEngine,
         spec: VolumeSpec,
         rng: Optional[np.random.Generator] = None,
+        jitter: Optional[BatchedDraws] = None,
     ) -> None:
         self._engine = engine
         self._spec = spec
+        # Every member disk draws its service-time jitter from one shared,
+        # batched source so the values land on requests in exactly the order
+        # they would with per-request draws from the shared generator.  A
+        # machine passes one source spanning all its volumes.
+        if jitter is None and rng is not None:
+            jitter = jitter_source(rng)
         self._disks: List[DiskDevice] = [
-            DiskDevice(engine, spec.disk, f"{spec.name}{index}", rng)
+            DiskDevice(engine, spec.disk, f"{spec.name}{index}", rng, jitter=jitter)
             for index in range(spec.count)
         ]
         self._next_disk = 0
@@ -220,13 +244,25 @@ class StripedVolume:
         callback: Optional[Callable[[IoRequest], None]] = None,
     ) -> IoRequest:
         """Submit a request; ``callback(request)`` fires on completion."""
-        request = IoRequest(owner, category, op, size_bytes, self._spec.name, callback, self._engine.now)
+        now = self._engine.now
+        spec = self._spec
+        request = IoRequest(owner, category, op, size_bytes, spec.name, callback, now)
+        request.start_time = now
+        disks = self._disks
+        next_disk = self._next_disk
+        if size_bytes <= spec.stripe_bytes:
+            # Single-chunk fast path (the overwhelmingly common request size).
+            request.chunks_pending = 1
+            self._next_disk = (next_disk + 1) % len(disks)
+            disks[next_disk].submit_chunk(
+                size_bytes, op, lambda _delay, r=request: self._chunk_done(r)
+            )
+            return request
         chunks = self._split(size_bytes)
         request.chunks_pending = len(chunks)
-        request.start_time = self._engine.now
         for chunk_size in chunks:
-            disk = self._disks[self._next_disk]
-            self._next_disk = (self._next_disk + 1) % len(self._disks)
+            disk = disks[self._next_disk]
+            self._next_disk = (self._next_disk + 1) % len(disks)
             disk.submit_chunk(chunk_size, op, lambda _delay, r=request: self._chunk_done(r))
         return request
 

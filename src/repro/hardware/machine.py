@@ -14,7 +14,7 @@ import numpy as np
 from ..config.schema import MachineSpec
 from ..errors import ResourceError
 from ..simulation.engine import SimulationEngine
-from .disk import StripedVolume
+from .disk import StripedVolume, jitter_source
 from .memory import MemorySubsystem
 from .nic import NetworkInterface
 from .topology import CpuTopology
@@ -37,9 +37,12 @@ class Machine:
         self._name = name
         self.topology = CpuTopology.from_spec(spec)
         self.memory = MemorySubsystem(spec.memory_bytes)
+        # One batched jitter source spans both volumes so service-time draws
+        # keep the exact machine-wide ordering of per-request draws.
+        jitter = None if rng is None else jitter_source(rng)
         self.volumes: Dict[str, StripedVolume] = {
-            spec.ssd_volume.name: StripedVolume(engine, spec.ssd_volume, rng),
-            spec.hdd_volume.name: StripedVolume(engine, spec.hdd_volume, rng),
+            spec.ssd_volume.name: StripedVolume(engine, spec.ssd_volume, rng, jitter=jitter),
+            spec.hdd_volume.name: StripedVolume(engine, spec.hdd_volume, rng, jitter=jitter),
         }
         self.nic = NetworkInterface(engine, spec.nic)
 

@@ -10,7 +10,7 @@ cores to the secondary, and so tests can reason about sibling relationships.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..config.schema import MachineSpec
 from ..errors import ConfigError
@@ -64,6 +64,7 @@ class CpuTopology:
             group = tuple(sorted(ids))
             for cid in ids:
                 self._siblings[cid] = group
+        self._secondary_order: Optional[List[int]] = None
 
     @classmethod
     def from_spec(cls, spec: MachineSpec) -> "CpuTopology":
@@ -114,14 +115,20 @@ class CpuTopology:
         tail of the processor mask without touching the primary's preferred
         cores (Section 4.2: PerfIso never overrides the primary's own
         affinitisation).
+
+        The order is a pure function of the (immutable) topology, so it is
+        computed once and replayed — the PerfIso controller asks for it on
+        every allocation change.
         """
-        by_physical: Dict[int, List[int]] = {}
-        for info in self._cores:
-            by_physical.setdefault(info.physical_core, []).append(info.core_id)
-        order: List[int] = []
-        for physical in sorted(by_physical, reverse=True):
-            order.extend(sorted(by_physical[physical], reverse=True))
-        return order
+        if self._secondary_order is None:
+            by_physical: Dict[int, List[int]] = {}
+            for info in self._cores:
+                by_physical.setdefault(info.physical_core, []).append(info.core_id)
+            order: List[int] = []
+            for physical in sorted(by_physical, reverse=True):
+                order.extend(sorted(by_physical[physical], reverse=True))
+            self._secondary_order = order
+        return list(self._secondary_order)
 
     # ----------------------------------------------------------------- masks
     def mask_from_ids(self, core_ids: Sequence[int]) -> int:

@@ -63,7 +63,11 @@ class CpuAccounting:
 
     def charge_os(self, seconds: float) -> None:
         """Charge kernel overhead (context switches, interrupts, syscalls)."""
-        self.charge(TenantCategory.SYSTEM, seconds)
+        if seconds < 0:
+            raise SchedulerError(f"cannot charge negative CPU time ({seconds})")
+        # Direct accumulate — the SYSTEM bucket is pre-seeded and this runs
+        # for every context switch and I/O completion.
+        self._busy[TenantCategory.SYSTEM] += seconds
 
     # ---------------------------------------------------------------- queries
     def busy_seconds(self, category: str) -> float:

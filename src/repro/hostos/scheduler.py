@@ -73,6 +73,9 @@ class Scheduler:
         io_submit: Optional[IoSubmit] = None,
     ) -> None:
         self._engine = engine
+        # The engine's queue, accessed directly on the slice-event hot path
+        # (one push per dispatch, one lazy cancel per preemption).
+        self._equeue = engine._queue
         self._topology = topology
         self._spec = spec
         self._accounting = accounting
@@ -81,13 +84,34 @@ class Scheduler:
         self._core_thread: List[Optional[SimThread]] = [None] * core_count
         self._last_tid_on_core: List[Optional[int]] = [None] * core_count
         self._idle_cores: set = set(range(core_count))
+        #: Incrementally-maintained mirror of ``_idle_cores`` as a bitmask —
+        #: the O(1) signal the idle-mask syscall reports.
+        self._idle_mask = (1 << core_count) - 1
         self._siblings: List[tuple] = [
             tuple(c for c in topology.siblings(core) if c != core) for core in range(core_count)
         ]
+        #: Logical core id -> physical core id, and the number of busy logical
+        #: cores per physical core.  Together they answer "is this physical
+        #: core fully idle?" and "does this dispatch share a physical core?"
+        #: in O(1) instead of scanning sibling lists.
+        self._phys_of: List[int] = [
+            topology.core_info(core).physical_core for core in range(core_count)
+        ]
+        self._phys_busy: List[int] = [0] * topology.physical_core_count
+        #: Cores currently running threads of each tenant category, maintained
+        #: incrementally at dispatch/preempt time.
+        self._cat_running: Dict[str, int] = {}
         self._per_core = spec.placement == "per_core"
         self._local_queues: List[Deque[SimThread]] = [deque() for _ in range(core_count)]
         self._global_queue: Deque[SimThread] = deque()
         self._queued_threads = 0
+        #: Ready-but-waiting threads grouped by the job object they belonged
+        #: to at enqueue time (``None`` key counted separately).  The dispatch
+        #: path consults these counts to skip full queue scans when nothing
+        #: queued could possibly run on the freed core — the common case under
+        #: throttling and tight affinity masks.
+        self._nojob_queued = 0
+        self._job_queued: Dict[JobObject, int] = {}
         self._rate_jobs: Dict[str, JobObject] = {}
         self._rate_refresh_events: Dict[str, object] = {}
         # statistics
@@ -121,10 +145,7 @@ class Scheduler:
         return len(self._idle_cores)
 
     def idle_core_mask(self) -> int:
-        mask = 0
-        for core in self._idle_cores:
-            mask |= 1 << core
-        return mask
+        return self._idle_mask
 
     def running_thread_on(self, core_id: int) -> Optional[SimThread]:
         self._check_core(core_id)
@@ -136,18 +157,14 @@ class Scheduler:
 
     def cores_used_by_category(self, category: str) -> int:
         """Number of cores currently running threads of ``category``."""
-        return sum(
-            1
-            for thread in self._core_thread
-            if thread is not None and thread.category == category
-        )
+        return self._cat_running.get(category, 0)
 
     # ------------------------------------------------------------- lifecycle
     def add_thread(self, thread: SimThread) -> None:
         """Make a newly created thread runnable."""
         if thread.state != ThreadState.NEW:
             raise SchedulerError(f"thread {thread.name!r} was already added")
-        if thread.is_io_phase:
+        if thread.program[thread.phase_index][0] == "io":
             # A program may start with I/O (e.g. a worker that reads the index
             # before computing); submit it straight away.
             thread.state = ThreadState.BLOCKED
@@ -192,49 +209,101 @@ class Scheduler:
         if not 0 <= core_id < len(self._core_thread):
             raise SchedulerError(f"core id {core_id} out of range")
 
-    def _eligible(self, thread: SimThread, core_id: int) -> bool:
-        if thread.terminated:
-            return False
-        job = thread.process.job
-        if job is not None and job.throttled:
-            return False
-        return thread.can_run_on(core_id)
-
     # ----------------------------------------------------------- ready queues
     def _make_ready(self, thread: SimThread) -> None:
         thread.state = ThreadState.READY
-        thread.ready_since = self._engine.now
+        thread.ready_since = self._engine._now
         core = self._find_idle_core(thread)
         if core is not None:
             self._dispatch(thread, core)
             return
         self._enqueue(thread)
 
+    def _note_queued(self, thread: SimThread) -> None:
+        """Account a thread entering a ready queue under its current job."""
+        job = thread.process.job
+        thread.queued_job = job
+        if job is None:
+            self._nojob_queued += 1
+        else:
+            counts = self._job_queued
+            counts[job] = counts.get(job, 0) + 1
+
+    def _note_dequeued(self, thread: SimThread) -> None:
+        """Reverse :meth:`_note_queued` (keyed on the job stored at enqueue)."""
+        job = thread.queued_job
+        thread.queued_job = None
+        if job is None:
+            self._nojob_queued -= 1
+        else:
+            self._job_queued[job] -= 1
+
+    def _has_eligible_queued(self, core_id: int) -> bool:
+        """Whether any queued thread could possibly run on ``core_id``.
+
+        Consulted before every dispatch scan; group counts make the answer
+        O(jobs) instead of O(queued threads).  Thread-level affinity is
+        ignored here, so a ``True`` may still scan and find nothing (harmless),
+        but a ``False`` is always exact — no eligible thread is ever skipped.
+        """
+        if self._nojob_queued:
+            return True
+        for job, count in self._job_queued.items():
+            if count and not job.throttled:
+                affinity = job.cpu_affinity
+                if affinity is None or core_id in affinity:
+                    return True
+        return False
+
     def _enqueue(self, thread: SimThread) -> None:
         self._queued_threads += 1
+        self._note_queued(thread)
         if not self._per_core:
             thread.queued_core = None
             self._global_queue.append(thread)
             return
         affinity = thread.effective_affinity()
-        candidates = range(self.core_count) if affinity is None else affinity
-        best_core = None
-        best_len = None
-        for core_id in candidates:
-            queue_len = len(self._local_queues[core_id])
-            if best_len is None or queue_len < best_len or (
-                queue_len == best_len and core_id < best_core
-            ):
-                best_core = core_id
-                best_len = queue_len
-        if best_core is None:
-            # Empty affinity mask: park the thread on a virtual queue; it will
-            # be re-placed when the mask grows again.
-            thread.queued_core = None
-            self._global_queue.append(thread)
-            return
+        queues = self._local_queues
+        if self._queued_threads == 1:
+            # Fast path: this is the only queued thread anywhere, so every
+            # queue is empty and the shortest-queue scan degenerates to the
+            # lowest allowed core id.
+            if affinity is None:
+                best_core = 0
+            elif affinity:
+                best_core = min(affinity)
+            else:
+                thread.queued_core = None
+                self._global_queue.append(thread)
+                return
+        elif affinity is None:
+            # Ascending scan keeps the deterministic tie-break (shortest
+            # queue, lowest core id) without per-candidate comparisons.
+            best_core = 0
+            best_len = len(queues[0])
+            for core_id in range(1, len(queues)):
+                queue_len = len(queues[core_id])
+                if queue_len < best_len:
+                    best_core = core_id
+                    best_len = queue_len
+        else:
+            best_core = None
+            best_len = None
+            for core_id in affinity:
+                queue_len = len(queues[core_id])
+                if best_len is None or queue_len < best_len or (
+                    queue_len == best_len and core_id < best_core
+                ):
+                    best_core = core_id
+                    best_len = queue_len
+            if best_core is None:
+                # Empty affinity mask: park the thread on a virtual queue; it
+                # will be re-placed when the mask grows again.
+                thread.queued_core = None
+                self._global_queue.append(thread)
+                return
         thread.queued_core = best_core
-        self._local_queues[best_core].append(thread)
+        queues[best_core].append(thread)
 
     def _remove_from_queues(self, thread: SimThread) -> None:
         removed = False
@@ -252,18 +321,35 @@ class Scheduler:
                 pass
         if removed:
             self._queued_threads -= 1
+            self._note_dequeued(thread)
         thread.queued_core = None
 
     def _pop_eligible(self, queue: Deque[SimThread], core_id: int) -> Optional[SimThread]:
-        for index, thread in enumerate(queue):
-            if self._eligible(thread, core_id):
-                if index == 0:
-                    queue.popleft()
-                else:
-                    del queue[index]
-                self._queued_threads -= 1
-                thread.queued_core = None
-                return thread
+        # Eligibility (not terminated, job not throttled, affinity admits the
+        # core) is checked inline: this loop runs for every queued thread on
+        # every dispatch, so per-thread method calls are too expensive.
+        index = 0
+        terminated = ThreadState.TERMINATED
+        for thread in queue:
+            if thread.state != terminated:
+                job = thread.process.job
+                if job is None or not job.throttled:
+                    affinity = thread.affinity
+                    job_affinity = None if job is None else job.cpu_affinity
+                    if affinity is None:
+                        affinity = job_affinity
+                    elif job_affinity is not None:
+                        affinity = affinity & job_affinity
+                    if affinity is None or core_id in affinity:
+                        if index == 0:
+                            queue.popleft()
+                        else:
+                            del queue[index]
+                        self._queued_threads -= 1
+                        thread.queued_core = None
+                        self._note_dequeued(thread)
+                        return thread
+            index += 1
         return None
 
     def _dispatch_core(self, core_id: int) -> None:
@@ -272,75 +358,96 @@ class Scheduler:
             return
         if self._queued_threads == 0:
             return
+        if not self._has_eligible_queued(core_id):
+            return
+        thread = None
         if self._per_core:
-            thread = self._pop_eligible(self._local_queues[core_id], core_id)
-            if thread is None:
+            local = self._local_queues[core_id]
+            if local:
+                thread = self._pop_eligible(local, core_id)
+            if thread is None and self._global_queue:
                 thread = self._pop_eligible(self._global_queue, core_id)
             if thread is None:
-                # Work stealing: scan the other cores' queues, longest first,
-                # so load spreads out once cores become idle.
-                order = sorted(
-                    (c for c in range(self.core_count) if c != core_id),
-                    key=lambda c: -len(self._local_queues[c]),
-                )
-                for victim in order:
-                    if not self._local_queues[victim]:
-                        break
-                    thread = self._pop_eligible(self._local_queues[victim], core_id)
-                    if thread is not None:
-                        self.steals += 1
-                        break
-        else:
+                # Work stealing: scan the other cores' queues, longest first
+                # (ties by lowest core id), so load spreads out once cores
+                # become idle.  Only non-empty queues are considered.
+                queues = self._local_queues
+                candidates = [
+                    (-len(queue), victim)
+                    for victim, queue in enumerate(queues)
+                    if queue and victim != core_id
+                ]
+                if candidates:
+                    candidates.sort()
+                    for _, victim in candidates:
+                        thread = self._pop_eligible(queues[victim], core_id)
+                        if thread is not None:
+                            self.steals += 1
+                            break
+        elif self._global_queue:
             thread = self._pop_eligible(self._global_queue, core_id)
         if thread is not None:
             self._dispatch(thread, core_id)
 
     def _fill_idle_cores(self) -> None:
+        if self._queued_threads == 0 or not self._idle_cores:
+            return
         for core_id in sorted(self._idle_cores):
             if self._core_thread[core_id] is None:
                 self._dispatch_core(core_id)
 
     def _find_idle_core(self, thread: SimThread) -> Optional[int]:
-        if not self._idle_cores:
+        idle = self._idle_cores
+        if not idle:
             return None
         job = thread.process.job
         if job is not None and job.throttled:
             return None
-        affinity = thread.effective_affinity()
+        affinity = thread.affinity
+        job_affinity = None if job is None else job.cpu_affinity
         if affinity is None:
-            candidates = self._idle_cores
+            affinity = job_affinity
+        elif job_affinity is not None:
+            affinity = affinity & job_affinity
+        if affinity is None:
+            candidates = idle
         else:
-            candidates = self._idle_cores & affinity
-        if not candidates:
-            return None
+            candidates = idle & affinity
+            if not candidates:
+                return None
         # Prefer cores whose hyper-thread siblings are all idle (an empty
         # physical core), like a real scheduler; lowest id for determinism.
+        phys_busy = self._phys_busy
+        phys_of = self._phys_of
         best = None
         for core_id in candidates:
-            sibling_idle = all(s in self._idle_cores for s in self._siblings[core_id])
-            if sibling_idle:
-                if best is None or core_id < best:
-                    best = core_id
+            if phys_busy[phys_of[core_id]] == 0 and (best is None or core_id < best):
+                best = core_id
         if best is not None:
             return best
         return min(candidates)
 
     # --------------------------------------------------------------- running
-    def _smt_rate(self, core_id: int) -> float:
-        for sibling in self._siblings[core_id]:
-            if self._core_thread[sibling] is not None:
-                return self._spec.smt_slowdown
-        return 1.0
-
     def _dispatch(self, thread: SimThread, core_id: int) -> None:
         if self._core_thread[core_id] is not None:
             raise SchedulerError(f"core {core_id} is already running a thread")
-        if not thread.is_cpu_phase:
+        if thread.program[thread.phase_index][0] != "cpu":
             raise SchedulerError(f"thread {thread.name!r} dispatched while not in a CPU phase")
+        engine = self._engine
+        spec = self._spec
+        process = thread.process
         self._idle_cores.discard(core_id)
+        self._idle_mask &= ~(1 << core_id)
         self._core_thread[core_id] = thread
+        phys = self._phys_of[core_id]
+        phys_busy = self._phys_busy[phys] + 1
+        self._phys_busy[phys] = phys_busy
+        category = process.category
+        cat_running = self._cat_running
+        cat_running[category] = cat_running.get(category, 0) + 1
+        now = engine._now
         if thread.ready_since is not None:
-            thread.total_ready_wait += self._engine.now - thread.ready_since
+            thread.total_ready_wait += now - thread.ready_since
             thread.ready_since = None
         thread.state = ThreadState.RUNNING
         thread.core_id = core_id
@@ -349,50 +456,68 @@ class Scheduler:
         if self._last_tid_on_core[core_id] != thread.tid:
             self.context_switches += 1
             thread.context_switches += 1
-            self._accounting.charge_os(self._spec.context_switch_cost)
+            self._accounting.charge_os(spec.context_switch_cost)
         self._last_tid_on_core[core_id] = thread.tid
 
-        rate = self._smt_rate(core_id)
+        # A busy hyper-thread sibling means this physical core is now shared.
+        rate = spec.smt_slowdown if phys_busy > 1 else 1.0
         if rate < 1.0:
             self.smt_shared_dispatches += 1
-        wall_needed = (
-            math.inf
-            if math.isinf(thread.remaining_in_phase)
-            else thread.remaining_in_phase / rate
-        )
-        slice_length = min(self._spec.quantum, wall_needed)
-        job = thread.process.job
-        if job is not None:
+        remaining = thread.remaining_in_phase
+        quantum = spec.quantum
+        if remaining == math.inf:
+            slice_length = quantum
+        else:
+            wall_needed = remaining / rate
+            slice_length = quantum if quantum < wall_needed else wall_needed
+        job = process.job
+        if job is None:
+            thread.slice_reserved = False
+        else:
             job.running_threads += 1
             if job.cpu_rate_fraction is not None:
                 # Reserve budget at dispatch time so concurrently running
                 # threads cannot collectively overshoot the duty cycle; the
                 # unused part of a reservation is refunded on preemption.
-                duty = job.cpu_rate_fraction * self._spec.rate_interval
+                duty = job.cpu_rate_fraction * spec.rate_interval
                 slice_length = min(slice_length, duty, max(job.rate_budget, _EPSILON))
-        slice_length = max(slice_length, _EPSILON)
-        thread.slice_reserved = job is not None and job.cpu_rate_fraction is not None
+                thread.slice_reserved = True
+            else:
+                thread.slice_reserved = False
+        if slice_length < _EPSILON:
+            slice_length = _EPSILON
         if thread.slice_reserved:
             job.rate_budget -= slice_length
-        thread.dispatched_at = self._engine.now
+        thread.dispatched_at = now
         thread.slice_length = slice_length
         thread.slice_rate = rate
-        thread.slice_event = self._engine.schedule(
-            slice_length, self._slice_end, thread, priority=EventPriority.KERNEL
+        # Direct queue push — the engine.schedule wrapper (delay validation,
+        # *args packing) costs real time at ~one dispatch per quantum per core.
+        thread.slice_event = self._equeue.push(
+            now + slice_length, self._slice_end, (thread,), EventPriority.KERNEL
         )
 
     def _stop_running(self, thread: SimThread) -> float:
         """Charge the elapsed part of the current slice and free the core."""
         if thread.state != ThreadState.RUNNING or thread.core_id is None:
             raise SchedulerError(f"thread {thread.name!r} is not running")
-        elapsed = self._engine.now - thread.dispatched_at
+        engine = self._engine
+        elapsed = engine._now - thread.dispatched_at
         elapsed = min(max(elapsed, 0.0), thread.slice_length)
-        if thread.slice_event is not None:
-            self._engine.cancel(thread.slice_event)
+        event = thread.slice_event
+        if event is not None:
+            # Inline engine.cancel: the slice event is never already
+            # cancelled, so only the pending/popped distinction matters.
+            event.cancelled = True
+            if event.in_queue:
+                self._equeue.notify_cancel()
             thread.slice_event = None
         core_id = thread.core_id
         self._core_thread[core_id] = None
         self._idle_cores.add(core_id)
+        self._idle_mask |= 1 << core_id
+        self._phys_busy[self._phys_of[core_id]] -= 1
+        self._cat_running[thread.process.category] -= 1
         job_of_thread = thread.process.job
         if job_of_thread is not None:
             if job_of_thread.running_threads > 0:
@@ -402,12 +527,14 @@ class Scheduler:
                 job_of_thread.rate_budget += max(0.0, thread.slice_length - elapsed)
         thread.slice_reserved = False
         if elapsed > 0:
-            work_done = elapsed * thread.slice_rate
+            process = thread.process
             thread.total_cpu_time += elapsed
-            if not math.isinf(thread.remaining_in_phase):
-                thread.remaining_in_phase = max(0.0, thread.remaining_in_phase - work_done)
-            self._accounting.charge(thread.category, elapsed, thread.process.name)
-            thread.process.charge_cpu(elapsed)
+            remaining = thread.remaining_in_phase
+            if remaining != math.inf:
+                remaining -= elapsed * thread.slice_rate
+                thread.remaining_in_phase = remaining if remaining > 0.0 else 0.0
+            self._accounting.charge(process.category, elapsed, process.name)
+            process.cpu_time += elapsed
         return elapsed
 
     def _phase_finished(self, thread: SimThread) -> bool:
@@ -434,7 +561,9 @@ class Scheduler:
         ):
             self._throttle_job(job)
 
-        if self._phase_finished(thread):
+        # The thread is still on its CPU phase here, so the phase is finished
+        # iff the remaining work hit zero (inf fails the comparison).
+        if thread.remaining_in_phase <= _WORK_EPSILON:
             self._continue_program(thread)
             self._dispatch_core(core_id)
             return
@@ -451,7 +580,7 @@ class Scheduler:
             if thread.on_complete is not None:
                 thread.on_complete(thread)
             return
-        if thread.is_cpu_phase:
+        if thread.program[thread.phase_index][0] == "cpu":
             self._make_ready(thread)
         else:
             thread.state = ThreadState.BLOCKED
@@ -538,7 +667,26 @@ class Scheduler:
 
     # ------------------------------------------------------------- affinity
     def _enforce_affinity(self, job: JobObject) -> None:
-        # Preempt member threads running on newly-forbidden cores.
+        # Preempt member threads running on newly-forbidden cores.  The scan
+        # cannot be gated on ``job.running_threads``: threads dispatched
+        # before their process joined the job are not counted there.
+        self._preempt_forbidden(job)
+        # Re-place member threads queued at cores they may no longer use.
+        if self._per_core and self._queued_threads:
+            for core_id, queue in enumerate(self._local_queues):
+                if not queue:
+                    continue
+                stranded = [
+                    t for t in queue if t.process.job is job and not t.can_run_on(core_id)
+                ]
+                for thread in stranded:
+                    queue.remove(thread)
+                    self._queued_threads -= 1
+                    self._note_dequeued(thread)
+                    thread.queued_core = None
+                    self._make_ready(thread)
+
+    def _preempt_forbidden(self, job: JobObject) -> None:
         for core_id, running in enumerate(self._core_thread):
             if running is None or running.process.job is not job:
                 continue
@@ -554,19 +702,6 @@ class Scheduler:
                 running.ready_since = self._engine.now
                 self._enqueue(running)
             self._dispatch_core(core_id)
-        # Re-place member threads queued at cores they may no longer use.
-        if self._per_core:
-            for core_id, queue in enumerate(self._local_queues):
-                if not queue:
-                    continue
-                stranded = [
-                    t for t in queue if t.process.job is job and not t.can_run_on(core_id)
-                ]
-                for thread in stranded:
-                    queue.remove(thread)
-                    self._queued_threads -= 1
-                    thread.queued_core = None
-                    self._make_ready(thread)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

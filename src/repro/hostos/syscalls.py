@@ -129,17 +129,19 @@ class Kernel:
         """Create a thread in ``process`` and make it runnable immediately."""
         if not process.alive:
             raise SchedulerError(f"cannot spawn a thread in dead process {process.name!r}")
+        tid = self._next_tid
+        self._next_tid = tid + 1
         thread = SimThread(
-            tid=self._next_tid,
-            name=name or f"{process.name}-t{self._next_tid}",
+            tid=tid,
+            name=name or f"{process.name}-t{tid}",
             process=process,
             program=program,
             created_at=self._engine.now,
             affinity=affinity,
             on_complete=on_complete,
         )
-        self._next_tid += 1
-        process.register_thread(thread)
+        # Inlined process.register_thread — liveness was checked above.
+        process.threads.append(thread)
         self.scheduler.add_thread(thread)
         return thread
 

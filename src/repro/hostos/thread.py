@@ -70,6 +70,7 @@ class SimThread:
         "slice_rate",
         "slice_reserved",
         "queued_core",
+        "queued_job",
         "context_switches",
         "total_ready_wait",
     )
@@ -89,7 +90,9 @@ class SimThread:
         self.tid = tid
         self.name = name
         self.process = process
-        self.program: List[Phase] = list(program)
+        # Fresh lists are adopted as-is (the per-worker hot path builds one
+        # per thread); any other sequence is copied so callers keep ownership.
+        self.program: List[Phase] = program if type(program) is list else list(program)
         self.phase_index = 0
         self.remaining_in_phase = self._phase_cpu_duration(self.program[0])
         self.state = ThreadState.NEW
@@ -105,6 +108,10 @@ class SimThread:
         self.slice_rate = 1.0
         self.slice_reserved = False
         self.queued_core: Optional[int] = None
+        # The job object the thread belonged to when it was enqueued; the
+        # scheduler's ready-thread accounting is keyed on it (valid only
+        # while the thread sits in a ready queue).
+        self.queued_job = None
         self.context_switches = 0
         self.total_ready_wait = 0.0
 

@@ -133,15 +133,21 @@ class LatencyCollector:
         self._buffer = grown
 
     def record(self, completion_time: float, latency: float) -> None:
-        """Record a successfully answered query."""
+        """Record a successfully answered query.
+
+        This is the per-query hot path: one bounds check, one store into the
+        preallocated buffer (growth is amortised through :meth:`_reserve`).
+        """
         if latency < 0:
             raise ExperimentError(f"negative latency recorded: {latency}")
         self._total_seen += 1
         if completion_time < self._warmup_end:
             return
-        self._reserve(1)
-        self._buffer[self._count] = latency
-        self._count += 1
+        count = self._count
+        if count >= self._buffer.size:
+            self._reserve(1)
+        self._buffer[count] = latency
+        self._count = count + 1
 
     def record_drop(self, drop_time: float) -> None:
         """Record a query dropped (timed out) at ``drop_time``."""

@@ -90,12 +90,42 @@ def canonical_encoding(spec: Any, namespace: str = "") -> str:
     )
 
 
+#: Attribute under which a dataclass spec memoises its digests (per
+#: namespace).  Not a dataclass field, so it is invisible to ``fields()``
+#: walks, equality and the canonical encoding itself.
+_MEMO_ATTR = "_repro_spec_hash_memo"
+
+
 def spec_hash(spec: Any, namespace: str = "") -> str:
     """SHA-256 hex digest of a configuration's canonical encoding.
 
     ``namespace`` distinguishes keys produced by different kinds of run (for
     example single-machine experiments vs full cluster simulations) that might
     otherwise share a configuration dataclass.
+
+    Digests of dataclass specs are memoised on the instance: specs are frozen,
+    so a spec object hashes identically for its whole lifetime, and the cache
+    layer asks for the same digest on every lookup.  ``dataclasses.replace``
+    builds a new instance, so derived specs never inherit a stale memo.
     """
+    memo = None
+    if dataclasses.is_dataclass(spec) and not isinstance(spec, type):
+        memo = getattr(spec, _MEMO_ATTR, None)
+        if memo is not None:
+            cached = memo.get(namespace)
+            if cached is not None:
+                return cached
+        else:
+            memo = {}
+            try:
+                # Frozen dataclasses block normal attribute assignment, not
+                # object.__setattr__; slotted specs (none today) just skip
+                # the memo.
+                object.__setattr__(spec, _MEMO_ATTR, memo)
+            except (AttributeError, TypeError):
+                memo = None
     encoded = canonical_encoding(spec, namespace=namespace).encode("utf-8")
-    return hashlib.sha256(encoded).hexdigest()
+    digest = hashlib.sha256(encoded).hexdigest()
+    if memo is not None:
+        memo[namespace] = digest
+    return digest

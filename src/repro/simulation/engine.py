@@ -12,10 +12,19 @@ Design notes
 * The engine is deliberately ignorant of the domain: it knows nothing about
   cores, queries or isolation.  That keeps it small and easy to test
   exhaustively (see ``tests/simulation``).
+* :meth:`run` is the hottest loop in the simulator: it works directly on the
+  queue's heap of ``(time, priority, seq, event)`` tuples, executes
+  same-timestamp events as one batch (checking ``until``/cancellation once
+  per batch), and pushes the unexecuted tail back verbatim whenever a
+  callback stops the engine or schedules a same-timestamp event that must
+  sort earlier — so batching is observationally identical to a single-pop
+  loop.
 """
 
 from __future__ import annotations
 
+import gc
+import heapq
 from typing import Any, Callable, List, Optional
 
 from ..errors import SimulationError
@@ -83,7 +92,10 @@ class SimulationEngine:
         if event is None or event.cancelled:
             return
         event.cancel()
-        self._queue.notify_cancel()
+        # Only adjust the live count while the event is actually pending;
+        # cancelling an event that already popped (or fired) must not skew it.
+        if event.in_queue:
+            self._queue.notify_cancel()
 
     def add_stop_hook(self, hook: Callable[[], None]) -> None:
         """Register a callable invoked once when :meth:`run` finishes."""
@@ -104,28 +116,82 @@ class SimulationEngine:
         self._running = True
         self._stopped = False
         executed_this_run = 0
+        queue = self._queue
+        heap = queue._heap
+        heappop = heapq.heappop
+        heappush = heapq.heappush
+        # The loop allocates heavily (events, threads, closures) and keeps
+        # everything reachable until it returns, so cyclic-GC passes during
+        # execution are pure overhead — suspend collection and restore the
+        # caller's setting on the way out (cycles are reclaimed then).
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
-            while True:
-                if self._stopped:
-                    break
+            while not self._stopped:
                 if max_events is not None and executed_this_run >= max_events:
                     break
-                next_time = self._queue.peek_time()
-                if next_time is None:
+                while heap and heap[0][3].cancelled:
+                    heappop(heap)[3].in_queue = False
+                if not heap:
                     break
-                if until is not None and next_time > until:
+                now = heap[0][0]
+                if until is not None and now > until:
                     break
-                event = self._queue.pop()
-                if event is None:  # pragma: no cover - defensive
-                    break
-                if event.time < self._now:  # pragma: no cover - defensive
-                    raise SimulationError("event queue produced an event in the past")
-                self._now = event.time
-                event.callback(*event.args)
-                self._events_executed += 1
-                executed_this_run += 1
+                self._now = now
+                first = heappop(heap)
+                if not heap or heap[0][0] != now:
+                    # Singleton fast path: no same-timestamp companions, so
+                    # no batch bookkeeping (the overwhelmingly common case).
+                    event = first[3]
+                    event.in_queue = False
+                    queue._live -= 1
+                    event.callback(*event.args)
+                    self._events_executed += 1
+                    executed_this_run += 1
+                    continue
+                # Timer-coalescing fast path: pop the whole same-timestamp
+                # batch, then execute it in (priority, seq) order.
+                entries = [first]
+                while heap and heap[0][0] == now:
+                    entries.append(heappop(heap))
+                index = 0
+                count = len(entries)
+                while index < count:
+                    entry = entries[index]
+                    event = entry[3]
+                    if event.cancelled:
+                        # Cancelled by an earlier batch member; its live-count
+                        # adjustment already happened at cancel time.
+                        event.in_queue = False
+                        index += 1
+                        continue
+                    if self._stopped or (
+                        max_events is not None and executed_this_run >= max_events
+                    ):
+                        for tail in range(index, count):
+                            heappush(heap, entries[tail])
+                        break
+                    if heap:
+                        top = heap[0]
+                        if top[0] == now and top < entry:
+                            # A callback scheduled a same-timestamp event that
+                            # sorts before the rest of this batch; requeue the
+                            # tail (original seqs keep its order) and let the
+                            # outer loop re-merge.
+                            for tail in range(index, count):
+                                heappush(heap, entries[tail])
+                            break
+                    event.in_queue = False
+                    queue._live -= 1
+                    index += 1
+                    event.callback(*event.args)
+                    self._events_executed += 1
+                    executed_this_run += 1
         finally:
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
         if until is not None and not self._stopped and self._now < until:
             self._now = until
         for hook in self._stop_hooks:

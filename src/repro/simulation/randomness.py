@@ -14,7 +14,7 @@ from typing import Dict
 
 import numpy as np
 
-__all__ = ["RandomStreams"]
+__all__ = ["RandomStreams", "BatchedDraws"]
 
 
 class RandomStreams:
@@ -60,3 +60,39 @@ class RandomStreams:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RandomStreams(seed={self._seed}, streams={sorted(self._streams)})"
+
+
+class BatchedDraws:
+    """Batched draws from one RNG stream, served one value at a time.
+
+    ``draw(size)`` must pull ``size`` values from the generator exactly as
+    ``size`` successive scalar draws would (true for every numpy
+    ``Generator`` distribution method), so consumers receive the identical
+    value sequence they would have seen drawing per use — only the
+    per-draw Python/numpy call overhead is amortised.  The first batch is
+    drawn lazily, so merely constructing the wrapper consumes no RNG state.
+
+    Consumers that used to share one generator must share one wrapper too
+    (see the machine-wide disk-jitter source): the wrapper hands values out
+    in call order, which then matches the old global draw order exactly.
+    """
+
+    __slots__ = ("_draw", "_batch", "_index")
+
+    BATCH = 256
+
+    def __init__(self, draw) -> None:
+        #: ``draw(size) -> ndarray`` pulling ``size`` values from the stream.
+        self._draw = draw
+        self._batch = None
+        self._index = 0
+
+    def next(self) -> float:
+        batch = self._batch
+        index = self._index
+        if batch is None or index == batch.shape[0]:
+            batch = self._draw(self.BATCH)
+            self._batch = batch
+            index = 0
+        self._index = index + 1
+        return batch[index]

@@ -21,7 +21,7 @@ The primary always runs unrestricted: it is never placed in a job object.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 import numpy as np
@@ -54,16 +54,36 @@ class QueryOutcome:
     dropped: bool
 
 
-@dataclass
 class _QueryRuntime:
-    descriptor: QueryDescriptor
-    arrival_time: float
-    remaining_workers: int
-    worker_threads: List[SimThread] = field(default_factory=list)
-    timeout_event: Optional[object] = None
-    dropped: bool = False
-    done: bool = False
-    callback: Optional[Callable[[QueryOutcome], None]] = None
+    """Mutable in-flight state of one query (slots: built once per query on
+    the submit hot path, so attribute storage must stay as lean as possible)."""
+
+    __slots__ = (
+        "descriptor",
+        "arrival_time",
+        "remaining_workers",
+        "worker_threads",
+        "timeout_event",
+        "dropped",
+        "done",
+        "callback",
+    )
+
+    def __init__(
+        self,
+        descriptor: QueryDescriptor,
+        arrival_time: float,
+        remaining_workers: int,
+        callback: Optional[Callable[[QueryOutcome], None]] = None,
+    ) -> None:
+        self.descriptor = descriptor
+        self.arrival_time = arrival_time
+        self.remaining_workers = remaining_workers
+        self.worker_threads: List[SimThread] = []
+        self.timeout_event: Optional[object] = None
+        self.dropped = False
+        self.done = False
+        self.callback = callback
 
 
 class IndexServeTenant(Tenant):
@@ -133,35 +153,41 @@ class IndexServeTenant(Tenant):
         """Process ``query``; ``callback`` (if given) receives the outcome."""
         if not self._started or self._stopped:
             raise TenantError("IndexServe is not running")
-        now = self._kernel.now
+        kernel = self._kernel
+        spec = self._spec
+        now = kernel.now
         arrival = now if arrival_time is None else arrival_time
         self.submitted += 1
-        self._kernel.accounting.charge_os(QUERY_OS_OVERHEAD)
+        kernel.accounting.charge_os(QUERY_OS_OVERHEAD)
 
         runtime_id = self._next_runtime_id
         self._next_runtime_id += 1
 
-        demands = list(query.worker_demands)
-        misses = list(query.cache_misses)
+        demands = query.worker_demands
+        misses = query.cache_misses
         # Adaptive parallelism: compensate for a backlog by fanning out wider.
         # The total index-lookup work stays the same; the largest chunks are
         # split across extra workers (plus a small per-split overhead), which
         # shortens the critical path at the cost of more ready threads and a
         # higher primary CPU share — the compensation the paper observes.
         if (
-            self._spec.adaptive_parallelism
-            and self.in_flight > self._spec.adaptive_threshold
-            and len(demands) < self._spec.workers_per_query_max
+            spec.adaptive_parallelism
+            and len(self._queries) > spec.adaptive_threshold
+            and len(demands) < spec.workers_per_query_max
         ):
             self.adaptive_boosts += 1
+            demands = list(demands)
+            misses = list(misses)
             extra = min(
-                self._spec.adaptive_extra_workers,
-                self._spec.workers_per_query_max - len(demands),
+                spec.adaptive_extra_workers,
+                spec.workers_per_query_max - len(demands),
             )
+            overhead = spec.adaptive_split_overhead
             for _ in range(extra):
-                largest = int(np.argmax(demands))
+                # First index of the maximum, like np.argmax, without the
+                # list->array conversion.
+                largest = max(range(len(demands)), key=demands.__getitem__)
                 half = demands[largest] / 2.0
-                overhead = self._spec.adaptive_split_overhead
                 demands[largest] = half + overhead
                 demands.append(half + overhead)
                 misses.append(False)
@@ -173,26 +199,36 @@ class IndexServeTenant(Tenant):
             callback=callback,
         )
         self._queries[runtime_id] = runtime
-        runtime.timeout_event = self._kernel.engine.schedule(
-            max(0.0, arrival + self._spec.timeout - now),
+        runtime.timeout_event = kernel.engine.schedule(
+            max(0.0, arrival + spec.timeout - now),
             self._timeout,
             runtime_id,
             priority=EventPriority.TENANT,
         )
 
+        # One shared completion callback per query (not one per worker).
+        worker_done = lambda _t, rid=runtime_id: self._worker_done(rid)  # noqa: E731
+        spawn_thread = kernel.spawn_thread
+        process = self._process
+        worker_threads = runtime.worker_threads
+        miss_phase = None
+        parse_cost = spec.parse_cost
+        name = self._name
         for index, demand in enumerate(demands):
-            program = []
             if misses[index]:
-                program.append(io_phase("ssd", "read", self._spec.cache_miss_read_bytes))
-            burst = demand + (self._spec.parse_cost if index == 0 else 0.0)
-            program.append(cpu_phase(burst))
-            thread = self._kernel.spawn_thread(
-                self._process,
-                program,
-                name=f"{self._name}-q{runtime_id}-w{index}",
-                on_complete=lambda _t, rid=runtime_id: self._worker_done(rid),
+                if miss_phase is None:
+                    miss_phase = io_phase("ssd", "read", spec.cache_miss_read_bytes)
+                program = [miss_phase, cpu_phase(demand + (parse_cost if index == 0 else 0.0))]
+            else:
+                program = [cpu_phase(demand + (parse_cost if index == 0 else 0.0))]
+            worker_threads.append(
+                spawn_thread(
+                    process,
+                    program,
+                    name=f"{name}-q{runtime_id}-w{index}",
+                    on_complete=worker_done,
+                )
             )
-            runtime.worker_threads.append(thread)
 
     # ------------------------------------------------------------- internals
     def _worker_done(self, runtime_id: int) -> None:

@@ -9,6 +9,13 @@ milliseconds of scheduling delay into the 29x tail blow-up of Figure 4.
 Two clients are provided: a constant-rate client (single-machine and cluster
 experiments) and a time-varying client driven by a rate function (the diurnal
 load of the Figure 10 production experiment).
+
+Performance note: inter-arrival gaps are pre-drawn from the RNG in batches of
+standard exponentials and scaled at use.  NumPy draws a size-``n`` batch from
+exactly the same underlying bit stream as ``n`` single draws, and
+``Generator.exponential(scale)`` is itself ``standard_exponential() * scale``,
+so the generated arrival times are bit-identical to the per-arrival draws the
+clients used to make — only the per-query RNG-call overhead disappears.
 """
 
 from __future__ import annotations
@@ -20,12 +27,18 @@ import numpy as np
 from ..errors import TenantError
 from ..simulation.engine import SimulationEngine
 from ..simulation.events import EventPriority
+from ..simulation.randomness import BatchedDraws
 from .query_trace import QueryDescriptor, QueryTrace
 
 __all__ = ["OpenLoopClient", "VariableRateClient"]
 
 #: Callable invoked for every arriving query.
 SubmitFn = Callable[[QueryDescriptor, float], None]
+
+
+def _exponential_gaps(rng: np.random.Generator) -> BatchedDraws:
+    """Batched standard-exponential gap draws (scaled by 1/rate at use)."""
+    return BatchedDraws(rng.standard_exponential)
 
 
 class OpenLoopClient:
@@ -51,10 +64,11 @@ class OpenLoopClient:
         self._engine = engine
         self._iterator: Iterator[QueryDescriptor] = trace.cycle()
         self._qps = qps
+        self._scale = 1.0 / qps
         self._end_time = start_time + duration
         self._submit = submit
-        self._rng = rng
-        self._arrival_process = arrival_process
+        self._poisson = arrival_process == "poisson"
+        self._gaps = _exponential_gaps(rng) if self._poisson else None
         self._start_time = start_time
         self.submitted = 0
         self._finished = False
@@ -70,9 +84,9 @@ class OpenLoopClient:
 
     # ------------------------------------------------------------- internals
     def _next_gap(self) -> float:
-        if self._arrival_process == "poisson":
-            return float(self._rng.exponential(1.0 / self._qps))
-        return 1.0 / self._qps
+        if self._poisson:
+            return float(self._gaps.next() * self._scale)
+        return self._scale
 
     def _arrive(self) -> None:
         now = self._engine.now
@@ -113,7 +127,7 @@ class VariableRateClient:
         self._rate_fn = rate_fn
         self._end_time = start_time + duration
         self._submit = submit
-        self._rng = rng
+        self._gaps = _exponential_gaps(rng)
         self._min_rate = min_rate
         self._start_time = start_time
         self.submitted = 0
@@ -133,7 +147,9 @@ class VariableRateClient:
 
     # ------------------------------------------------------------- internals
     def _gap(self, now: float) -> float:
-        return float(self._rng.exponential(1.0 / self.current_rate(now)))
+        # Scale exactly as Generator.exponential(1.0 / rate) would, so the
+        # gap sequence stays bit-identical to the unbatched draws.
+        return float(self._gaps.next() * (1.0 / self.current_rate(now)))
 
     def _arrive(self) -> None:
         now = self._engine.now

@@ -17,7 +17,7 @@ import numpy as np
 
 from ..config.schema import IndexServeSpec
 from ..errors import TenantError
-from .service_time import WorkerFanoutModel, WorkerServiceTimeModel
+from ..units import millis
 
 __all__ = ["QueryDescriptor", "QueryTrace"]
 
@@ -54,15 +54,38 @@ class QueryTrace:
     ) -> None:
         if size < 1:
             raise TenantError("a query trace needs at least one query")
+        if spec.workers_per_query_min > spec.workers_per_query_max:
+            raise TenantError("worker fan-out bounds are inverted")
         self._spec = spec
         self._queries: List[QueryDescriptor] = []
-        fanout = WorkerFanoutModel(spec, rng)
-        service = WorkerServiceTimeModel(spec, rng)
+        # The generation loop below draws from the RNG in exactly the order
+        # the fan-out / service-time model objects do (one Poisson scalar,
+        # one log-normal batch, one uniform batch per query), with the
+        # per-query model-object method calls and attribute chases hoisted —
+        # trace construction runs once per experiment and showed up in
+        # profiles.  See WorkerFanoutModel / WorkerServiceTimeModel for the
+        # reference formulation; the two must stay draw-for-draw identical.
+        min_workers = spec.workers_per_query_min
+        max_workers = spec.workers_per_query_max
+        lam = max(0.1, spec.workers_per_query_mean - min_workers)
+        mu = spec.worker_service_mu_ms
+        sigma = spec.worker_service_sigma
+        cap = spec.worker_service_cap
+        scale = millis(1.0)
+        miss_rate = spec.cache_miss_rate
+        poisson = rng.poisson
+        lognormal = rng.lognormal
+        random = rng.random
+        minimum = np.minimum
+        append = self._queries.append
         for query_id in range(size):
-            workers = fanout.sample()
-            demands = tuple(float(d) for d in service.sample(workers))
-            misses = tuple(bool(m) for m in rng.random(workers) < spec.cache_miss_rate)
-            self._queries.append(
+            workers = int(min(max(min_workers + int(poisson(lam)), min_workers), max_workers))
+            if workers < 1:
+                raise TenantError("must sample at least one worker burst")
+            draws = lognormal(mean=mu, sigma=sigma, size=workers)
+            demands = tuple(float(d) for d in minimum(draws * scale, cap))
+            misses = tuple(bool(m) for m in random(workers) < miss_rate)
+            append(
                 QueryDescriptor(query_id=query_id, worker_demands=demands, cache_misses=misses)
             )
 

@@ -50,6 +50,34 @@ class TestSpecHash:
         assert spec_hash(frozenset({1.5, 2.5})) == spec_hash(frozenset({2.5, 1.5}))
         assert spec_hash(frozenset({1.5})) != spec_hash(frozenset({2.5}))
 
+    def test_second_hash_of_same_spec_hits_the_memo(self, monkeypatch):
+        import importlib
+
+        # The package re-exports the spec_hash *function* under the same
+        # name, so the module itself must be fetched explicitly.
+        spec_hash_module = importlib.import_module("repro.runtime.spec_hash")
+
+        spec = tiny_spec()
+        first = spec_hash(spec)
+        # After the first hash the digest is memoised on the instance...
+        memo = getattr(spec, spec_hash_module._MEMO_ATTR)
+        assert memo[""] == first
+
+        # ...and the second hash returns without re-encoding the spec.
+        def _boom(*_args, **_kwargs):
+            raise AssertionError("memoised hash must not re-encode the spec")
+
+        monkeypatch.setattr(spec_hash_module, "canonical_encoding", _boom)
+        assert spec_hash(spec) == first
+
+    def test_memo_is_per_namespace_and_not_inherited_by_replace(self):
+        spec = tiny_spec()
+        assert spec_hash(spec, namespace="a") != spec_hash(spec, namespace="b")
+        # Same answers again, now served from the memo.
+        assert spec_hash(spec, namespace="a") == spec_hash(tiny_spec(), namespace="a")
+        derived = dataclasses.replace(spec, seed=6)
+        assert spec_hash(derived) != spec_hash(spec)
+
     def test_numpy_scalars_hash_like_python_equivalents(self):
         """Specs built from numpy-driven sweeps must hit the same cache keys."""
         from_python = tiny_spec(qps=300.0)

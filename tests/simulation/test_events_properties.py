@@ -104,6 +104,63 @@ def test_draining_yields_sorted_remainder(operations):
     assert len(queue) == 0
 
 
+@given(_OPS)
+@settings(max_examples=200, deadline=None)
+def test_pop_batch_matches_naive_single_pop_loop(operations):
+    """Batched same-timestamp pops preserve (priority, insertion-order).
+
+    Two queues receive the identical push/cancel sequence; one is drained
+    with the naive single-pop loop, the other with :meth:`pop_batch`.  The
+    flattened batch drain must equal the single-pop drain event for event,
+    and every batch must hold exactly the single-pop run of its timestamp.
+    """
+    single = EventQueue()
+    batched = EventQueue()
+    single_handles = {}
+    batched_handles = {}
+    live = []
+    seq = 0
+    for op in operations:
+        if op[0] == "push":
+            _, time, priority = op
+            single_handles[seq] = single.push(time, lambda: None, (seq,), priority=priority)
+            batched_handles[seq] = batched.push(time, lambda: None, (seq,), priority=priority)
+            live.append(seq)
+            seq += 1
+        elif op[0] == "cancel" and live:
+            target = live.pop(op[1] % len(live))
+            single_handles[target].cancel()
+            single.notify_cancel()
+            batched_handles[target].cancel()
+            batched.notify_cancel()
+        # pops are deferred to the drain phase: the comparison is about
+        # drain-order semantics, which any interleaving reduces to.
+
+    naive = []
+    while True:
+        event = single.pop()
+        if event is None:
+            break
+        naive.append((event.time, event.priority, event.args[0]))
+
+    index = 0
+    while True:
+        batch = batched.pop_batch()
+        if not batch:
+            break
+        times = {event.time for event in batch}
+        assert len(times) == 1, "a batch must share one timestamp"
+        run_length = len(batch)
+        expected = naive[index: index + run_length]
+        assert [(e.time, e.priority, e.args[0]) for e in batch] == expected
+        index += run_length
+        # The batch must be maximal: the naive drain changes timestamp here.
+        if index < len(naive):
+            assert naive[index][0] != batch[0].time
+    assert index == len(naive)
+    assert len(batched) == 0
+
+
 @given(st.lists(st.tuples(_TIMES, _PRIORITIES), min_size=1, max_size=40))
 @settings(max_examples=200, deadline=None)
 def test_same_timestamp_ties_break_by_priority_then_insertion(pushes):

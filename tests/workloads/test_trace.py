@@ -57,3 +57,31 @@ class TestQueryTrace:
         trace = QueryTrace(IndexServeSpec(), size=10, rng=rng)
         query = trace[0]
         assert query.total_cpu_demand == pytest.approx(sum(query.worker_demands))
+
+
+class TestInlinedGenerationMatchesModels:
+    """QueryTrace inlines the fan-out/service-time models for speed; the two
+    formulations must stay draw-for-draw identical or traces silently drift
+    from the documented model."""
+
+    def test_trace_equals_model_driven_reconstruction(self):
+        from repro.units import millis
+        from repro.workloads.service_time import (
+            WorkerFanoutModel,
+            WorkerServiceTimeModel,
+        )
+
+        spec = IndexServeSpec()
+        trace = QueryTrace(spec, size=200, rng=np.random.default_rng(123))
+
+        # Rebuild the same trace through the reference model objects, drawing
+        # from an identically-seeded generator in the documented order.
+        rng = np.random.default_rng(123)
+        fanout = WorkerFanoutModel(spec, rng)
+        service = WorkerServiceTimeModel(spec, rng)
+        for query in trace.queries():
+            workers = fanout.sample()
+            demands = tuple(float(d) for d in service.sample(workers))
+            misses = tuple(bool(m) for m in rng.random(workers) < spec.cache_miss_rate)
+            assert query.worker_demands == demands
+            assert query.cache_misses == misses
