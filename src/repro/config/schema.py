@@ -14,6 +14,7 @@ many components of one experiment without defensive copying; use
 from __future__ import annotations
 
 import dataclasses
+import math
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
@@ -39,6 +40,10 @@ __all__ = [
     "MemoryGuardSpec",
     "NetworkThrottleSpec",
     "PerfIsoSpec",
+    "DiurnalSpec",
+    "BurstySpec",
+    "FlashCrowdSpec",
+    "TraceSpec",
     "WorkloadSpec",
     "ClusterSpec",
     "ExperimentSpec",
@@ -496,8 +501,160 @@ class PerfIsoSpec:
 
 # --------------------------------------------------------------------------- workload
 @dataclass(frozen=True)
+class DiurnalSpec:
+    """Sinusoidal day/night load swing (the Figure 10 production shape).
+
+    The instantaneous rate is ``mid + amplitude * cos(2*pi * (t/period +
+    phase_offset))`` floored at ``floor_qps``, where ``mid`` and ``amplitude``
+    derive from the peak/trough pair.  ``phase_offset`` is a fraction of the
+    period — rows serving different geographies peak at different times.  The
+    fleet model's per-row diurnal curves are built from this spec, so the
+    single-machine and fleet implementations cannot drift.
+    """
+
+    peak_qps: float = 4000.0
+    trough_qps: float = 1600.0
+    #: Length of one full cycle (seconds of simulated time).
+    period: float = 3600.0
+    #: Phase shift as a fraction of the period, in [0, 1).
+    phase_offset: float = 0.0
+    floor_qps: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.trough_qps < self.peak_qps:
+            raise ConfigError("diurnal load requires 0 < trough_qps < peak_qps")
+        if self.period <= 0:
+            raise ConfigError("diurnal period must be positive")
+        if not 0.0 <= self.phase_offset < 1.0:
+            raise ConfigError("diurnal phase_offset must be in [0, 1)")
+        if self.floor_qps <= 0:
+            raise ConfigError("diurnal floor_qps must be positive")
+
+
+@dataclass(frozen=True)
+class BurstySpec:
+    """Two-state Markov-modulated Poisson arrivals (normal <-> burst).
+
+    The rate alternates between ``base_qps`` and ``burst_qps``; dwell times in
+    each state are exponential with the given means.  The state path is drawn
+    from the experiment's named ``"arrival-model"`` random stream, so a bursty
+    workload is a pure function of the experiment seed and stays byte-identical
+    at any worker count.
+    """
+
+    base_qps: float = 2000.0
+    burst_qps: float = 6000.0
+    #: Mean dwell time in the normal state (seconds).
+    mean_normal_seconds: float = 4.0
+    #: Mean dwell time in the burst state (seconds).
+    mean_burst_seconds: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.base_qps < self.burst_qps:
+            raise ConfigError("bursty load requires 0 < base_qps < burst_qps")
+        if self.mean_normal_seconds <= 0 or self.mean_burst_seconds <= 0:
+            raise ConfigError("bursty dwell-time means must be positive")
+
+    @property
+    def mean_qps(self) -> float:
+        """The stationary mean rate of the two-state chain."""
+        total = self.mean_normal_seconds + self.mean_burst_seconds
+        return (
+            self.base_qps * self.mean_normal_seconds
+            + self.burst_qps * self.mean_burst_seconds
+        ) / total
+
+
+@dataclass(frozen=True)
+class FlashCrowdSpec:
+    """A flash crowd: base load, a linear ramp to a spike, hold, then decay.
+
+    Time zero is the start of the experiment (including warmup); the spike
+    begins at ``start`` seconds, climbs linearly over ``ramp`` seconds to
+    ``spike_qps``, holds for ``hold`` seconds and decays linearly back to the
+    base over ``decay`` seconds.
+    """
+
+    base_qps: float = 2000.0
+    spike_qps: float = 6000.0
+    start: float = 4.0
+    ramp: float = 0.5
+    hold: float = 2.0
+    decay: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.base_qps < self.spike_qps:
+            raise ConfigError("flash crowd requires 0 < base_qps < spike_qps")
+        if self.start < 0 or self.ramp < 0 or self.hold < 0 or self.decay < 0:
+            raise ConfigError("flash crowd phase durations must all be >= 0")
+        if self.ramp + self.hold + self.decay <= 0:
+            raise ConfigError(
+                "a flash crowd needs a non-zero spike (ramp + hold + decay > 0); "
+                "a zero-width spike degenerates to the constant base rate"
+            )
+
+    @property
+    def end(self) -> float:
+        """When the load is back at the base rate."""
+        return self.start + self.ramp + self.hold + self.decay
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """A replayable trace: uniformly-spaced buckets of offered QPS.
+
+    The rate is piecewise-constant — bucket ``i`` covers simulated time
+    ``[i * bucket_seconds, (i+1) * bucket_seconds)`` — and replay wraps
+    cyclically past the end of the trace.  Traces are stored *inline* (a tuple
+    of floats, not a file path) so experiment specs stay content-addressable:
+    two specs replaying the same buckets hash identically no matter where the
+    trace file lived.  Use :mod:`repro.config.traces` to load/save JSONL and
+    CSV trace files, and ``python -m repro.workloads`` to synthesize them from
+    the parametric models.
+    """
+
+    bucket_seconds: float
+    qps: Tuple[float, ...]
+    #: Free-form provenance label ("synthetic:diurnal", "prod-2017-w3", ...).
+    source: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if not (math.isfinite(self.bucket_seconds) and self.bucket_seconds > 0):
+            raise ConfigError("trace bucket_seconds must be positive and finite")
+        if not self.qps:
+            raise ConfigError("a trace needs at least one QPS bucket")
+        for index, value in enumerate(self.qps):
+            if not (math.isfinite(value) and value >= 0.0):
+                raise ConfigError(
+                    f"trace bucket {index} has invalid QPS {value!r} "
+                    "(must be finite and >= 0)"
+                )
+        if not any(value > 0.0 for value in self.qps):
+            raise ConfigError("a trace must have at least one non-zero bucket")
+
+    @property
+    def duration(self) -> float:
+        """Length of one full pass over the trace (seconds)."""
+        return self.bucket_seconds * len(self.qps)
+
+    @property
+    def mean_qps(self) -> float:
+        return sum(self.qps) / len(self.qps)
+
+    @property
+    def peak_qps(self) -> float:
+        return max(self.qps)
+
+
+@dataclass(frozen=True)
 class WorkloadSpec:
-    """Open-loop query workload replayed against the primary (Section 5.3)."""
+    """Open-loop query workload replayed against the primary (Section 5.3).
+
+    With no arrival model set, arrivals are stationary at ``qps`` (Poisson or
+    uniform).  Setting exactly one of ``diurnal``/``bursty``/``flash_crowd``/
+    ``trace`` makes the arrival process time-varying: the rate follows the
+    model and ``qps`` remains only the nominal label reported in results.
+    """
 
     qps: float = 2000.0
     duration: float = 10.0
@@ -505,6 +662,10 @@ class WorkloadSpec:
     #: Number of distinct queries in the synthetic trace.
     trace_queries: int = 50_000
     arrival_process: str = "poisson"
+    diurnal: Optional[DiurnalSpec] = None
+    bursty: Optional[BurstySpec] = None
+    flash_crowd: Optional[FlashCrowdSpec] = None
+    trace: Optional[TraceSpec] = None
 
     def __post_init__(self) -> None:
         if self.qps <= 0:
@@ -513,10 +674,100 @@ class WorkloadSpec:
             raise ConfigError("duration must be > 0 and warmup >= 0")
         if self.arrival_process not in ("poisson", "uniform"):
             raise ConfigError("arrival_process must be 'poisson' or 'uniform'")
+        models = self._set_models()
+        if len(models) > 1:
+            raise ConfigError(
+                "a workload may set at most one arrival model, got "
+                f"{[kind for kind, _ in models]}"
+            )
+        if models and self.arrival_process != "poisson":
+            raise ConfigError(
+                "time-varying arrival models require arrival_process='poisson'"
+            )
+
+    def _set_models(self) -> Tuple[Tuple[str, object], ...]:
+        return tuple(
+            (kind, spec)
+            for kind, spec in (
+                ("diurnal", self.diurnal),
+                ("bursty", self.bursty),
+                ("flash_crowd", self.flash_crowd),
+                ("trace", self.trace),
+            )
+            if spec is not None
+        )
+
+    @property
+    def arrival_kind(self) -> str:
+        """'constant', or the name of the configured arrival model."""
+        models = self._set_models()
+        return models[0][0] if models else "constant"
+
+    @property
+    def arrival_model_spec(self):
+        """The configured arrival-model spec, or ``None`` for constant rate."""
+        models = self._set_models()
+        return models[0][1] if models else None
 
     @property
     def total_time(self) -> float:
         return self.warmup + self.duration
+
+    @property
+    def mean_qps(self) -> float:
+        """Time-averaged offered rate (used to size the synthetic query trace).
+
+        For the flash crowd the excess above base is integrated exactly over
+        the part of the spike that falls inside the experiment window, phase
+        by phase (an experiment may end mid-ramp or mid-hold).
+        """
+        model = self.arrival_model_spec
+        if model is None:
+            return self.qps
+        if isinstance(model, DiurnalSpec):
+            # Closed-form integral of mid + A*cos(2*pi*(t/P + phi)) over
+            # [0, total]: an 11 s window pinned at the trough of an hour-long
+            # period must size for the trough, not the full-period mean.
+            # (floor_qps is ignored here — it only binds for degenerate
+            # troughs, and sizing is a heuristic.)
+            total = self.total_time
+            mid = (model.peak_qps + model.trough_qps) / 2.0
+            amplitude = (model.peak_qps - model.trough_qps) / 2.0
+            two_pi = 2.0 * math.pi
+            swept = math.sin(two_pi * (total / model.period + model.phase_offset))
+            start = math.sin(two_pi * model.phase_offset)
+            return mid + amplitude * (swept - start) * model.period / (two_pi * total)
+        if isinstance(model, FlashCrowdSpec):
+            total = self.total_time
+            # Seconds of each spike phase inside [0, total], walked in order.
+            in_ramp = min(max(0.0, total - model.start), model.ramp)
+            in_hold = min(max(0.0, total - model.start - model.ramp), model.hold)
+            in_decay = min(
+                max(0.0, total - model.start - model.ramp - model.hold), model.decay
+            )
+            # Spike-equivalent seconds: the ramp climbs linearly (integral
+            # u^2/2r), the hold is flat, the decay falls linearly.
+            spike_seconds = in_hold
+            if model.ramp > 0.0:
+                spike_seconds += in_ramp * in_ramp / (2.0 * model.ramp)
+            if model.decay > 0.0:
+                spike_seconds += in_decay * (1.0 - in_decay / (2.0 * model.decay))
+            excess = (model.spike_qps - model.base_qps) * spike_seconds / total
+            return model.base_qps + excess
+        if isinstance(model, TraceSpec):
+            # Average only the portion of the trace the window actually
+            # replays (wrapping cyclically), not the whole file: a long
+            # front-loaded trace otherwise mis-sizes the query pool.
+            total = self.total_time
+            bucket = model.bucket_seconds
+            rates = model.qps
+            whole = int(total // bucket)
+            frac = total - whole * bucket
+            cycles, rem = divmod(whole, len(rates))
+            integral = (cycles * sum(rates) + sum(rates[:rem])) * bucket
+            integral += rates[rem % len(rates)] * frac
+            return integral / total
+        return model.mean_qps
 
 
 # --------------------------------------------------------------------------- cluster

@@ -1,0 +1,214 @@
+"""Loading, validating and saving replayable workload trace files.
+
+A trace file is a sequence of timestamped QPS buckets — the portable form of
+:class:`~repro.config.schema.TraceSpec`.  Two formats are supported:
+
+* **JSONL** — an optional header object carrying metadata followed by one
+  ``{"t": <seconds>, "qps": <rate>}`` object per bucket::
+
+      {"format": "perfiso-trace", "version": 1, "bucket_seconds": 60.0, "source": "synthetic:diurnal"}
+      {"t": 0.0, "qps": 1612.5}
+      {"t": 60.0, "qps": 1650.1}
+
+* **CSV** — a ``t,qps`` header row followed by one row per bucket.
+
+Floats are written with ``repr`` (shortest round-trip form), so synthesize ->
+save -> load -> replay is bit-identical; the round-trip tests pin this.  The
+validator enforces what the simulator needs: timestamps start at zero, are
+strictly increasing and uniformly spaced, and rates are finite and
+non-negative.  Anything else is a :class:`~repro.errors.ConfigError` — a
+malformed trace should fail at load time, not three hours into a fleet run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import List, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigError
+from .schema import TraceSpec
+
+__all__ = [
+    "TRACE_FORMATS",
+    "dump_trace_text",
+    "parse_trace_text",
+    "save_trace_file",
+    "load_trace_file",
+]
+
+TRACE_FORMATS = ("jsonl", "csv")
+
+#: Relative tolerance for "uniformly spaced" timestamp checks.
+_SPACING_RTOL = 1e-9
+
+_PATHLIKE = Union[str, Path]
+
+
+def _format_for(path: _PATHLIKE, fmt: Optional[str]) -> str:
+    if fmt is None:
+        suffix = Path(path).suffix.lower().lstrip(".")
+        fmt = {"jsonl": "jsonl", "json": "jsonl", "csv": "csv"}.get(suffix)
+        if fmt is None:
+            raise ConfigError(
+                f"cannot infer trace format from {Path(path).name!r}; "
+                f"pass fmt= one of {TRACE_FORMATS}"
+            )
+    if fmt not in TRACE_FORMATS:
+        raise ConfigError(f"trace format must be one of {TRACE_FORMATS}, got {fmt!r}")
+    return fmt
+
+
+def _validate_rows(times: Sequence[float], header_bucket: Optional[float]) -> float:
+    """Check timestamp structure and return the bucket width."""
+    if not times:
+        raise ConfigError("trace file has no data rows")
+    if times[0] != 0.0:
+        raise ConfigError(f"trace timestamps must start at 0.0, got {times[0]!r}")
+    if len(times) == 1:
+        if header_bucket is None:
+            raise ConfigError(
+                "a single-bucket trace needs a header with bucket_seconds "
+                "(bucket width cannot be derived from one timestamp)"
+            )
+        return header_bucket
+    bucket = times[1] - times[0]
+    if bucket <= 0:
+        raise ConfigError("trace timestamps must be strictly increasing")
+    for index in range(1, len(times)):
+        gap = times[index] - times[index - 1]
+        if gap <= 0:
+            raise ConfigError(
+                f"trace timestamps must be strictly increasing "
+                f"(row {index}: {times[index]!r} after {times[index - 1]!r})"
+            )
+        if abs(gap - bucket) > _SPACING_RTOL * max(bucket, gap):
+            raise ConfigError(
+                f"trace timestamps must be uniformly spaced "
+                f"(row {index} gap {gap!r} != bucket width {bucket!r})"
+            )
+    if header_bucket is not None and abs(header_bucket - bucket) > _SPACING_RTOL * bucket:
+        raise ConfigError(
+            f"trace header bucket_seconds ({header_bucket!r}) disagrees with "
+            f"the timestamp spacing ({bucket!r})"
+        )
+    return bucket
+
+
+def _row_values(row: object, lineno: int) -> Tuple[float, float]:
+    if not isinstance(row, dict) or "t" not in row or "qps" not in row:
+        raise ConfigError(f"trace line {lineno} must be an object with 't' and 'qps' keys")
+    try:
+        return float(row["t"]), float(row["qps"])
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"trace line {lineno} has non-numeric values: {exc}") from exc
+
+
+def dump_trace_text(trace: TraceSpec, fmt: str = "jsonl") -> str:
+    """Serialise ``trace`` to JSONL or CSV text."""
+    if fmt not in TRACE_FORMATS:
+        raise ConfigError(f"trace format must be one of {TRACE_FORMATS}, got {fmt!r}")
+    bucket = trace.bucket_seconds
+    if fmt == "csv":
+        if len(trace.qps) == 1:
+            # CSV has no header to carry bucket_seconds, so a single-bucket
+            # file could never be loaded back; fail at write time instead.
+            raise ConfigError(
+                "a single-bucket trace cannot round-trip through CSV "
+                "(no header carries bucket_seconds); use JSONL"
+            )
+        lines = ["t,qps"]
+        lines.extend(
+            f"{repr(index * bucket)},{repr(value)}" for index, value in enumerate(trace.qps)
+        )
+        return "\n".join(lines) + "\n"
+    header = {
+        "format": "perfiso-trace",
+        "version": 1,
+        "bucket_seconds": bucket,
+        "source": trace.source,
+    }
+    lines = [json.dumps(header, sort_keys=True)]
+    lines.extend(
+        json.dumps({"t": index * bucket, "qps": value}) for index, value in enumerate(trace.qps)
+    )
+    return "\n".join(lines) + "\n"
+
+
+def parse_trace_text(text: str, fmt: str = "jsonl", source: Optional[str] = None) -> TraceSpec:
+    """Parse and validate JSONL or CSV trace text into a :class:`TraceSpec`."""
+    if fmt not in TRACE_FORMATS:
+        raise ConfigError(f"trace format must be one of {TRACE_FORMATS}, got {fmt!r}")
+    times: List[float] = []
+    qps: List[float] = []
+    header_bucket: Optional[float] = None
+    header_source: Optional[str] = None
+    lines = [line.strip() for line in text.splitlines()]
+    rows = [line for line in lines if line]
+    # Error messages count 1-based non-blank file lines (the CSV header and
+    # the optional JSONL metadata header are line 1), so both formats point
+    # at the same place an editor would.
+    if fmt == "csv":
+        if not rows or rows[0].replace(" ", "") != "t,qps":
+            raise ConfigError("CSV trace must begin with a 't,qps' header row")
+        for lineno, line in enumerate(rows[1:], start=2):
+            parts = line.split(",")
+            if len(parts) != 2:
+                raise ConfigError(f"CSV trace line {lineno} must have two columns")
+            try:
+                times.append(float(parts[0]))
+                qps.append(float(parts[1]))
+            except ValueError as exc:
+                raise ConfigError(f"CSV trace line {lineno} is not numeric: {exc}") from exc
+    else:
+        for lineno, line in enumerate(rows, start=1):
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ConfigError(f"trace line {lineno} is not valid JSON: {exc}") from exc
+            is_header = (
+                lineno == 1
+                and isinstance(row, dict)
+                and ("bucket_seconds" in row or "format" in row)
+            )
+            if is_header:
+                if row.get("format", "perfiso-trace") != "perfiso-trace":
+                    raise ConfigError(f"unsupported trace format tag {row.get('format')!r}")
+                if row.get("version", 1) != 1:
+                    raise ConfigError(f"unsupported trace version {row.get('version')!r}")
+                if "bucket_seconds" in row:
+                    header_bucket = float(row["bucket_seconds"])
+                raw_source = row.get("source")
+                header_source = str(raw_source) if raw_source is not None else None
+                continue
+            t, rate = _row_values(row, lineno)
+            times.append(t)
+            qps.append(rate)
+    bucket = _validate_rows(times, header_bucket)
+    if source is None:
+        source = header_source if header_source is not None else "file"
+    return TraceSpec(bucket_seconds=bucket, qps=tuple(qps), source=source)
+
+
+def save_trace_file(trace: TraceSpec, path: _PATHLIKE, fmt: Optional[str] = None) -> Path:
+    """Write ``trace`` to ``path`` (format inferred from the suffix) and return it."""
+    resolved_fmt = _format_for(path, fmt)
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(dump_trace_text(trace, resolved_fmt), encoding="utf-8")
+    return target
+
+
+def load_trace_file(
+    path: _PATHLIKE, fmt: Optional[str] = None, source: Optional[str] = None
+) -> TraceSpec:
+    """Read, validate and return the trace stored at ``path``.
+
+    ``source`` overrides the provenance label; by default JSONL traces keep
+    the label stored in their header and CSV traces are labelled ``"file"``.
+    """
+    resolved_fmt = _format_for(path, fmt)
+    target = Path(path)
+    if not target.exists():
+        raise ConfigError(f"trace file not found: {target}")
+    return parse_trace_text(target.read_text(encoding="utf-8"), resolved_fmt, source=source)

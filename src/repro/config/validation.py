@@ -82,6 +82,14 @@ def validate_experiment(spec: ExperimentSpec) -> None:
     if spec.workload.warmup >= spec.workload.total_time:
         raise ConfigError("warmup must leave measurable time in the experiment")
 
+    flash = spec.workload.flash_crowd
+    if flash is not None and flash.start >= spec.workload.total_time:
+        raise ConfigError(
+            f"flash crowd starts at {flash.start} s but the experiment ends at "
+            f"{spec.workload.total_time} s; the workload would silently degenerate "
+            "to its constant base rate"
+        )
+
 
 def validate_cluster(spec: ClusterSpec) -> None:
     """Raise :class:`ConfigError` if a cluster layout is inconsistent."""
@@ -135,4 +143,16 @@ def collect_warnings(spec: ExperimentSpec) -> List[str]:
         )
     if spec.workload.duration < 2.0:
         warnings.append("experiment duration under 2 s gives noisy tail-latency estimates")
+    trace = spec.workload.trace
+    if trace is not None and trace.duration < spec.workload.total_time:
+        warnings.append(
+            f"the replayed trace covers {trace.duration:g} s of a "
+            f"{spec.workload.total_time:g} s experiment; replay wraps around cyclically"
+        )
+    bursty = spec.workload.bursty
+    if bursty is not None and bursty.mean_normal_seconds > spec.workload.total_time:
+        warnings.append(
+            "the bursty mean dwell time exceeds the experiment window; most seeds "
+            "will never leave the normal state"
+        )
     return warnings

@@ -21,10 +21,13 @@ from typing import Optional
 
 from ..config.schema import (
     BlindIsolationSpec,
+    BurstySpec,
     CpuBullySpec,
     CpuCycleSpec,
     DiskBullySpec,
+    DiurnalSpec,
     ExperimentSpec,
+    FlashCrowdSpec,
     HdfsSpec,
     IndexServeSpec,
     IoThrottleSpec,
@@ -33,9 +36,17 @@ from ..config.schema import (
     SchedulerSpec,
     SecondaryJobSpec,
     StaticCoreSpec,
+    TraceSpec,
     WorkloadSpec,
 )
+from ..simulation.randomness import RandomStreams
 from ..units import MB
+from ..workloads.arrival_models import (
+    ARRIVAL_MODEL_STREAM,
+    BurstyArrival,
+    DiurnalArrival,
+    synthesize_trace,
+)
 from . import matrix
 
 __all__ = [
@@ -63,6 +74,16 @@ __all__ = [
     "full_house",
     "dual_cpu_bully",
     "bully_storm",
+    "diurnal_cycle",
+    "diurnal_trough_reclamation",
+    "flash_crowd_blind_isolation",
+    "flash_crowd_no_isolation",
+    "bursty_blind_isolation",
+    "bursty_no_isolation",
+    "replayed_trace_showdown",
+    "replayed_trace_standalone",
+    "bursty_replay_trace",
+    "diurnal_replay_trace",
 ]
 
 #: The paper's approximation of average and peak per-machine load (Section 5.3).
@@ -523,6 +544,294 @@ def bully_storm(
     )
 
 
+# ------------------------------------------------------- trace-driven workloads
+def bursty_replay_trace(
+    base_qps: float,
+    burst_qps: float,
+    total_time: float,
+    trace_seed: int = 20170104,
+) -> TraceSpec:
+    """A replayable trace flattened from a seeded MMPP burst process.
+
+    The trace is a pure function of its arguments — ``trace_seed`` is
+    deliberately independent of the experiment seed, so every policy variant
+    of a showdown replays the *same* recorded traffic.  Dwell times and the
+    bucket width scale with the window, so short golden/CI runs still contain
+    several bursts.
+    """
+    model = BurstyArrival(
+        _scaled_bursty(base_qps, burst_qps, total_time),
+        horizon=total_time,
+        rng=RandomStreams(trace_seed).stream(ARRIVAL_MODEL_STREAM),
+    )
+    return synthesize_trace(
+        model, duration=total_time, bucket_seconds=total_time / 44.0
+    )
+
+
+def _scaled_bursty(base_qps: float, burst_qps: float, total_time: float) -> BurstySpec:
+    """MMPP dwell means proportional to the window (~4 bursts per run)."""
+    return BurstySpec(
+        base_qps=base_qps,
+        burst_qps=burst_qps,
+        mean_normal_seconds=0.18 * total_time,
+        mean_burst_seconds=0.07 * total_time,
+    )
+
+
+def diurnal_replay_trace(
+    peak_qps: float,
+    trough_qps: float,
+    total_time: float,
+    bucket_seconds: float = 0.25,
+) -> TraceSpec:
+    """One full diurnal cycle flattened into a replayable trace."""
+    model = DiurnalArrival(
+        DiurnalSpec(peak_qps=peak_qps, trough_qps=trough_qps, period=total_time)
+    )
+    return synthesize_trace(model, duration=total_time, bucket_seconds=bucket_seconds)
+
+
+@matrix.scenario(
+    "diurnal-cycle",
+    "A full compressed diurnal cycle under blind isolation with a high bully",
+    axes={"phase_offset": (0.0, 0.5)},
+    tags=("production", "trace-driven"),
+)
+def diurnal_cycle(
+    phase_offset: float = 0.0,
+    peak_qps: float = PEAK_LOAD_QPS,
+    trough_qps: float = 600.0,
+    buffer_cores: int = 8,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """One whole trough-to-peak cycle in a single run (period == the run)."""
+    total = warmup + duration
+    workload = WorkloadSpec(
+        qps=(peak_qps + trough_qps) / 2.0,
+        duration=duration,
+        warmup=warmup,
+        diurnal=DiurnalSpec(
+            peak_qps=peak_qps,
+            trough_qps=trough_qps,
+            period=total,
+            phase_offset=phase_offset,
+        ),
+    )
+    return ExperimentSpec(
+        workload=workload,
+        seed=seed,
+        cpu_bully=CpuBullySpec(threads=HIGH_BULLY_THREADS),
+        perfiso=_blind_perfiso(buffer_cores),
+    )
+
+
+@matrix.scenario(
+    "diurnal-trough-reclamation",
+    "Harvesting at the diurnal trough: how much batch work fits the night",
+    axes={"buffer_cores": (4, 8)},
+    tags=("production", "trace-driven"),
+)
+def diurnal_trough_reclamation(
+    buffer_cores: int = 8,
+    peak_qps: float = PEAK_LOAD_QPS,
+    trough_qps: float = 1600.0,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """A short window pinned at the trough of a long diurnal period.
+
+    ``phase_offset=0.5`` puts the cosine minimum at t=0; with the period much
+    longer than the run, the whole window sits near the trough — the regime
+    where blind isolation reclaims the most cores for the ML training job.
+    """
+    workload = WorkloadSpec(
+        qps=trough_qps,
+        duration=duration,
+        warmup=warmup,
+        diurnal=DiurnalSpec(
+            peak_qps=peak_qps,
+            trough_qps=trough_qps,
+            period=3600.0,
+            phase_offset=0.5,
+        ),
+    )
+    return ExperimentSpec(
+        workload=workload,
+        seed=seed,
+        ml_training=MlTrainingSpec(),
+        perfiso=_blind_perfiso(buffer_cores),
+    )
+
+
+@matrix.scenario(
+    "flash-crowd-blind-isolation",
+    "A flash crowd spiking past peak while blind isolation defends the buffer",
+    axes={"spike_qps": (PEAK_LOAD_QPS, 6000.0)},
+    tags=("stress", "trace-driven"),
+)
+def flash_crowd_blind_isolation(
+    spike_qps: float = 6000.0,
+    base_qps: float = AVERAGE_LOAD_QPS,
+    buffer_cores: int = 8,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Base load, then a mid-run ramp/hold/decay spike, bully colocated."""
+    total = warmup + duration
+    workload = WorkloadSpec(
+        qps=base_qps,
+        duration=duration,
+        warmup=warmup,
+        flash_crowd=FlashCrowdSpec(
+            base_qps=base_qps,
+            spike_qps=spike_qps,
+            start=warmup + 0.3 * duration,
+            ramp=0.05 * total,
+            hold=0.2 * total,
+            decay=0.1 * total,
+        ),
+    )
+    return ExperimentSpec(
+        workload=workload,
+        seed=seed,
+        cpu_bully=CpuBullySpec(threads=HIGH_BULLY_THREADS),
+        perfiso=_blind_perfiso(buffer_cores),
+    )
+
+
+@matrix.scenario(
+    "flash-crowd-no-isolation",
+    "The same flash crowd with the bully unrestricted (the blind spot)",
+    tags=("stress", "trace-driven"),
+)
+def flash_crowd_no_isolation(
+    spike_qps: float = 6000.0,
+    base_qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Ablation twin of ``flash-crowd-blind-isolation`` without PerfIso."""
+    spec = flash_crowd_blind_isolation(
+        spike_qps=spike_qps,
+        base_qps=base_qps,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+    return dataclasses.replace(spec, perfiso=None)
+
+
+@matrix.scenario(
+    "bursty-blind-isolation",
+    "Markov-modulated burst traffic under blind isolation with a high bully",
+    axes={"burst_qps": (PEAK_LOAD_QPS, 6000.0)},
+    tags=("stress", "trace-driven"),
+)
+def bursty_blind_isolation(
+    burst_qps: float = 6000.0,
+    base_qps: float = AVERAGE_LOAD_QPS,
+    buffer_cores: int = 8,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """MMPP arrivals: calm stretches punctuated by seconds-long bursts."""
+    workload = WorkloadSpec(
+        qps=base_qps,
+        duration=duration,
+        warmup=warmup,
+        bursty=_scaled_bursty(base_qps, burst_qps, warmup + duration),
+    )
+    return ExperimentSpec(
+        workload=workload,
+        seed=seed,
+        cpu_bully=CpuBullySpec(threads=HIGH_BULLY_THREADS),
+        perfiso=_blind_perfiso(buffer_cores),
+    )
+
+
+@matrix.scenario(
+    "bursty-no-isolation",
+    "The same burst traffic with the bully unrestricted",
+    tags=("stress", "trace-driven"),
+)
+def bursty_no_isolation(
+    burst_qps: float = 6000.0,
+    base_qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Ablation twin of ``bursty-blind-isolation`` without PerfIso."""
+    spec = bursty_blind_isolation(
+        burst_qps=burst_qps,
+        base_qps=base_qps,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+    return dataclasses.replace(spec, perfiso=None)
+
+
+@matrix.scenario(
+    "replayed-trace-showdown",
+    "Every CPU policy replaying the identical recorded burst trace",
+    axes={"policy": ("none", "blind", "static_cores", "cpu_cycles")},
+    tags=("comparison", "trace-driven"),
+)
+def replayed_trace_showdown(
+    policy: str = "blind",
+    base_qps: float = AVERAGE_LOAD_QPS,
+    burst_qps: float = 6000.0,
+    bully_threads: int = HIGH_BULLY_THREADS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """Figure 8 rerun on recorded traffic: same trace file, four policies."""
+    workload = WorkloadSpec(
+        qps=base_qps,
+        duration=duration,
+        warmup=warmup,
+        trace=bursty_replay_trace(base_qps, burst_qps, total_time=warmup + duration),
+    )
+    perfiso = None if policy == "none" else PerfIsoSpec(cpu_policy=policy)
+    return ExperimentSpec(
+        workload=workload,
+        seed=seed,
+        cpu_bully=CpuBullySpec(threads=bully_threads),
+        perfiso=perfiso,
+    )
+
+
+@matrix.scenario(
+    "replayed-trace-standalone",
+    "IndexServe alone replaying a recorded diurnal trace",
+    tags=("baseline", "trace-driven"),
+)
+def replayed_trace_standalone(
+    peak_qps: float = PEAK_LOAD_QPS,
+    trough_qps: float = 1600.0,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """The trace round-trip in scenario form: synthesize -> replay -> measure."""
+    workload = WorkloadSpec(
+        qps=(peak_qps + trough_qps) / 2.0,
+        duration=duration,
+        warmup=warmup,
+        trace=diurnal_replay_trace(peak_qps, trough_qps, total_time=warmup + duration),
+    )
+    return ExperimentSpec(workload=workload, seed=seed)
+
+
 # ------------------------------------------------------------- derived views
 # Wider sweeps and 2-D grids over the builders above.  Registered explicitly
 # (not via decorators) because they reuse a builder that already anchors a
@@ -577,6 +886,29 @@ matrix.register(
             ("bully_threads", (MID_BULLY_THREADS, HIGH_BULLY_THREADS)),
         ),
         tags=("sweep", "grid"),
+        tier="slow",
+    )
+)
+matrix.register(
+    matrix.Scenario(
+        name="flash-crowd-buffer-sweep",
+        description="Flash crowd absorbed by buffers swept from 2 to 12 cores",
+        builder=flash_crowd_blind_isolation,
+        axes=(("buffer_cores", (2, 4, 8, 12)),),
+        tags=("sweep", "trace-driven"),
+        tier="slow",
+    )
+)
+matrix.register(
+    matrix.Scenario(
+        name="diurnal-phase-grid",
+        description="2-D grid: diurnal phase offset x buffer size",
+        builder=diurnal_cycle,
+        axes=(
+            ("phase_offset", (0.0, 0.25, 0.5)),
+            ("buffer_cores", (4, 8)),
+        ),
+        tags=("sweep", "grid", "trace-driven"),
         tier="slow",
     )
 )

@@ -28,7 +28,9 @@ from ..tenants.disk_bully import DiskBullyTenant
 from ..tenants.hdfs import HdfsTenant
 from ..tenants.indexserve import IndexServeTenant
 from ..tenants.ml_training import MlTrainingTenant
-from ..workloads.arrival import OpenLoopClient
+from ..metrics.timeseries import TimeSeries
+from ..workloads.arrival import OpenLoopClient, VariableRateClient
+from ..workloads.arrival_models import ARRIVAL_MODEL_STREAM, build_arrival_model
 from ..workloads.query_trace import QueryTrace
 
 __all__ = ["SingleMachineResult", "SingleMachineExperiment"]
@@ -115,6 +117,7 @@ class SingleMachineExperiment:
         self.primary: Optional[IndexServeTenant] = None
         self.controller: Optional[PerfIsoController] = None
         self.secondaries: List[SecondaryTenant] = []
+        self.arrival_model = None
 
     @property
     def spec(self) -> ExperimentSpec:
@@ -137,20 +140,49 @@ class SingleMachineExperiment:
         primary.start()
         self.primary = primary
 
+        # Time-varying workloads size the query trace by their mean offered
+        # rate; for the stationary client mean_qps == qps, so legacy specs
+        # draw the identical trace they always did.
         trace = _trace_for(
             spec,
-            size=min(spec.workload.trace_queries, max(1000, int(spec.workload.qps * spec.workload.total_time))),
+            size=min(spec.workload.trace_queries, max(1000, int(spec.workload.mean_qps * spec.workload.total_time))),
             streams=streams,
         )
-        client = OpenLoopClient(
-            engine,
-            trace,
-            qps=spec.workload.qps,
-            duration=spec.workload.total_time,
-            submit=lambda query, arrival: primary.submit(query, arrival),
-            rng=streams.stream("arrivals"),
-            arrival_process=spec.workload.arrival_process,
+        # Arrival models draw only from their own named stream (the bursty
+        # state path), so a trace-driven workload cannot perturb the draws of
+        # any other component; constant-rate specs never touch the stream and
+        # keep the PR-4 batched-gap fast path through OpenLoopClient.
+        arrival_model = build_arrival_model(
+            spec.workload,
+            horizon=spec.workload.total_time,
+            rng=streams.stream(ARRIVAL_MODEL_STREAM),
         )
+        self.arrival_model = arrival_model
+        if arrival_model is None:
+            client = OpenLoopClient(
+                engine,
+                trace,
+                qps=spec.workload.qps,
+                duration=spec.workload.total_time,
+                submit=lambda query, arrival: primary.submit(query, arrival),
+                rng=streams.stream("arrivals"),
+                arrival_process=spec.workload.arrival_process,
+            )
+        else:
+            client = VariableRateClient(
+                engine,
+                trace,
+                rate_fn=arrival_model.rate_at,
+                duration=spec.workload.total_time,
+                submit=lambda query, arrival: primary.submit(query, arrival),
+                rng=streams.stream("arrivals"),
+                # The client's default floor of 1 qps would silently drive
+                # traffic through zero-QPS trace buckets.  A near-zero floor
+                # plus the idle-recheck poll keeps idle windows genuinely
+                # idle while still noticing when the rate comes back.
+                min_rate=1e-9,
+                idle_recheck=spec.workload.duration / 256.0,
+            )
 
         secondaries = self._build_secondaries(kernel, streams)
         self.secondaries = secondaries
@@ -209,7 +241,7 @@ class SingleMachineExperiment:
         self,
         collector: LatencyCollector,
         sampler: CpuUtilizationSampler,
-        client: OpenLoopClient,
+        client,
     ) -> SingleMachineResult:
         if self.kernel is None or self.primary is None:
             raise ExperimentError("experiment has not been run")
@@ -241,4 +273,22 @@ class SingleMachineExperiment:
             result.controller_polls = self.controller.polls
             result.controller_updates = self.controller.updates_applied
             result.secondary_core_history = list(self.controller.core_count_history)
+        if self.arrival_model is not None:
+            # The offered-load curve over the measured window, summarised so
+            # trace-driven goldens pin the *shape* of the workload too.  The
+            # mean is a 128-point sample of the curve; the peak is computed
+            # analytically (sampling would miss a burst narrower than a
+            # step).
+            offered = TimeSeries.from_function(
+                "offered_qps",
+                self.arrival_model.rate_at,
+                start=spec.workload.warmup,
+                stop=spec.workload.total_time,
+                step=spec.workload.duration / 128.0,
+                unit="qps",
+            )
+            result.extra["offered_mean_qps"] = offered.mean()
+            result.extra["offered_peak_qps"] = self.arrival_model.peak_in(
+                spec.workload.warmup, spec.workload.total_time
+            )
         return result

@@ -18,7 +18,7 @@ import dataclasses
 import hashlib
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -26,6 +26,7 @@ from ..config.schema import (
     BlindIsolationSpec,
     CpuBullySpec,
     DiskBullySpec,
+    DiurnalSpec,
     ExperimentSpec,
     FleetSpec,
     HdfsSpec,
@@ -35,6 +36,7 @@ from ..config.schema import (
     WorkloadSpec,
 )
 from ..errors import ExperimentError
+from ..workloads.arrival_models import DiurnalArrival
 
 __all__ = [
     "QUANTILE_POINTS",
@@ -177,10 +179,25 @@ class FleetModel:
 
     def load_at(self, group: MachineGroupSpec, t: float) -> float:
         """Per-machine QPS of ``group`` at simulation time ``t``."""
-        mid = (group.peak_qps + group.trough_qps) / 2.0
-        amplitude = (group.peak_qps - group.trough_qps) / 2.0
-        phase = 2.0 * math.pi * (t / self._spec.diurnal_period + group.phase_offset)
-        return max(1.0, mid + amplitude * math.cos(phase))
+        return self.arrival_model(group).rate_at(t)
+
+    def arrival_model(self, group: MachineGroupSpec) -> DiurnalArrival:
+        """The shared diurnal arrival model behind ``load_at`` for ``group``.
+
+        Per-row diurnal curves come from the workload layer's arrival-model
+        hierarchy (same arithmetic as the historical private implementation,
+        so fleet results are bit-identical) — the single-machine and fleet
+        implementations cannot drift apart.  Built from the *passed* group's
+        fields, so derived group variants map to the curve they describe.
+        """
+        return DiurnalArrival(
+            DiurnalSpec(
+                peak_qps=group.peak_qps,
+                trough_qps=group.trough_qps,
+                period=self._spec.diurnal_period,
+                phase_offset=group.phase_offset,
+            )
+        )
 
     def shards(self, group: MachineGroupSpec) -> List[Tuple[int, int, int]]:
         """Fixed-size shards as (shard_index, start, stop) machine slices.

@@ -218,8 +218,11 @@ class FleetSimulation:
             tasks: List[FleetShardTask] = []
             for group in spec.groups:
                 names = model.machine_names(group)
+                # One arrival model per group per stage (load_at would build
+                # a fresh one per bucket).
+                diurnal = model.arrival_model(group)
                 loads = tuple(
-                    model.load_at(group, (bucket_cursor + index) * spec.bucket_seconds)
+                    diurnal.rate_at((bucket_cursor + index) * spec.bucket_seconds)
                     for index in range(buckets)
                 )
                 calibration = calibrations[group.name]

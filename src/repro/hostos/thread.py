@@ -10,7 +10,7 @@ tenants only build programs and react to completion callbacks.
 from __future__ import annotations
 
 import math
-from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple, Union
+from typing import Callable, FrozenSet, List, Optional, Sequence, Tuple
 
 from ..errors import SchedulerError
 

@@ -8,7 +8,7 @@ and a utilisation time series (Figure 10).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..hostos.accounting import CpuSnapshot

@@ -29,6 +29,33 @@ class TimeSeries:
     def __len__(self) -> int:
         return len(self._points)
 
+    @classmethod
+    def from_function(
+        cls,
+        name: str,
+        fn,
+        start: float,
+        stop: float,
+        step: float,
+        unit: str = "",
+    ) -> "TimeSeries":
+        """Sample ``fn(t)`` at ``start, start + step, ...`` up to ``stop``.
+
+        Sample times are computed as ``start + i * step`` (not accumulated),
+        so the series is a pure function of its arguments — used to record
+        the offered-load curve of time-varying arrival models.
+        """
+        if step <= 0:
+            raise ExperimentError("from_function step must be positive")
+        if stop < start:
+            raise ExperimentError("from_function needs stop >= start")
+        series = cls(name, unit)
+        samples = int((stop - start) / step) + 1
+        for index in range(samples):
+            t = start + index * step
+            series.append(t, float(fn(t)))
+        return series
+
     def append(self, time: float, value: float) -> None:
         if self._points and time < self._points[-1].time:
             raise ExperimentError(

@@ -117,11 +117,14 @@ class VariableRateClient:
         rng: np.random.Generator,
         start_time: float = 0.0,
         min_rate: float = 1.0,
+        idle_recheck: Optional[float] = None,
     ) -> None:
         if duration <= 0:
             raise TenantError("duration must be positive")
         if min_rate <= 0:
             raise TenantError("min_rate must be positive")
+        if idle_recheck is not None and idle_recheck <= 0:
+            raise TenantError("idle_recheck must be positive")
         self._engine = engine
         self._iterator = trace.cycle()
         self._rate_fn = rate_fn
@@ -129,6 +132,13 @@ class VariableRateClient:
         self._submit = submit
         self._gaps = _exponential_gaps(rng)
         self._min_rate = min_rate
+        #: When set, a zero rate suspends submissions entirely: the client
+        #: polls the rate function every ``idle_recheck`` seconds (consuming
+        #: no RNG draws, so the gap sequence after the idle window is
+        #: unchanged) instead of scheduling a floored-rate arrival.  Without
+        #: it ``min_rate`` doubles as both floor and re-evaluation heartbeat,
+        #: which silently drives traffic through idle trace buckets.
+        self._idle_recheck = idle_recheck
         self._start_time = start_time
         self.submitted = 0
         self._finished = False
@@ -138,7 +148,16 @@ class VariableRateClient:
         return self._finished
 
     def start(self) -> None:
-        delay = max(0.0, self._start_time - self._engine.now) + self._gap(self._engine.now)
+        lead = max(0.0, self._start_time - self._engine.now)
+        if self._idle(self._engine.now + lead):
+            self._engine.schedule(
+                lead + self._idle_recheck, self._recheck, priority=EventPriority.TENANT
+            )
+            return
+        # The first gap is paced by the rate at the start time, not at the
+        # (possibly earlier) current time; for the default start_time=0 the
+        # two coincide and the draw scaling is unchanged.
+        delay = lead + self._gap(self._engine.now + lead)
         self._engine.schedule(delay, self._arrive, priority=EventPriority.TENANT)
 
     def current_rate(self, now: Optional[float] = None) -> float:
@@ -151,10 +170,29 @@ class VariableRateClient:
         # gap sequence stays bit-identical to the unbatched draws.
         return float(self._gaps.next() * (1.0 / self.current_rate(now)))
 
+    def _idle(self, now: float) -> bool:
+        return self._idle_recheck is not None and self._rate_fn(now) <= 0.0
+
+    def _recheck(self) -> None:
+        """Poll an idle rate function until it comes back to life."""
+        now = self._engine.now
+        if now >= self._end_time:
+            self._finished = True
+            return
+        if self._idle(now):
+            self._engine.schedule(self._idle_recheck, self._recheck, priority=EventPriority.TENANT)
+            return
+        self._engine.schedule(self._gap(now), self._arrive, priority=EventPriority.TENANT)
+
     def _arrive(self) -> None:
         now = self._engine.now
         if now >= self._end_time:
             self._finished = True
+            return
+        if self._idle(now):
+            # The rate hit zero while this arrival was in flight; drop into
+            # polling without submitting.
+            self._engine.schedule(self._idle_recheck, self._recheck, priority=EventPriority.TENANT)
             return
         query = next(self._iterator)
         self.submitted += 1

@@ -1,6 +1,5 @@
 """Tests for the Figure 10 production-cluster model."""
 
-import math
 
 import numpy as np
 import pytest

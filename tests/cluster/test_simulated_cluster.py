@@ -1,6 +1,5 @@
 """Tests for the event-driven cluster simulation (small configurations)."""
 
-import pytest
 
 from repro.cluster.simulated import ClusterScenario, SimulatedCluster
 from repro.config.schema import ClusterSpec, CpuBullySpec, PerfIsoSpec

@@ -1,0 +1,180 @@
+"""Tests for trace-file loading, validation, saving and the CLI."""
+
+import pytest
+
+from repro.config.schema import TraceSpec
+from repro.config.traces import (
+    dump_trace_text,
+    load_trace_file,
+    parse_trace_text,
+    save_trace_file,
+)
+from repro.errors import ConfigError
+from repro.workloads.__main__ import main as workloads_main
+
+SAMPLE = TraceSpec(
+    bucket_seconds=0.5,
+    qps=(1612.5, 1650.125, 0.0, 4000.0, 2999.9999999999995),
+    source="unit-test",
+)
+
+
+class TestTextRoundTrip:
+    def test_jsonl_round_trip_is_exact_including_source(self):
+        text = dump_trace_text(SAMPLE, "jsonl")
+        loaded = parse_trace_text(text, "jsonl")
+        assert loaded == SAMPLE
+
+    def test_csv_round_trip_is_exact_on_buckets(self):
+        text = dump_trace_text(SAMPLE, "csv")
+        loaded = parse_trace_text(text, "csv")
+        assert loaded.bucket_seconds == SAMPLE.bucket_seconds
+        assert loaded.qps == SAMPLE.qps
+        assert loaded.source == "file"  # CSV carries no provenance
+
+    def test_jsonl_without_header_derives_the_bucket(self):
+        text = '{"t": 0.0, "qps": 10.0}\n{"t": 2.0, "qps": 20.0}\n'
+        loaded = parse_trace_text(text, "jsonl")
+        assert loaded.bucket_seconds == 2.0
+        assert loaded.qps == (10.0, 20.0)
+
+    def test_metadata_only_header_is_recognised(self):
+        text = (
+            '{"format": "perfiso-trace", "version": 1, "source": "prod-w3"}\n'
+            '{"t": 0.0, "qps": 10.0}\n{"t": 2.0, "qps": 20.0}\n'
+        )
+        loaded = parse_trace_text(text, "jsonl")
+        assert loaded.bucket_seconds == 2.0
+        assert loaded.source == "prod-w3"
+
+    def test_future_version_is_rejected(self):
+        text = (
+            '{"format": "perfiso-trace", "version": 2, "bucket_seconds": 1.0}\n'
+            '{"t": 0.0, "qps": 10.0}\n'
+        )
+        with pytest.raises(ConfigError, match="version"):
+            parse_trace_text(text, "jsonl")
+
+    def test_single_bucket_needs_a_header(self):
+        single = TraceSpec(bucket_seconds=3.0, qps=(42.0,))
+        assert parse_trace_text(dump_trace_text(single, "jsonl"), "jsonl") == single
+        # CSV cannot round-trip a single bucket, so the writer refuses early
+        # rather than emitting a file the loader must reject.
+        with pytest.raises(ConfigError, match="single-bucket"):
+            dump_trace_text(single, "csv")
+        with pytest.raises(ConfigError, match="single-bucket"):
+            parse_trace_text("t,qps\n0.0,42.0\n", "csv")
+
+    def test_unknown_format_rejected(self):
+        with pytest.raises(ConfigError):
+            dump_trace_text(SAMPLE, "yaml")
+        with pytest.raises(ConfigError):
+            parse_trace_text("", "yaml")
+
+
+class TestValidator:
+    def test_timestamps_must_start_at_zero(self):
+        with pytest.raises(ConfigError, match="start at 0"):
+            parse_trace_text('{"t": 1.0, "qps": 5.0}\n{"t": 2.0, "qps": 5.0}', "jsonl")
+
+    def test_timestamps_must_increase(self):
+        text = "t,qps\n0.0,1.0\n2.0,1.0\n1.0,1.0\n"
+        with pytest.raises(ConfigError, match="strictly increasing"):
+            parse_trace_text(text, "csv")
+
+    def test_timestamps_must_be_uniform(self):
+        text = "t,qps\n0.0,1.0\n1.0,1.0\n3.0,1.0\n"
+        with pytest.raises(ConfigError, match="uniformly spaced"):
+            parse_trace_text(text, "csv")
+
+    def test_header_bucket_must_match_spacing(self):
+        text = (
+            '{"bucket_seconds": 5.0}\n'
+            '{"t": 0.0, "qps": 1.0}\n{"t": 1.0, "qps": 1.0}'
+        )
+        with pytest.raises(ConfigError, match="disagrees"):
+            parse_trace_text(text, "jsonl")
+
+    def test_negative_qps_rejected(self):
+        text = "t,qps\n0.0,5.0\n1.0,-5.0\n"
+        with pytest.raises(ConfigError, match="invalid QPS"):
+            parse_trace_text(text, "csv")
+
+    def test_malformed_rows_rejected(self):
+        with pytest.raises(ConfigError, match="valid JSON"):
+            parse_trace_text("not json", "jsonl")
+        with pytest.raises(ConfigError, match="'t' and 'qps'"):
+            parse_trace_text('{"time": 0.0}', "jsonl")
+        with pytest.raises(ConfigError, match="header row"):
+            parse_trace_text("0.0,1.0\n", "csv")
+        with pytest.raises(ConfigError, match="two columns"):
+            parse_trace_text("t,qps\n0.0,1.0,9\n", "csv")
+        with pytest.raises(ConfigError, match="no data rows"):
+            parse_trace_text("", "jsonl")
+
+
+class TestFiles:
+    def test_save_and_load_infer_format_from_suffix(self, tmp_path):
+        jsonl = save_trace_file(SAMPLE, tmp_path / "trace.jsonl")
+        csv = save_trace_file(SAMPLE, tmp_path / "trace.csv")
+        assert load_trace_file(jsonl) == SAMPLE
+        assert load_trace_file(csv).qps == SAMPLE.qps
+
+    def test_source_override(self, tmp_path):
+        path = save_trace_file(SAMPLE, tmp_path / "trace.jsonl")
+        assert load_trace_file(path, source="prod-w3").source == "prod-w3"
+
+    def test_unknown_suffix_needs_explicit_format(self, tmp_path):
+        with pytest.raises(ConfigError, match="cannot infer"):
+            save_trace_file(SAMPLE, tmp_path / "trace.dat")
+        save_trace_file(SAMPLE, tmp_path / "trace.dat", fmt="jsonl")
+        assert load_trace_file(tmp_path / "trace.dat", fmt="jsonl") == SAMPLE
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigError, match="not found"):
+            load_trace_file(tmp_path / "nope.jsonl")
+
+
+class TestWorkloadsCli:
+    def test_synthesize_then_validate(self, tmp_path, capsys):
+        out = tmp_path / "diurnal.jsonl"
+        assert workloads_main(
+            [
+                "--synthesize", "diurnal",
+                "--peak-qps", "900", "--trough-qps", "300",
+                "--duration", "30", "--bucket-seconds", "5",
+                "--out", str(out),
+            ]
+        ) == 0
+        assert workloads_main(["--validate", str(out)]) == 0
+        summary = capsys.readouterr().out
+        assert "6 buckets x 5 s" in summary
+        assert "synthetic:diurnal" in summary
+
+    def test_synthesis_is_deterministic_per_seed(self, tmp_path):
+        args = [
+            "--synthesize", "bursty", "--seed", "7",
+            "--duration", "20", "--bucket-seconds", "1",
+        ]
+        first, second = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        assert workloads_main(args + ["--out", str(first)]) == 0
+        assert workloads_main(args + ["--out", str(second)]) == 0
+        assert first.read_text() == second.read_text()
+        assert load_trace_file(first) == load_trace_file(second)
+
+    def test_flash_crowd_csv(self, tmp_path):
+        out = tmp_path / "flash.csv"
+        assert workloads_main(
+            ["--synthesize", "flash-crowd", "--duration", "12", "--out", str(out)]
+        ) == 0
+        assert load_trace_file(out).peak_qps == 6000.0
+
+    def test_validate_rejects_a_broken_file(self, tmp_path, capsys):
+        bad = tmp_path / "bad.csv"
+        bad.write_text("t,qps\n0.0,1.0\n5.0,-1.0\n")
+        assert workloads_main(["--validate", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_synthesize_requires_out(self, capsys):
+        with pytest.raises(SystemExit):
+            workloads_main(["--synthesize", "diurnal"])

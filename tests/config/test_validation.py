@@ -1,7 +1,5 @@
 """Tests for cross-field experiment validation."""
 
-import dataclasses
-
 import pytest
 
 from repro.config.schema import (
@@ -96,3 +94,35 @@ class TestWarnings:
             perfiso=PerfIsoSpec(cpu_policy="blind", blind=BlindIsolationSpec(buffer_cores=8)),
         )
         assert collect_warnings(spec) == []
+
+
+class TestArrivalModelValidation:
+    def test_flash_crowd_outside_the_window_is_an_error(self):
+        from repro.config.schema import FlashCrowdSpec, WorkloadSpec
+
+        workload = WorkloadSpec(
+            duration=2.0,
+            warmup=0.5,
+            flash_crowd=FlashCrowdSpec(start=10.0),
+        )
+        with pytest.raises(ConfigError, match="flash crowd starts"):
+            validate_experiment(ExperimentSpec(workload=workload))
+
+    def test_short_trace_and_long_dwell_warn(self):
+        from repro.config.schema import BurstySpec, TraceSpec, WorkloadSpec
+
+        wrapped = ExperimentSpec(
+            workload=WorkloadSpec(
+                duration=9.0, warmup=1.0, trace=TraceSpec(1.0, (100.0, 200.0))
+            )
+        )
+        assert any("wraps around" in w for w in collect_warnings(wrapped))
+
+        sluggish = ExperimentSpec(
+            workload=WorkloadSpec(
+                duration=9.0,
+                warmup=1.0,
+                bursty=BurstySpec(mean_normal_seconds=60.0),
+            )
+        )
+        assert any("never leave the normal state" in w for w in collect_warnings(sluggish))

@@ -1,6 +1,5 @@
 """Tests for the PerfIso controller service."""
 
-import dataclasses
 import math
 
 import pytest

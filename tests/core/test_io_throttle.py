@@ -6,7 +6,6 @@ from repro.config.schema import DiskBullySpec, IoThrottleSpec
 from repro.core.io_throttle import DwrrIoThrottler
 from repro.errors import IsolationError
 from repro.hostos.process import TenantCategory
-from repro.units import MB
 
 
 @pytest.fixture

@@ -31,6 +31,10 @@ GOLDEN_DIR = Path(__file__).parent / "goldens"
 #: tail percentiles are stable.
 GOLDEN_PARAMS = dict(qps=600.0, duration=1.0, warmup=0.2, seed=5)
 
+#: The trace-driven builders own their rates, so the golden runs scale the
+#: rate parameters down explicitly instead of passing ``qps``.
+SHORT = dict(duration=1.0, warmup=0.2, seed=5)
+
 CASES = {
     "standalone": lambda: sc.standalone(**GOLDEN_PARAMS),
     "no-isolation-mid": lambda: sc.no_isolation(sc.MID_BULLY_THREADS, **GOLDEN_PARAMS),
@@ -43,6 +47,34 @@ CASES = {
     ),
     "static-cores-high": lambda: sc.static_cores(8, sc.HIGH_BULLY_THREADS, **GOLDEN_PARAMS),
     "cpu-cycles-high": lambda: sc.cpu_cycles(0.05, sc.HIGH_BULLY_THREADS, **GOLDEN_PARAMS),
+    # --------------------------------------------- trace-driven workloads
+    "diurnal-cycle": lambda: sc.diurnal_cycle(
+        phase_offset=0.0, peak_qps=900.0, trough_qps=300.0, **SHORT
+    ),
+    "diurnal-trough": lambda: sc.diurnal_trough_reclamation(
+        buffer_cores=8, peak_qps=900.0, trough_qps=300.0, **SHORT
+    ),
+    "flash-crowd-blind": lambda: sc.flash_crowd_blind_isolation(
+        spike_qps=1500.0, base_qps=500.0, **SHORT
+    ),
+    "flash-crowd-none": lambda: sc.flash_crowd_no_isolation(
+        spike_qps=1500.0, base_qps=500.0, **SHORT
+    ),
+    "bursty-blind": lambda: sc.bursty_blind_isolation(
+        burst_qps=1500.0, base_qps=500.0, **SHORT
+    ),
+    "bursty-none": lambda: sc.bursty_no_isolation(
+        burst_qps=1500.0, base_qps=500.0, **SHORT
+    ),
+    "trace-showdown-blind": lambda: sc.replayed_trace_showdown(
+        policy="blind", base_qps=500.0, burst_qps=1500.0, **SHORT
+    ),
+    "trace-showdown-none": lambda: sc.replayed_trace_showdown(
+        policy="none", base_qps=500.0, burst_qps=1500.0, **SHORT
+    ),
+    "trace-standalone": lambda: sc.replayed_trace_standalone(
+        peak_qps=900.0, trough_qps=300.0, **SHORT
+    ),
 }
 
 

@@ -48,6 +48,25 @@ class TestCatalog:
         axes = {axis for s in fleet for axis in s.axis_names}
         assert {"machines", "strategy", "stages"} <= axes
 
+    def test_trace_driven_scenarios_are_registered(self):
+        trace_driven = [
+            s for s in matrix.iter_scenarios() if "trace-driven" in s.tags
+        ]
+        assert len(trace_driven) >= 8
+        names = {s.name for s in trace_driven}
+        assert {
+            "diurnal-cycle",
+            "diurnal-trough-reclamation",
+            "flash-crowd-blind-isolation",
+            "bursty-blind-isolation",
+            "replayed-trace-showdown",
+            "replayed-trace-standalone",
+        } <= names
+        # Every trace-driven variant carries a time-varying arrival model.
+        for scenario in trace_driven:
+            for variant in scenario.expand(duration=0.5, warmup=0.1, seed=5):
+                assert variant.spec.workload.arrival_kind != "constant"
+
     def test_every_scenario_has_description_and_tier(self):
         for scenario in matrix.iter_scenarios():
             assert scenario.description

@@ -12,7 +12,7 @@ from repro.fleet.model import (
     interpolate_mode,
     stable_seed,
 )
-from repro.fleet.scenarios import default_fleet_spec, default_groups, stage_fractions
+from repro.fleet.scenarios import default_groups, stage_fractions
 
 from fleet_testing import make_tiny_fleet_spec
 
@@ -105,6 +105,26 @@ class TestModel:
         assert model.load_at(shifted, spec.diurnal_period) == pytest.approx(
             model.load_at(shifted, 0.0)
         )
+
+    def test_load_at_delegates_to_the_shared_arrival_model(self):
+        """The fleet's diurnal curve *is* the workload-layer DiurnalArrival.
+
+        Pinned bit-for-bit so the fleet and single-machine implementations
+        cannot drift apart again (the historical private copy is gone).
+        """
+        from repro.workloads.arrival_models import DiurnalArrival
+
+        spec = make_tiny_fleet_spec()
+        model = FleetModel(spec)
+        for group in spec.groups:
+            shared = model.arrival_model(group)
+            assert isinstance(shared, DiurnalArrival)
+            assert shared.spec.peak_qps == group.peak_qps
+            assert shared.spec.trough_qps == group.trough_qps
+            assert shared.spec.period == spec.diurnal_period
+            assert shared.spec.phase_offset == group.phase_offset
+            for t in (0.0, 13.7, 900.0, 1800.5, spec.diurnal_period * 2.25):
+                assert model.load_at(group, t) == shared.rate_at(t)
 
     def test_shards_partition_every_machine_exactly_once(self):
         spec = make_tiny_fleet_spec(machines=30).replace(shard_machines=4)
@@ -206,3 +226,19 @@ class TestCalibration:
         stores_before = fleet_runner.cache.stores
         model.calibrate(fleet_runner)
         assert fleet_runner.cache.stores == stores_before
+
+
+class TestDerivedGroupLoadCurves:
+    def test_load_at_honours_a_derived_group_not_in_the_spec(self):
+        """load_at is a function of the *passed* group's fields, not its name."""
+        import dataclasses
+
+        spec = make_tiny_fleet_spec()
+        model = FleetModel(spec)
+        group = spec.groups[0]
+        shifted = dataclasses.replace(group, phase_offset=0.5)
+        # Same name, different phase: the curves must differ at t=0.
+        assert model.load_at(shifted, 0.0) != model.load_at(group, 0.0)
+        assert model.load_at(shifted, 0.0) == pytest.approx(group.trough_qps)
+        renamed = dataclasses.replace(group, name="not-in-the-fleet")
+        assert model.load_at(renamed, 0.0) == model.load_at(group, 0.0)

@@ -9,7 +9,6 @@ from repro.hardware.machine import Machine
 from repro.hostos.process import TenantCategory
 from repro.hostos.syscalls import Kernel
 from repro.hostos.thread import ThreadState, cpu_phase, io_phase
-from repro.simulation.engine import SimulationEngine
 from repro.units import millis
 
 

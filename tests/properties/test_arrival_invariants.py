@@ -1,0 +1,158 @@
+"""Property-based tests (hypothesis) for the arrival models and trace files."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config.schema import BurstySpec, DiurnalSpec, FlashCrowdSpec, TraceSpec
+from repro.config.traces import dump_trace_text, parse_trace_text
+from repro.workloads.arrival_models import (
+    BurstyArrival,
+    DiurnalArrival,
+    FlashCrowdArrival,
+    TraceArrival,
+    synthesize_trace,
+)
+
+#: Simulated timestamps to probe rate functions at (non-negative, finite).
+times = st.floats(min_value=0.0, max_value=1e6, allow_nan=False)
+
+rates = st.floats(min_value=1.0, max_value=1e5, allow_nan=False)
+
+
+@st.composite
+def diurnal_specs(draw):
+    trough = draw(st.floats(min_value=1.0, max_value=1e4))
+    peak = trough + draw(st.floats(min_value=1.0, max_value=1e4))
+    return DiurnalSpec(
+        peak_qps=peak,
+        trough_qps=trough,
+        period=draw(st.floats(min_value=0.1, max_value=1e5)),
+        phase_offset=draw(st.floats(min_value=0.0, max_value=0.999)),
+    )
+
+
+@st.composite
+def flash_crowd_specs(draw):
+    base = draw(st.floats(min_value=1.0, max_value=1e4))
+    spike = base + draw(st.floats(min_value=1.0, max_value=1e4))
+    phase = st.floats(min_value=0.0, max_value=100.0)
+    return FlashCrowdSpec(
+        base_qps=base,
+        spike_qps=spike,
+        start=draw(phase),
+        ramp=draw(phase),
+        # A non-zero hold keeps ramp + hold + decay > 0 (validated).
+        hold=draw(st.floats(min_value=1e-3, max_value=100.0)),
+        decay=draw(phase),
+    )
+
+
+@st.composite
+def trace_specs(draw, min_buckets=1):
+    # Buckets are either idle (0) or a realistic rate: subnormal-tiny rates
+    # would underflow to 0.0 under the scaling property's multiplication.
+    bucket_rate = st.one_of(
+        st.just(0.0), st.floats(min_value=1e-3, max_value=1e5, allow_nan=False)
+    )
+    qps = draw(st.lists(bucket_rate, min_size=min_buckets, max_size=40))
+    if not any(value > 0.0 for value in qps):
+        qps[0] = 1.0
+    return TraceSpec(
+        bucket_seconds=draw(st.floats(min_value=1e-3, max_value=1e3)),
+        qps=tuple(qps),
+    )
+
+
+class TestRateBounds:
+    @given(spec=diurnal_specs(), t=times)
+    @settings(max_examples=100, deadline=None)
+    def test_diurnal_rate_stays_within_its_band(self, spec, t):
+        rate = DiurnalArrival(spec).rate_at(t)
+        low = min(spec.trough_qps, spec.floor_qps)
+        assert low * (1.0 - 1e-9) <= rate <= spec.peak_qps * (1.0 + 1e-9)
+
+    @given(spec=flash_crowd_specs(), t=times)
+    @settings(max_examples=100, deadline=None)
+    def test_flash_crowd_rate_stays_within_its_band(self, spec, t):
+        rate = FlashCrowdArrival(spec).rate_at(t)
+        assert spec.base_qps * (1.0 - 1e-9) <= rate <= spec.spike_qps * (1.0 + 1e-9)
+
+    @given(spec=trace_specs(), t=times)
+    @settings(max_examples=100, deadline=None)
+    def test_trace_rate_is_always_one_of_the_buckets(self, spec, t):
+        assert TraceArrival(spec).rate_at(t) in spec.qps
+
+    @given(
+        base=rates,
+        lift=rates,
+        seed=st.integers(min_value=0, max_value=2**31),
+        t=times,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_bursty_rate_is_one_of_the_two_levels(self, base, lift, seed, t):
+        spec = BurstySpec(base_qps=base, burst_qps=base + lift)
+        model = BurstyArrival(spec, horizon=60.0, rng=np.random.default_rng(seed))
+        assert model.rate_at(t) in (spec.base_qps, spec.burst_qps)
+
+
+class TestArrivalStructure:
+    @given(spec=diurnal_specs(), seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=25, deadline=None)
+    def test_gaps_are_non_negative_and_timestamps_monotone(self, spec, seed):
+        """An arrival sequence derived from any rate model is a valid one."""
+        model = DiurnalArrival(spec)
+        rng = np.random.default_rng(seed)
+        now, arrivals = 0.0, []
+        for _ in range(50):
+            gap = float(rng.standard_exponential()) / max(1.0, model.rate_at(now))
+            assert gap >= 0.0
+            now += gap
+            arrivals.append(now)
+        assert all(b >= a for a, b in zip(arrivals, arrivals[1:]))
+
+    @given(
+        spec=trace_specs(),
+        factor=st.floats(min_value=0.125, max_value=8.0),
+        t=times,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_trace_rate_scaling_is_exact(self, spec, factor, t):
+        """Scaling every bucket scales the instantaneous rate identically."""
+        scaled = TraceSpec(
+            bucket_seconds=spec.bucket_seconds,
+            qps=tuple(value * factor for value in spec.qps),
+        )
+        assert TraceArrival(scaled).rate_at(t) == TraceArrival(spec).rate_at(t) * factor
+
+
+class TestTraceFileRoundTrip:
+    @given(spec=trace_specs())
+    @settings(max_examples=100, deadline=None)
+    def test_jsonl_text_round_trip_is_bit_identical(self, spec):
+        assert parse_trace_text(dump_trace_text(spec, "jsonl"), "jsonl") == spec
+
+    @given(spec=trace_specs(min_buckets=2))
+    @settings(max_examples=100, deadline=None)
+    def test_csv_text_round_trip_is_bit_identical(self, spec):
+        # CSV has no header, so single-bucket traces are JSONL-only.
+        loaded = parse_trace_text(dump_trace_text(spec, "csv"), "csv")
+        assert loaded.bucket_seconds == spec.bucket_seconds
+        assert loaded.qps == spec.qps
+
+    @given(
+        spec=diurnal_specs(),
+        buckets=st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_synthesize_write_load_replay_round_trip(self, spec, buckets):
+        """The full pipeline: model -> trace -> file -> trace -> same rates."""
+        model = DiurnalArrival(spec)
+        duration = min(spec.period, 1e4)
+        trace = synthesize_trace(model, duration=duration, bucket_seconds=duration / buckets)
+        loaded = parse_trace_text(dump_trace_text(trace, "jsonl"), "jsonl")
+        assert loaded == trace
+        replay, original = TraceArrival(loaded), TraceArrival(trace)
+        for index in range(len(trace.qps)):
+            midpoint = (index + 0.5) * trace.bucket_seconds
+            assert replay.rate_at(midpoint) == original.rate_at(midpoint)

@@ -77,3 +77,40 @@ class TestRunDeterminism:
             runner=ExperimentRunner(max_workers=4, cache=ResultCache()), **kwargs
         )
         assert serial.rows == parallel.rows
+
+class TestTraceDrivenDeterminism:
+    """Trace-driven arrival models keep the worker-count guarantee.
+
+    The bursty state path draws from its own named stream and trace replay is
+    pure data, so a time-varying workload must be bit-identical run directly,
+    through one worker, or fanned across processes.
+    """
+
+    def _specs(self):
+        from repro.experiments import scenarios as sc
+
+        short = dict(duration=0.8, warmup=0.2, seed=11)
+        return [
+            sc.bursty_blind_isolation(burst_qps=900.0, base_qps=300.0, **short),
+            sc.replayed_trace_showdown(
+                policy="blind", base_qps=300.0, burst_qps=900.0, **short
+            ),
+            sc.diurnal_cycle(
+                phase_offset=0.25, peak_qps=700.0, trough_qps=250.0, **short
+            ),
+        ]
+
+    def test_serial_one_worker_and_n_workers_agree(self):
+        specs = self._specs()
+        direct = [SingleMachineExperiment(spec).run() for spec in specs]
+
+        tasks = [ExperimentTask(spec) for spec in specs]
+        one_worker = ExperimentRunner(max_workers=1, cache=ResultCache()).run_batch(tasks)
+        four_workers = ExperimentRunner(max_workers=4, cache=ResultCache()).run_batch(tasks)
+
+        for base, serial, parallel in zip(direct, one_worker, four_workers):
+            assert not serial.from_cache and not parallel.from_cache
+            assert _fingerprint(base) == _fingerprint(serial.result)
+            assert _fingerprint(base) == _fingerprint(parallel.result)
+            assert np.array_equal(serial.latency_samples, parallel.latency_samples)
+            assert base.extra == serial.result.extra == parallel.result.extra

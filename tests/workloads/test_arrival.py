@@ -100,3 +100,73 @@ class TestVariableRateClient:
         with pytest.raises(TenantError):
             VariableRateClient(engine, trace, rate_fn=lambda t: 10, duration=0,
                                submit=lambda q, t: None, rng=rng)
+
+
+class TestZeroRateWindows:
+    def test_idle_recheck_keeps_idle_windows_idle(self, engine, trace):
+        """With idle_recheck a zero-rate window emits nothing at all.
+
+        The experiment harness passes min_rate=1e-9 + idle_recheck for
+        trace-driven workloads so idle trace buckets do not silently run at
+        the client's default 1 qps floor.
+        """
+        arrivals = []
+        client = VariableRateClient(
+            engine, trace, rate_fn=lambda t: 0.0, duration=5.0,
+            submit=lambda q, t: arrivals.append(t),
+            rng=np.random.default_rng(3),
+            min_rate=1e-9, idle_recheck=0.1,
+        )
+        client.start()
+        engine.run(until=5.5)
+        assert arrivals == []
+        assert client.finished
+
+    def test_idle_recheck_recovers_when_the_rate_returns(self, engine, trace):
+        """An idle leading bucket must not swallow the live rest of the run."""
+        arrivals = []
+        client = VariableRateClient(
+            engine, trace, rate_fn=lambda t: 0.0 if t < 5.0 else 200.0,
+            duration=10.0,
+            submit=lambda q, t: arrivals.append(t),
+            rng=np.random.default_rng(3),
+            min_rate=1e-9, idle_recheck=0.05,
+        )
+        client.start()
+        engine.run(until=10.5)
+        assert all(t >= 5.0 for t in arrivals)
+        assert len(arrivals) == pytest.approx(1000, rel=0.15)
+
+    def test_idle_rechecks_consume_no_rng_draws(self, engine, trace):
+        """Gap draws after an idle window match a run with no idle window."""
+        def run(rate_fn, engine):
+            arrivals = []
+            client = VariableRateClient(
+                engine, trace, rate_fn=rate_fn, duration=4.0,
+                submit=lambda q, t: arrivals.append(t),
+                rng=np.random.default_rng(9),
+                min_rate=1e-9, idle_recheck=0.25,
+            )
+            client.start()
+            engine.run(until=4.5)
+            return arrivals
+
+        from repro.simulation.engine import SimulationEngine
+
+        live_only = run(lambda t: 100.0, SimulationEngine())
+        with_idle = run(lambda t: 0.0 if t < 1.0 else 100.0, SimulationEngine())
+        # The first post-idle gap uses the same draw the live run used first.
+        assert len(with_idle) > 0
+        offset = with_idle[0] - (live_only[0] + 1.0)
+        assert abs(offset) < 0.25 + 1e-9  # within one recheck of the shifted start
+
+    def test_default_floor_still_applies_when_unspecified(self, engine, trace):
+        arrivals = []
+        client = VariableRateClient(
+            engine, trace, rate_fn=lambda t: 0.0, duration=100.0,
+            submit=lambda q, t: arrivals.append(t),
+            rng=np.random.default_rng(3),
+        )
+        client.start()
+        engine.run(until=100.0)
+        assert len(arrivals) == pytest.approx(100, rel=0.3)
