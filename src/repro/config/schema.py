@@ -36,6 +36,10 @@ __all__ = [
     "BlindIsolationSpec",
     "StaticCoreSpec",
     "CpuCycleSpec",
+    "PidControlSpec",
+    "MpcControlSpec",
+    "UtilizationTargetSpec",
+    "OracleControlSpec",
     "IoThrottleSpec",
     "MemoryGuardSpec",
     "NetworkThrottleSpec",
@@ -415,6 +419,137 @@ class CpuCycleSpec:
 
 
 @dataclass(frozen=True)
+class PidControlSpec:
+    """PID controller on windowed-P99 error (a feedback challenger).
+
+    The control error is the *relative* SLO slack ``(slo_p99 - p99) / slo_p99``
+    over a sliding latency window: positive slack grows the secondary, an SLO
+    breach shrinks it.  The output is a core delta, clamped to ``max_step``
+    per poll and to the band ``[min_secondary_cores, total - reserve_cores]``.
+    """
+
+    #: The served-latency objective the loop regulates to.
+    slo_p99: float = millis(15)
+    #: Length of the sliding latency window the P99 is computed over (seconds).
+    window: float = 0.25
+    kp: float = 6.0
+    ki: float = 1.0
+    kd: float = 0.0
+    #: Anti-windup clamp on the error integral (in relative-slack-seconds).
+    integral_limit: float = 8.0
+    #: Cores added/removed at most per controller update; ``0`` = unclamped.
+    max_step: int = 2
+    min_secondary_cores: int = 0
+    #: Cores never handed to the secondary (the PID analogue of the buffer).
+    reserve_cores: int = 2
+
+    def __post_init__(self) -> None:
+        if self.slo_p99 <= 0:
+            raise ConfigError("pid slo_p99 must be positive")
+        if self.window <= 0:
+            raise ConfigError("pid latency window must be positive")
+        if self.integral_limit < 0:
+            raise ConfigError("pid integral_limit must be >= 0")
+        if self.max_step < 0:
+            raise ConfigError("pid max_step must be >= 0")
+        if self.min_secondary_cores < 0:
+            raise ConfigError("pid min_secondary_cores must be >= 0")
+        if self.reserve_cores < 0:
+            raise ConfigError("pid reserve_cores must be >= 0")
+
+
+@dataclass(frozen=True)
+class MpcControlSpec:
+    """Model-predictive controller sized against the arrival forecast.
+
+    At every poll the controller asks the arrival model for the exact peak
+    offered rate over the next ``horizon`` seconds (defaulting to one poll
+    interval) and reserves ``ceil(peak / qps_per_core) + headroom_cores``
+    cores for the primary; the secondary gets the rest.
+    """
+
+    #: Primary serving capacity used to convert a QPS forecast into cores.
+    #: The paper provisions the 48-core machine for a 4,000 QPS peak, i.e.
+    #: ~83 QPS/core; the default keeps a little margin below that.
+    qps_per_core: float = 80.0
+    #: Extra cores reserved on top of the forecast-implied demand.
+    headroom_cores: int = 2
+    #: Forecast window in seconds; ``0`` means "one poll interval ahead".
+    horizon: float = 0.0
+    min_secondary_cores: int = 0
+
+    def __post_init__(self) -> None:
+        if self.qps_per_core <= 0:
+            raise ConfigError("mpc qps_per_core must be positive")
+        if self.headroom_cores < 0:
+            raise ConfigError("mpc headroom_cores must be >= 0")
+        if self.horizon < 0:
+            raise ConfigError("mpc horizon must be >= 0")
+        if self.min_secondary_cores < 0:
+            raise ConfigError("mpc min_secondary_cores must be >= 0")
+
+
+@dataclass(frozen=True)
+class UtilizationTargetSpec:
+    """Utilisation-target autoscaler (a classic-autoscaling challenger).
+
+    Holds machine utilisation (busy cores / total) inside
+    ``target_utilization ± deadband`` by stepping the secondary's core count
+    by ``step_cores`` per poll, inside ``[min_secondary_cores,
+    total - reserve_cores]``.
+    """
+
+    target_utilization: float = 0.85
+    deadband: float = 0.05
+    step_cores: int = 2
+    min_secondary_cores: int = 0
+    reserve_cores: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.target_utilization < 1.0:
+            raise ConfigError("target_utilization must be in (0, 1)")
+        if not 0.0 <= self.deadband < min(
+            self.target_utilization, 1.0 - self.target_utilization
+        ):
+            raise ConfigError(
+                "deadband must be >= 0 and keep the band inside (0, 1)"
+            )
+        if self.step_cores < 1:
+            raise ConfigError("step_cores must be >= 1")
+        if self.min_secondary_cores < 0:
+            raise ConfigError("utilization min_secondary_cores must be >= 0")
+        if self.reserve_cores < 0:
+            raise ConfigError("utilization reserve_cores must be >= 0")
+
+
+@dataclass(frozen=True)
+class OracleControlSpec:
+    """Clairvoyant upper bound: reads the future arrival trace.
+
+    Same capacity arithmetic as :class:`MpcControlSpec` but looking
+    ``lookahead`` seconds into the *actual* future rate curve, so the
+    secondary is pre-shrunk before a spike ever lands.  Unrealisable in
+    production — it exists to bound how much any predictor could gain.
+    """
+
+    qps_per_core: float = 80.0
+    headroom_cores: int = 1
+    #: How far into the future the oracle reads (seconds).
+    lookahead: float = 0.25
+    min_secondary_cores: int = 0
+
+    def __post_init__(self) -> None:
+        if self.qps_per_core <= 0:
+            raise ConfigError("oracle qps_per_core must be positive")
+        if self.headroom_cores < 0:
+            raise ConfigError("oracle headroom_cores must be >= 0")
+        if self.lookahead <= 0:
+            raise ConfigError("oracle lookahead must be positive")
+        if self.min_secondary_cores < 0:
+            raise ConfigError("oracle min_secondary_cores must be >= 0")
+
+
+@dataclass(frozen=True)
 class IoThrottleSpec:
     """Deficit-weighted-round-robin I/O throttling (Section 4.1)."""
 
@@ -475,11 +610,17 @@ class NetworkThrottleSpec:
 class PerfIsoSpec:
     """Top-level PerfIso service configuration (Section 4)."""
 
-    #: Which CPU policy to run: 'blind', 'static_cores', 'cpu_cycles' or 'none'.
+    #: Which CPU policy to run: one of :data:`VALID_POLICIES` — the paper's
+    #: four ('blind', 'static_cores', 'cpu_cycles', 'none') plus the
+    #: challenger controllers ('pid', 'mpc', 'utilization', 'oracle').
     cpu_policy: str = "blind"
     blind: BlindIsolationSpec = field(default_factory=BlindIsolationSpec)
     static_cores: StaticCoreSpec = field(default_factory=StaticCoreSpec)
     cpu_cycles: CpuCycleSpec = field(default_factory=CpuCycleSpec)
+    pid: PidControlSpec = field(default_factory=PidControlSpec)
+    mpc: MpcControlSpec = field(default_factory=MpcControlSpec)
+    utilization: UtilizationTargetSpec = field(default_factory=UtilizationTargetSpec)
+    oracle: OracleControlSpec = field(default_factory=OracleControlSpec)
     io_throttle: IoThrottleSpec = field(default_factory=IoThrottleSpec)
     memory_guard: MemoryGuardSpec = field(default_factory=MemoryGuardSpec)
     network_throttle: NetworkThrottleSpec = field(default_factory=NetworkThrottleSpec)
@@ -488,7 +629,16 @@ class PerfIsoSpec:
     #: Whether the controller starts enabled (the "kill switch" of Section 4.2).
     enabled: bool = True
 
-    VALID_POLICIES = ("blind", "static_cores", "cpu_cycles", "none")
+    VALID_POLICIES = (
+        "blind",
+        "static_cores",
+        "cpu_cycles",
+        "none",
+        "pid",
+        "mpc",
+        "utilization",
+        "oracle",
+    )
 
     def __post_init__(self) -> None:
         if self.cpu_policy not in self.VALID_POLICIES:

@@ -52,6 +52,30 @@ def validate_experiment(spec: ExperimentSpec) -> None:
                     f"static secondary core allocation ({perfiso.static_cores.secondary_cores}) "
                     f"exceeds machine core count ({cores})"
                 )
+        if perfiso.cpu_policy in ("pid", "utilization"):
+            sub = perfiso.pid if perfiso.cpu_policy == "pid" else perfiso.utilization
+            if sub.reserve_cores >= cores:
+                raise ConfigError(
+                    f"{perfiso.cpu_policy} reserve_cores ({sub.reserve_cores}) must be "
+                    f"smaller than the machine's logical core count ({cores})"
+                )
+            if sub.min_secondary_cores > cores - sub.reserve_cores:
+                raise ConfigError(
+                    f"{perfiso.cpu_policy} min_secondary_cores cannot exceed cores "
+                    "remaining after the reserve"
+                )
+        if perfiso.cpu_policy in ("mpc", "oracle"):
+            sub = perfiso.mpc if perfiso.cpu_policy == "mpc" else perfiso.oracle
+            if sub.headroom_cores >= cores:
+                raise ConfigError(
+                    f"{perfiso.cpu_policy} headroom_cores ({sub.headroom_cores}) must be "
+                    f"smaller than the machine's logical core count ({cores})"
+                )
+            if sub.min_secondary_cores > cores:
+                raise ConfigError(
+                    f"{perfiso.cpu_policy} min_secondary_cores ({sub.min_secondary_cores}) "
+                    f"exceeds machine core count ({cores})"
+                )
         if perfiso.poll_interval > spec.workload.duration:
             raise ConfigError("PerfIso poll interval is longer than the experiment itself")
 

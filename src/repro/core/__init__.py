@@ -7,11 +7,18 @@ from .network_throttle import NetworkThrottle
 from .policies import (
     AllocationDecision,
     BlindIsolationPolicy,
+    ControllerObservation,
     CpuCyclesPolicy,
     CpuIsolationPolicy,
+    ModelPredictivePolicy,
     NoIsolationPolicy,
+    OraclePolicy,
+    PidPolicy,
     StaticCoresPolicy,
+    UtilizationTargetPolicy,
     build_policy,
+    policy_class,
+    policy_from_spec,
 )
 from .profiling import BufferCoreProfiler, BurstProfile
 
@@ -23,11 +30,18 @@ __all__ = [
     "NetworkThrottle",
     "AllocationDecision",
     "BlindIsolationPolicy",
+    "ControllerObservation",
     "CpuCyclesPolicy",
     "CpuIsolationPolicy",
+    "ModelPredictivePolicy",
     "NoIsolationPolicy",
+    "OraclePolicy",
+    "PidPolicy",
     "StaticCoresPolicy",
+    "UtilizationTargetPolicy",
     "build_policy",
+    "policy_class",
+    "policy_from_spec",
     "BufferCoreProfiler",
     "BurstProfile",
 ]

@@ -19,6 +19,7 @@ runtime reconfiguration from cluster-wide configuration pushes.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, FrozenSet, List, Optional
 
 from ..config.schema import PerfIsoSpec
@@ -31,7 +32,12 @@ from ..tenants.base import SecondaryTenant
 from .io_throttle import DwrrIoThrottler
 from .memory_guard import MemoryGuard
 from .network_throttle import NetworkThrottle
-from .policies import AllocationDecision, CpuIsolationPolicy, build_policy
+from .policies import (
+    AllocationDecision,
+    ControllerObservation,
+    CpuIsolationPolicy,
+    policy_from_spec,
+)
 
 __all__ = ["PerfIsoController"]
 
@@ -50,18 +56,17 @@ class PerfIsoController:
         self._kernel = kernel
         self._spec = spec if spec is not None else PerfIsoSpec()
         self._job: JobObject = kernel.create_job_object(self.JOB_NAME)
-        self._policy: CpuIsolationPolicy = build_policy(
-            self._spec.cpu_policy,
-            blind=self._spec.blind,
-            static_cores=self._spec.static_cores,
-            cpu_cycles=self._spec.cpu_cycles,
-        )
+        self._policy: CpuIsolationPolicy = policy_from_spec(self._spec)
         self._io_throttler = DwrrIoThrottler(kernel, self._spec.io_throttle, volume=io_volume)
         self._memory_guard = MemoryGuard(kernel, self._spec.memory_guard, self._job)
         self._network_throttle = NetworkThrottle(kernel, self._spec.network_throttle)
         self._enabled = self._spec.enabled
         self._running = False
         self._current_core_count: Optional[int] = None
+        # Optional telemetry sources for observation-driven policies; polled
+        # lazily and only for policies that declare the matching capability.
+        self._forecast = None
+        self._latency_window = None
         # statistics
         self.polls = 0
         self.updates_applied = 0
@@ -123,6 +128,20 @@ class PerfIsoController:
         """Register the primary for I/O measurement (never restricted)."""
         self._io_throttler.register(process)
 
+    def attach_telemetry(self, forecast=None, latency_window=None) -> None:
+        """Connect optional telemetry for observation-driven policies.
+
+        ``forecast`` is an :class:`~repro.workloads.arrival_models.ArrivalModel`
+        (for ``uses_forecast`` policies); ``latency_window`` is a
+        :class:`~repro.metrics.latency.SlidingLatencyWindow` fed by the
+        experiment's collector (for ``uses_latency`` policies).  Attaching
+        telemetry a policy does not read has no effect on its decisions.
+        """
+        if forecast is not None:
+            self._forecast = forecast
+        if latency_window is not None:
+            self._latency_window = latency_window
+
     def _register_process(self, process: OsProcess) -> None:
         if self._spec.io_throttle.enabled:
             self._io_throttler.register(process)
@@ -152,10 +171,14 @@ class PerfIsoController:
     def disable(self) -> None:
         """The kill switch: immediately lift every restriction (Section 4.2)."""
         self._enabled = False
+        self._lift_restrictions()
+
+    def _lift_restrictions(self) -> None:
         self._job.set_cpu_affinity(None)
         self._job.set_cpu_rate(None)
         self._current_core_count = None
         self._io_throttler.stop()
+        self._io_throttler.clear_caps()
         self._memory_guard.stop()
         self._network_throttle.stop()
 
@@ -172,16 +195,30 @@ class PerfIsoController:
 
     # -------------------------------------------------------- reconfiguration
     def update_spec(self, spec: PerfIsoSpec) -> None:
-        """Apply a new cluster-wide configuration at runtime."""
+        """Apply a new cluster-wide configuration at runtime.
+
+        Every mechanism is reconfigured, not just the CPU policy: the I/O
+        throttler, memory guard and network throttle swap to their new
+        sub-specs in place, and ``spec.enabled`` transitions act like the
+        kill switch (a push with ``enabled=False`` lifts every restriction,
+        a later push with ``enabled=True`` restores isolation).
+        """
+        was_enabled = self._enabled
         self._spec = spec
-        self._policy = build_policy(
-            spec.cpu_policy,
-            blind=spec.blind,
-            static_cores=spec.static_cores,
-            cpu_cycles=spec.cpu_cycles,
-        )
-        if self._enabled and self._running:
+        self._policy = policy_from_spec(spec)
+        self._io_throttler.update_spec(spec.io_throttle)
+        self._memory_guard.update_spec(spec.memory_guard)
+        self._network_throttle.update_spec(spec.network_throttle)
+        self._enabled = spec.enabled
+        if not self._running:
+            return
+        if self._enabled:
             self._apply(self._policy.initial_decision(self._kernel.logical_cores))
+            self._io_throttler.start()
+            self._memory_guard.start()
+            self._network_throttle.start()
+        elif was_enabled:
+            self._lift_restrictions()
 
     def state_dict(self) -> Dict[str, object]:
         """Serialisable controller state, for crash recovery via Autopilot."""
@@ -189,18 +226,49 @@ class PerfIsoController:
             "enabled": self._enabled,
             "cpu_policy": self._spec.cpu_policy,
             "current_core_count": self._current_core_count,
+            "cpu_rate": self._job.cpu_rate_fraction,
             "updates_applied": self.updates_applied,
         }
 
     def restore_state(self, state: Dict[str, object]) -> None:
-        """Resume after a crash: re-apply the last known allocation."""
+        """Resume after a crash: re-apply the last known allocation.
+
+        An enabled snapshot with neither a core count nor a CPU rate means
+        the controller was deliberately unrestricted at crash time — the
+        replacement must *lift* any restriction it already applied, not keep
+        it.  A policy mismatch between the snapshot and this instance's
+        configuration is tolerated with a warning: the snapshot allocation is
+        restored verbatim, then future polls follow the configured policy.
+        """
+        snapshot_policy = state.get("cpu_policy")
+        if snapshot_policy is not None and snapshot_policy != self._spec.cpu_policy:
+            warnings.warn(
+                f"controller snapshot was taken under cpu_policy={snapshot_policy!r} "
+                f"but this instance is configured for {self._spec.cpu_policy!r}; "
+                "restoring the snapshot allocation, then following the configured "
+                "policy",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         self._enabled = bool(state.get("enabled", True))
-        # Carry the update counter across the restart; the re-application
+        # Carry the update counter across the restart; a re-application
         # below then counts as one more genuine job-object update.
         self.updates_applied = int(state.get("updates_applied", self.updates_applied))
+        if not self._enabled:
+            # The kill switch was active at crash time: mirror it without
+            # counting a job-object update (disable() semantics).
+            self._job.set_cpu_affinity(None)
+            self._job.set_cpu_rate(None)
+            self._current_core_count = None
+            return
         core_count = state.get("current_core_count")
-        if self._enabled and core_count is not None:
+        cpu_rate = state.get("cpu_rate")
+        if core_count is not None:
             self._apply(AllocationDecision(core_count=int(core_count)))
+        elif cpu_rate is not None:
+            self._apply(AllocationDecision(cpu_rate=float(cpu_rate)))
+        else:
+            self._apply(AllocationDecision(unrestricted=True))
 
     # ------------------------------------------------------------- internals
     def _poll(self) -> None:
@@ -208,14 +276,32 @@ class PerfIsoController:
             return
         self.polls += 1
         if self._enabled:
-            idle = self._kernel.idle_core_count()
-            decision = self._policy.poll_decision(
-                self._kernel.logical_cores, idle, self._current_core_count
-            )
+            decision = self._policy.decide(self._observe())
             if decision is not None:
                 self._apply(decision)
         self._kernel.engine.schedule(
             self._spec.poll_interval, self._poll, priority=EventPriority.CONTROLLER
+        )
+
+    def _observe(self) -> ControllerObservation:
+        """One poll's observation, gathering only what the policy reads."""
+        policy = self._policy
+        now = self._kernel.engine.now
+        windowed_p99 = None
+        if policy.uses_latency and self._latency_window is not None:
+            windowed_p99 = self._latency_window.p99(now)
+        forecast_peak = None
+        if policy.uses_forecast and self._forecast is not None:
+            horizon = policy.forecast_horizon(self._spec.poll_interval)
+            forecast_peak = self._forecast.peak_in(now, now + horizon)
+        return ControllerObservation(
+            now=now,
+            total_cores=self._kernel.logical_cores,
+            idle_cores=self._kernel.idle_core_count(),
+            current_core_count=self._current_core_count,
+            poll_interval=self._spec.poll_interval,
+            windowed_p99=windowed_p99,
+            forecast_peak_qps=forecast_peak,
         )
 
     def _apply(self, decision: AllocationDecision) -> None:

@@ -76,11 +76,18 @@ class DwrrIoThrottler:
         self._volume = volume
         self._states: Dict[str, ProcessIoState] = {}
         self._running = False
+        #: A scheduled-but-unfired _adjust exists; guards against a stop() ->
+        #: start() cycle stacking a second adjustment chain on the old one.
+        self._chain_pending = False
         self._weights = spec.weight_map()
         # statistics
         self.adjustments = 0
         self.tighten_events = 0
         self.relax_events = 0
+
+    @property
+    def spec(self) -> IoThrottleSpec:
+        return self._spec
 
     # ------------------------------------------------------------ membership
     def register(self, process: OsProcess, weight: Optional[float] = None) -> ProcessIoState:
@@ -110,12 +117,51 @@ class DwrrIoThrottler:
         if self._running or not self._spec.enabled:
             return
         self._running = True
-        self._kernel.engine.schedule(
-            self._spec.adjust_interval, self._adjust, priority=EventPriority.CONTROLLER
-        )
+        self._schedule_adjust()
 
     def stop(self) -> None:
         self._running = False
+
+    def clear_caps(self) -> None:
+        """Lift every applied secondary cap (kill-switch / disable path)."""
+        for state in self._states.values():
+            if state.process.category == TenantCategory.SECONDARY:
+                self._apply_caps(state, bandwidth=None, iops=None)
+
+    # -------------------------------------------------------- reconfiguration
+    def update_spec(self, spec: IoThrottleSpec) -> None:
+        """Reconfigure in place from a cluster-wide configuration push.
+
+        Weights, the primary's IOPS guarantee and the secondary's static caps
+        all follow the new sub-spec immediately; a push that disables the
+        throttler stops the adjustment loop and lifts the applied caps.
+        """
+        self._spec = spec
+        self._weights = spec.weight_map()
+        for state in self._states.values():
+            state.weight = self._weights.get(state.process.category, state.weight)
+            if state.process.category == TenantCategory.PRIMARY:
+                state.guaranteed_iops = spec.primary_min_iops
+        if not spec.enabled:
+            if self._running:
+                self.stop()
+            self.clear_caps()
+            return
+        for state in self._states.values():
+            if state.process.category == TenantCategory.SECONDARY:
+                self._apply_caps(
+                    state,
+                    bandwidth=spec.secondary_bandwidth_limit or None,
+                    iops=spec.secondary_iops_limit or None,
+                )
+
+    def _schedule_adjust(self) -> None:
+        if self._chain_pending:
+            return
+        self._chain_pending = True
+        self._kernel.engine.schedule(
+            self._spec.adjust_interval, self._adjust, priority=EventPriority.CONTROLLER
+        )
 
     # ------------------------------------------------------------- internals
     def _measure(self) -> float:
@@ -148,6 +194,7 @@ class DwrrIoThrottler:
                 state.deficit = (state.current_iops - reference) / reference
 
     def _adjust(self) -> None:
+        self._chain_pending = False
         if not self._running:
             return
         total = self._measure()
@@ -193,9 +240,7 @@ class DwrrIoThrottler:
                             else None
                         ),
                     )
-        self._kernel.engine.schedule(
-            self._spec.adjust_interval, self._adjust, priority=EventPriority.CONTROLLER
-        )
+        self._schedule_adjust()
 
     def _apply_caps(
         self,
@@ -203,10 +248,13 @@ class DwrrIoThrottler:
         bandwidth: Optional[float],
         iops: Optional[float],
     ) -> None:
+        previous_iops = state.applied_iops_cap
         state.applied_bandwidth_cap = bandwidth
         state.applied_iops_cap = iops
         self._kernel.iostack.set_bandwidth_limit(state.process.name, self._volume, bandwidth)
-        if iops is not None:
+        # Passing None through clears a previously-set kernel IOPS cap (a new
+        # spec may disable the IOPS limit); untouched-and-unset stays unset.
+        if iops is not None or previous_iops is not None:
             self._kernel.iostack.set_iops_limit(state.process.name, self._volume, iops)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

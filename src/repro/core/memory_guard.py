@@ -36,6 +36,9 @@ class MemoryGuard:
         self._job = job
         self._on_kill = on_kill
         self._running = False
+        #: A scheduled-but-unfired _check exists; guards against a stop() ->
+        #: start() cycle stacking a second check chain on the old one.
+        self._chain_pending = False
         # statistics
         self.checks = 0
         self.kills: List[str] = []
@@ -48,12 +51,20 @@ class MemoryGuard:
         if self._running or not self._spec.enabled:
             return
         self._running = True
-        self._kernel.engine.schedule(
-            self._spec.check_interval, self._check, priority=EventPriority.CONTROLLER
-        )
+        self._schedule_check()
 
     def stop(self) -> None:
         self._running = False
+
+    def update_spec(self, spec: MemoryGuardSpec) -> None:
+        """Reconfigure in place from a cluster-wide configuration push.
+
+        The new reserve and check interval take effect from the next check; a
+        push that disables the guard stops the check loop.
+        """
+        self._spec = spec
+        if self._running and not spec.enabled:
+            self.stop()
 
     def set_job_memory_limit(self, limit_bytes: Optional[int]) -> None:
         """Cap the job object's total footprint (None removes the cap)."""
@@ -62,14 +73,21 @@ class MemoryGuard:
         self._job.set_memory_limit(limit_bytes)
 
     # ------------------------------------------------------------- internals
+    def _schedule_check(self) -> None:
+        if self._chain_pending:
+            return
+        self._chain_pending = True
+        self._kernel.engine.schedule(
+            self._spec.check_interval, self._check, priority=EventPriority.CONTROLLER
+        )
+
     def _check(self) -> None:
+        self._chain_pending = False
         if not self._running:
             return
         self.checks += 1
         self._enforce()
-        self._kernel.engine.schedule(
-            self._spec.check_interval, self._check, priority=EventPriority.CONTROLLER
-        )
+        self._schedule_check()
 
     def _enforce(self) -> None:
         # Kill until both conditions hold: the reserve is free and the job is

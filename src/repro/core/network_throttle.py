@@ -58,5 +58,17 @@ class NetworkThrottle:
         if self._active:
             self._kernel.machine.nic.set_low_priority_rate_limit(bytes_per_second)
 
+    def update_spec(self, spec: NetworkThrottleSpec) -> None:
+        """Reconfigure in place from a cluster-wide configuration push.
+
+        An active throttle re-applies the new bandwidth cap immediately; a
+        push that disables the throttle deactivates it and lifts the cap.
+        """
+        self._spec = spec
+        if not spec.enabled:
+            self.stop()
+        elif self._active:
+            self._kernel.machine.nic.set_low_priority_rate_limit(spec.secondary_bandwidth_limit)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NetworkThrottle(active={self._active})"

@@ -33,12 +33,14 @@ from ..config.schema import (
     IoThrottleSpec,
     MlTrainingSpec,
     PerfIsoSpec,
+    PidControlSpec,
     SchedulerSpec,
     SecondaryJobSpec,
     StaticCoreSpec,
     TraceSpec,
     WorkloadSpec,
 )
+from ..errors import ConfigError
 from ..simulation.randomness import RandomStreams
 from ..units import MB
 from ..workloads.arrival_models import (
@@ -84,6 +86,9 @@ __all__ = [
     "replayed_trace_standalone",
     "bursty_replay_trace",
     "diurnal_replay_trace",
+    "CONTROLLER_POLICIES",
+    "SHOWDOWN_WORKLOADS",
+    "controller_showdown",
 ]
 
 #: The paper's approximation of average and peak per-machine load (Section 5.3).
@@ -832,6 +837,105 @@ def replayed_trace_standalone(
     return ExperimentSpec(workload=workload, seed=seed)
 
 
+# ------------------------------------------------------- controller showdown
+#: Every registered CPU policy, legacy and challenger, in showdown order.
+CONTROLLER_POLICIES = (
+    "blind",
+    "static_cores",
+    "cpu_cycles",
+    "none",
+    "pid",
+    "mpc",
+    "utilization",
+    "oracle",
+)
+
+#: The PR-5 trace-driven workload shapes the controllers are raced across.
+SHOWDOWN_WORKLOADS = ("diurnal", "bursty", "flash_crowd", "trace")
+
+
+@matrix.scenario(
+    "controller-showdown",
+    "Every dynamic CPU controller raced across the trace-driven workloads",
+    axes={"policy": CONTROLLER_POLICIES, "workload": SHOWDOWN_WORKLOADS},
+    tags=("comparison", "trace-driven", "controller"),
+    tier="slow",
+)
+def controller_showdown(
+    policy: str = "blind",
+    workload: str = "flash_crowd",
+    base_qps: float = AVERAGE_LOAD_QPS,
+    peak_qps: float = 6000.0,
+    slo_ms: float = 15.0,
+    bully_threads: int = HIGH_BULLY_THREADS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """One (controller, workload-shape) cell of the controller arena.
+
+    Every cell at one workload shape shares the identical seed, trace and
+    bully, so the only degree of freedom is the CPU policy — the controllers
+    see the same traffic and their rankings are attributable to the policy
+    alone.  ``slo_ms`` feeds both the PID controller's set point and the
+    showdown harness's pass/fail column.
+    """
+    total = warmup + duration
+    if workload == "diurnal":
+        workload_spec = WorkloadSpec(
+            qps=(peak_qps + base_qps) / 2.0,
+            duration=duration,
+            warmup=warmup,
+            diurnal=DiurnalSpec(peak_qps=peak_qps, trough_qps=base_qps, period=total),
+        )
+    elif workload == "bursty":
+        workload_spec = WorkloadSpec(
+            qps=base_qps,
+            duration=duration,
+            warmup=warmup,
+            bursty=_scaled_bursty(base_qps, peak_qps, total),
+        )
+    elif workload == "flash_crowd":
+        workload_spec = WorkloadSpec(
+            qps=base_qps,
+            duration=duration,
+            warmup=warmup,
+            flash_crowd=FlashCrowdSpec(
+                base_qps=base_qps,
+                spike_qps=peak_qps,
+                start=warmup + 0.3 * duration,
+                ramp=0.05 * total,
+                hold=0.2 * total,
+                decay=0.1 * total,
+            ),
+        )
+    elif workload == "trace":
+        workload_spec = WorkloadSpec(
+            qps=base_qps,
+            duration=duration,
+            warmup=warmup,
+            trace=bursty_replay_trace(base_qps, peak_qps, total_time=total),
+        )
+    else:
+        raise ConfigError(
+            f"unknown showdown workload {workload!r}; expected one of {SHOWDOWN_WORKLOADS}"
+        )
+    perfiso = (
+        None
+        if policy == "none"
+        else PerfIsoSpec(
+            cpu_policy=policy,
+            pid=PidControlSpec(slo_p99=slo_ms / 1000.0),
+        )
+    )
+    return ExperimentSpec(
+        workload=workload_spec,
+        seed=seed,
+        cpu_bully=CpuBullySpec(threads=bully_threads),
+        perfiso=perfiso,
+    )
+
+
 # ------------------------------------------------------------- derived views
 # Wider sweeps and 2-D grids over the builders above.  Registered explicitly
 # (not via decorators) because they reuse a builder that already anchors a
@@ -910,6 +1014,15 @@ matrix.register(
         ),
         tags=("sweep", "grid", "trace-driven"),
         tier="slow",
+    )
+)
+matrix.register(
+    matrix.Scenario(
+        name="controller-arena",
+        description="The dynamic challengers vs blind vs nothing on a flash crowd",
+        builder=controller_showdown,
+        axes=(("policy", ("blind", "pid", "mpc", "utilization", "oracle", "none")),),
+        tags=("comparison", "trace-driven", "controller"),
     )
 )
 matrix.register(

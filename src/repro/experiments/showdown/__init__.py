@@ -1,0 +1,266 @@
+"""The controller showdown: every CPU controller raced on shared traffic.
+
+PR 6 promotes ``CpuIsolationPolicy`` into a dynamic-controller interface and
+adds four challengers (PID, MPC, utilization-target, oracle) next to the
+paper's blind/static/cycles policies.  This harness answers the obvious next
+question — *which controller wins?* — by racing every controller across the
+PR-5 trace-driven workload shapes (diurnal, bursty, flash crowd, replayed
+trace) under identical seeds, traces and bully pressure, then ranking them
+on SLO attainment, tail latency and harvested secondary throughput.
+
+All execution goes through the shared :class:`ExperimentRunner`, so repeated
+invocations are served from the content-addressed cache and the emitted
+table is byte-identical at any worker count.
+
+Run it directly::
+
+    python -m repro.experiments.showdown --controllers blind,pid,oracle \
+        --workloads flash_crowd --duration 2 --out table
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ...errors import ConfigError
+from ...runtime import ExperimentRunner, ExperimentTask
+from ..reporting import format_table, rows_to_csv
+from ..scenarios import CONTROLLER_POLICIES, SHOWDOWN_WORKLOADS, controller_showdown
+
+__all__ = ["ShowdownResult", "run_showdown", "main"]
+
+#: Columns of the per-run detail table, in emission order.
+DETAIL_COLUMNS = (
+    "workload",
+    "controller",
+    "p99_ms",
+    "slo_ms",
+    "p99_over_slo",
+    "slo_met",
+    "drop_rate_pct",
+    "secondary_progress",
+    "updates_applied",
+    "polls",
+)
+
+#: Columns of the aggregated ranking table.
+RANKING_COLUMNS = (
+    "rank",
+    "controller",
+    "slo_met",
+    "workloads",
+    "mean_p99_over_slo",
+    "worst_p99_ms",
+    "secondary_progress",
+    "updates_applied",
+)
+
+
+@dataclass
+class ShowdownResult:
+    """Everything the showdown measured, already flattened for reporting."""
+
+    #: One row per (workload, controller) run, in deterministic order.
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    #: One row per controller, best first.
+    ranking: List[Dict[str, object]] = field(default_factory=list)
+
+    def winner(self) -> str:
+        if not self.ranking:
+            raise ConfigError("showdown produced no ranking")
+        return str(self.ranking[0]["controller"])
+
+
+def run_showdown(
+    controllers: Sequence[str] = CONTROLLER_POLICIES,
+    workloads: Sequence[str] = SHOWDOWN_WORKLOADS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+    slo_ms: float = 15.0,
+    base_qps: Optional[float] = None,
+    peak_qps: Optional[float] = None,
+    runner: Optional[ExperimentRunner] = None,
+) -> ShowdownResult:
+    """Race ``controllers`` across ``workloads`` and rank them.
+
+    Every cell of the (workload, controller) grid is built by
+    :func:`~repro.experiments.scenarios.controller_showdown` from the same
+    ``seed``, so within one workload shape the controllers replay identical
+    traffic — the ranking isolates the policy, nothing else.
+    """
+    if not controllers:
+        raise ConfigError("showdown needs at least one controller")
+    if not workloads:
+        raise ConfigError("showdown needs at least one workload")
+    for name in controllers:
+        if name not in CONTROLLER_POLICIES:
+            raise ConfigError(
+                f"unknown controller {name!r}; expected one of {CONTROLLER_POLICIES}"
+            )
+    for name in workloads:
+        if name not in SHOWDOWN_WORKLOADS:
+            raise ConfigError(
+                f"unknown workload {name!r}; expected one of {SHOWDOWN_WORKLOADS}"
+            )
+
+    extra = {}
+    if base_qps is not None:
+        extra["base_qps"] = base_qps
+    if peak_qps is not None:
+        extra["peak_qps"] = peak_qps
+
+    tasks = [
+        ExperimentTask(
+            controller_showdown(
+                policy=controller,
+                workload=workload,
+                slo_ms=slo_ms,
+                duration=duration,
+                warmup=warmup,
+                seed=seed,
+                **extra,
+            ),
+            scenario=f"showdown/{workload}/{controller}",
+        )
+        for workload in workloads
+        for controller in controllers
+    ]
+    runner = runner if runner is not None else ExperimentRunner()
+    outcomes = runner.run_batch(tasks)
+
+    result = ShowdownResult()
+    labels = [
+        (workload, controller)
+        for workload in workloads
+        for controller in controllers
+    ]
+    for (workload, controller), outcome in zip(labels, outcomes):
+        run = outcome.result
+        p99_ms = run.latency.as_millis()["p99_ms"]
+        result.rows.append(
+            {
+                "workload": workload,
+                "controller": controller,
+                "p99_ms": p99_ms,
+                "slo_ms": slo_ms,
+                "p99_over_slo": p99_ms / slo_ms,
+                "slo_met": p99_ms <= slo_ms,
+                "drop_rate_pct": run.drop_rate * 100.0,
+                "secondary_progress": run.secondary_progress,
+                "updates_applied": run.controller_updates,
+                "polls": run.controller_polls,
+            }
+        )
+
+    result.ranking = _rank(result.rows, controllers)
+    return result
+
+
+def _rank(
+    rows: Sequence[Dict[str, object]], controllers: Sequence[str]
+) -> List[Dict[str, object]]:
+    """Aggregate per-run rows into one ranked row per controller.
+
+    Primary objective is SLO attainment (how many workloads stayed under the
+    SLO), then mean normalised tail latency, then harvested secondary
+    throughput — the paper's "protect the primary first, harvest second"
+    ordering.  Ties break on the controller name so the ranking is total.
+    """
+    ranking: List[Dict[str, object]] = []
+    for controller in controllers:
+        mine = [row for row in rows if row["controller"] == controller]
+        if not mine:
+            continue
+        ratios = [float(row["p99_over_slo"]) for row in mine]
+        ranking.append(
+            {
+                "controller": controller,
+                "slo_met": sum(1 for row in mine if row["slo_met"]),
+                "workloads": len(mine),
+                "mean_p99_over_slo": sum(ratios) / len(ratios),
+                "worst_p99_ms": max(float(row["p99_ms"]) for row in mine),
+                "secondary_progress": sum(
+                    float(row["secondary_progress"]) for row in mine
+                ),
+                "updates_applied": sum(int(row["updates_applied"]) for row in mine),
+            }
+        )
+    ranking.sort(
+        key=lambda row: (
+            -int(row["slo_met"]),
+            float(row["mean_p99_over_slo"]),
+            -float(row["secondary_progress"]),
+            str(row["controller"]),
+        )
+    )
+    for position, row in enumerate(ranking, start=1):
+        row["rank"] = position
+    return ranking
+
+
+def _csv_list(text: str) -> List[str]:
+    return [item.strip() for item in text.split(",") if item.strip()]
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.showdown",
+        description="Race every CPU controller across trace-driven workloads.",
+    )
+    parser.add_argument(
+        "--controllers",
+        default=",".join(CONTROLLER_POLICIES),
+        help=f"comma-separated controllers (default: all of {','.join(CONTROLLER_POLICIES)})",
+    )
+    parser.add_argument(
+        "--workloads",
+        default=",".join(SHOWDOWN_WORKLOADS),
+        help=f"comma-separated workload shapes (default: {','.join(SHOWDOWN_WORKLOADS)})",
+    )
+    parser.add_argument("--duration", type=float, default=10.0, help="measured seconds per run")
+    parser.add_argument("--warmup", type=float, default=1.0, help="warm-up seconds per run")
+    parser.add_argument("--seed", type=int, default=1, help="experiment seed shared by every cell")
+    parser.add_argument("--slo-ms", type=float, default=15.0, help="P99 SLO in milliseconds")
+    parser.add_argument("--base-qps", type=float, default=None, help="override the base load")
+    parser.add_argument("--peak-qps", type=float, default=None, help="override the peak load")
+    parser.add_argument("--workers", type=int, default=None, help="worker process count")
+    parser.add_argument(
+        "--out", choices=("table", "json", "csv"), default="table", help="output format"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        result = run_showdown(
+            controllers=_csv_list(args.controllers),
+            workloads=_csv_list(args.workloads),
+            duration=args.duration,
+            warmup=args.warmup,
+            seed=args.seed,
+            slo_ms=args.slo_ms,
+            base_qps=args.base_qps,
+            peak_qps=args.peak_qps,
+            runner=ExperimentRunner(max_workers=args.workers),
+        )
+    except ConfigError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.out == "json":
+        print(json.dumps({"rows": result.rows, "ranking": result.ranking}, indent=2, sort_keys=True))
+    elif args.out == "csv":
+        print(rows_to_csv(result.rows, columns=list(DETAIL_COLUMNS)))
+        print(rows_to_csv(result.ranking, columns=list(RANKING_COLUMNS)))
+    else:
+        print("Per-run results")
+        print(format_table(result.rows, columns=list(DETAIL_COLUMNS)))
+        print()
+        print("Controller ranking (best first)")
+        print(format_table(result.ranking, columns=list(RANKING_COLUMNS)))
+        print()
+        print(f"winner: {result.winner()}")
+    return 0

@@ -1,0 +1,7 @@
+"""``python -m repro.experiments.showdown`` entry point."""
+
+import sys
+
+from . import main
+
+sys.exit(main())

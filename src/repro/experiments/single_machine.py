@@ -18,8 +18,9 @@ from ..core.controller import PerfIsoController
 from ..errors import ExperimentError
 from ..hardware.machine import Machine
 from ..hostos.syscalls import Kernel
+from ..core.policies import policy_class
 from ..metrics.cpu import CpuBreakdown, CpuUtilizationSampler
-from ..metrics.latency import LatencyCollector, LatencyStats
+from ..metrics.latency import LatencyCollector, LatencyStats, SlidingLatencyWindow
 from ..simulation.engine import SimulationEngine
 from ..simulation.randomness import RandomStreams
 from ..tenants.base import SecondaryTenant
@@ -30,7 +31,11 @@ from ..tenants.indexserve import IndexServeTenant
 from ..tenants.ml_training import MlTrainingTenant
 from ..metrics.timeseries import TimeSeries
 from ..workloads.arrival import OpenLoopClient, VariableRateClient
-from ..workloads.arrival_models import ARRIVAL_MODEL_STREAM, build_arrival_model
+from ..workloads.arrival_models import (
+    ARRIVAL_MODEL_STREAM,
+    ConstantArrival,
+    build_arrival_model,
+)
 from ..workloads.query_trace import QueryTrace
 
 __all__ = ["SingleMachineResult", "SingleMachineExperiment"]
@@ -133,7 +138,13 @@ class SingleMachineExperiment:
         self.engine, self.kernel = engine, kernel
 
         warmup_end = spec.workload.warmup
-        collector = LatencyCollector(warmup_end=warmup_end)
+        # Latency-feedback policies (capability flag ``uses_latency``) read a
+        # sliding P99 window; the collector tees every served sample into it.
+        # For every other policy the collector runs its unchanged hot path.
+        latency_window = None
+        if spec.perfiso is not None and policy_class(spec.perfiso.cpu_policy).uses_latency:
+            latency_window = SlidingLatencyWindow(window=spec.perfiso.pid.window)
+        collector = LatencyCollector(warmup_end=warmup_end, observer=latency_window)
         primary = IndexServeTenant(
             kernel, spec.indexserve, rng=streams.stream("indexserve"), collector=collector
         )
@@ -191,6 +202,14 @@ class SingleMachineExperiment:
         if spec.perfiso is not None:
             controller = PerfIsoController(kernel, spec.perfiso)
             controller.observe_primary(primary.process)
+            # Forecast-driven policies ask the arrival model for the exact
+            # peak over their horizon; constant workloads forecast trivially.
+            forecast = (
+                arrival_model
+                if arrival_model is not None
+                else ConstantArrival(spec.workload.qps)
+            )
+            controller.attach_telemetry(forecast=forecast, latency_window=latency_window)
             self.controller = controller
 
         sampler = CpuUtilizationSampler(engine, kernel, interval=0.5, warmup_end=warmup_end)

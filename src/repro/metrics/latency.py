@@ -10,6 +10,7 @@ production-trace experiment (Figure 10).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Sequence
 
@@ -18,7 +19,13 @@ import numpy as np
 from ..errors import ExperimentError
 from ..units import to_millis
 
-__all__ = ["LatencyStats", "LatencyCollector", "ReservoirCollector", "LatencyDigest"]
+__all__ = [
+    "LatencyStats",
+    "LatencyCollector",
+    "SlidingLatencyWindow",
+    "ReservoirCollector",
+    "LatencyDigest",
+]
 
 
 @dataclass(frozen=True)
@@ -97,13 +104,17 @@ class LatencyCollector:
 
     _INITIAL_CAPACITY = 1024
 
-    def __init__(self, warmup_end: float = 0.0) -> None:
+    def __init__(self, warmup_end: float = 0.0, observer=None) -> None:
         self._warmup_end = warmup_end
         self._buffer = np.empty(self._INITIAL_CAPACITY, dtype=np.float64)
         self._count = 0
         self._dropped = 0
         self._dropped_warmup = 0
         self._total_seen = 0
+        #: Optional tee fed every served sample (including warmup) — e.g. a
+        #: :class:`SlidingLatencyWindow` driving a latency-feedback controller,
+        #: which must see live latencies the moment they happen.
+        self._observer = observer
 
     @property
     def warmup_end(self) -> float:
@@ -141,6 +152,8 @@ class LatencyCollector:
         if latency < 0:
             raise ExperimentError(f"negative latency recorded: {latency}")
         self._total_seen += 1
+        if self._observer is not None:
+            self._observer.record(completion_time, latency)
         if completion_time < self._warmup_end:
             return
         count = self._count
@@ -180,6 +193,59 @@ class LatencyCollector:
         if self._count == 0:
             return 0.0
         return float(np.percentile(self._view(), q))
+
+
+class SlidingLatencyWindow:
+    """Latency percentiles over a sliding wall-clock window.
+
+    Feeds latency-feedback controllers (e.g. the PID challenger): the
+    experiment's :class:`LatencyCollector` tees every served sample here via
+    its ``observer`` hook, and the controller asks for the windowed P99 at
+    poll time.  Samples older than ``window`` seconds are pruned lazily.
+    """
+
+    def __init__(self, window: float) -> None:
+        if window <= 0:
+            raise ExperimentError("sliding latency window must be positive")
+        self._window = window
+        self._times: deque = deque()
+        self._values: deque = deque()
+
+    @property
+    def window(self) -> float:
+        return self._window
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def record(self, completion_time: float, latency: float) -> None:
+        if latency < 0:
+            raise ExperimentError(f"negative latency recorded: {latency}")
+        self._times.append(completion_time)
+        self._values.append(latency)
+        self._prune(completion_time)
+
+    def percentile(self, q: float, now: float) -> "float | None":
+        """The q-th percentile of samples in ``[now - window, now]``.
+
+        ``None`` when the window holds no samples (callers hold their last
+        decision rather than acting on a fabricated zero).
+        """
+        self._prune(now)
+        if not self._values:
+            return None
+        values = np.fromiter(self._values, dtype=np.float64, count=len(self._values))
+        return float(np.percentile(values, q))
+
+    def p99(self, now: float) -> "float | None":
+        return self.percentile(99.0, now)
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self._window
+        times, values = self._times, self._values
+        while times and times[0] < cutoff:
+            times.popleft()
+            values.popleft()
 
 
 class ReservoirCollector:

@@ -1,6 +1,8 @@
 """Tests for the PerfIso controller service."""
 
+import dataclasses
 import math
+import warnings
 
 import pytest
 
@@ -8,6 +10,9 @@ from repro.config.schema import (
     BlindIsolationSpec,
     CpuBullySpec,
     CpuCycleSpec,
+    IoThrottleSpec,
+    MemoryGuardSpec,
+    NetworkThrottleSpec,
     PerfIsoSpec,
     StaticCoreSpec,
 )
@@ -16,7 +21,7 @@ from repro.errors import IsolationError
 from repro.hostos.process import TenantCategory
 from repro.hostos.thread import cpu_phase
 from repro.tenants.cpu_bully import CpuBullyTenant
-from repro.units import millis
+from repro.units import GIB, MB, millis
 
 
 def blind_spec(buffer_cores=2, poll_interval=millis(1)):
@@ -237,3 +242,186 @@ class TestKillSwitchAndRecovery:
         )
         assert controller.secondary_core_count == 3
         assert controller.policy.name == "static_cores"
+
+
+class TestRuntimeReconfiguration:
+    """A config push must reconfigure *every* mechanism, not just the policy."""
+
+    def _started_controller(self, kernel, spec=None):
+        controller = PerfIsoController(kernel, spec if spec is not None else blind_spec())
+        batch = kernel.create_process("batch", TenantCategory.SECONDARY)
+        controller.manage_process(batch)
+        controller.start()
+        return controller
+
+    def test_update_spec_swaps_all_sub_specs(self, engine, kernel):
+        controller = self._started_controller(kernel)
+        pushed = PerfIsoSpec(
+            cpu_policy="blind",
+            blind=BlindIsolationSpec(buffer_cores=2),
+            poll_interval=millis(1),
+            io_throttle=IoThrottleSpec(
+                secondary_bandwidth_limit=10 * MB, secondary_iops_limit=64.0
+            ),
+            memory_guard=MemoryGuardSpec(reserved_bytes=8 * GIB),
+            network_throttle=NetworkThrottleSpec(secondary_bandwidth_limit=25 * MB),
+        )
+        controller.update_spec(pushed)
+        assert controller.io_throttler.spec.secondary_iops_limit == 64.0
+        assert controller.memory_guard.spec.reserved_bytes == 8 * GIB
+        assert controller.network_throttle.spec.secondary_bandwidth_limit == 25 * MB
+
+    def test_update_spec_reapplies_io_caps(self, engine, kernel):
+        controller = self._started_controller(kernel)
+        (state,) = [
+            s
+            for s in controller.io_throttler.states()
+            if s.process.category == TenantCategory.SECONDARY
+        ]
+        assert state.applied_bandwidth_cap == 100 * MB  # the default cap
+        controller.update_spec(
+            dataclasses.replace(
+                blind_spec(),
+                io_throttle=IoThrottleSpec(
+                    secondary_bandwidth_limit=10 * MB, secondary_iops_limit=64.0
+                ),
+            )
+        )
+        assert state.applied_bandwidth_cap == 10 * MB
+        assert state.applied_iops_cap == 64.0
+
+    def test_update_spec_reapplies_network_limit(self, engine, kernel):
+        controller = self._started_controller(kernel)
+        assert controller.network_throttle.active
+        controller.update_spec(
+            dataclasses.replace(
+                blind_spec(),
+                network_throttle=NetworkThrottleSpec(secondary_bandwidth_limit=25 * MB),
+            )
+        )
+        nic = kernel.machine.nic
+        assert controller.network_throttle.active
+        assert nic._low_rate_limit == 25 * MB
+
+    def test_update_spec_disabled_push_acts_as_kill_switch(self, engine, kernel):
+        controller = self._started_controller(kernel)
+        assert controller.secondary_affinity is not None
+        controller.update_spec(dataclasses.replace(blind_spec(), enabled=False))
+        assert not controller.enabled
+        assert controller.secondary_affinity is None
+        assert controller.secondary_core_count is None
+        (state,) = [
+            s
+            for s in controller.io_throttler.states()
+            if s.process.category == TenantCategory.SECONDARY
+        ]
+        assert state.applied_bandwidth_cap is None
+        assert not controller.network_throttle.active
+
+    def test_update_spec_reenabling_push_restores_isolation(self, engine, kernel):
+        controller = self._started_controller(kernel)
+        controller.update_spec(dataclasses.replace(blind_spec(), enabled=False))
+        controller.update_spec(blind_spec(buffer_cores=2))
+        assert controller.enabled
+        assert controller.secondary_core_count == kernel.logical_cores - 2
+        assert controller.network_throttle.active
+
+    def test_update_spec_on_stopped_controller_defers_application(self, engine, kernel):
+        controller = PerfIsoController(kernel, blind_spec())
+        controller.update_spec(
+            PerfIsoSpec(cpu_policy="static_cores", static_cores=StaticCoreSpec(secondary_cores=3))
+        )
+        # Nothing applied yet (not running), but the spec and policy swapped.
+        assert controller.secondary_core_count is None
+        assert controller.policy.name == "static_cores"
+        controller.start()
+        assert controller.secondary_core_count == 3
+
+
+class TestRestoreUnrestrictedSnapshot:
+    """Regression: an enabled snapshot with no core count means 'unrestricted'.
+
+    The old restore path did nothing in that case, leaving the replacement
+    controller's own initial restriction in place — recovery silently
+    changed the machine's isolation state.
+    """
+
+    def test_unrestricted_snapshot_lifts_replacement_restriction(self, engine, kernel):
+        original = PerfIsoController(kernel, PerfIsoSpec(cpu_policy="none"))
+        original.start()
+        engine.run(until=0.05)
+        state = original.state_dict()
+        assert state["enabled"] and state["current_core_count"] is None
+
+        recovered = PerfIsoController(
+            TestKillSwitchAndRecovery._fresh_kernel(), blind_spec(buffer_cores=2)
+        )
+        recovered.start()  # applies blind's initial restriction
+        assert recovered.secondary_affinity is not None
+        saved = recovered.updates_applied
+        with pytest.warns(RuntimeWarning, match="cpu_policy"):
+            recovered.restore_state(state)
+        assert recovered.secondary_affinity is None
+        assert recovered.secondary_core_count is None
+        assert recovered.job.cpu_rate_fraction is None
+        # The restore counted from the snapshot counter, plus the one lift.
+        assert recovered.updates_applied == state["updates_applied"] + 1
+        assert saved >= 1  # the initial restriction genuinely happened
+
+    def test_cpu_rate_snapshot_restores_the_rate(self, engine, kernel):
+        spec = PerfIsoSpec(cpu_policy="cpu_cycles", cpu_cycles=CpuCycleSpec(cpu_fraction=0.25))
+        original = PerfIsoController(kernel, spec)
+        original.start()
+        state = original.state_dict()
+        assert state["cpu_rate"] == 0.25
+
+        recovered = PerfIsoController(TestKillSwitchAndRecovery._fresh_kernel(), spec)
+        recovered.restore_state(state)
+        assert recovered.job.cpu_rate_fraction == 0.25
+        assert recovered.secondary_affinity is None
+
+    def test_matching_policy_restore_does_not_warn(self, engine, kernel):
+        controller = PerfIsoController(kernel, blind_spec(buffer_cores=2))
+        controller.start()
+        engine.run(until=0.05)
+        state = controller.state_dict()
+        recovered = PerfIsoController(
+            TestKillSwitchAndRecovery._fresh_kernel(), blind_spec(buffer_cores=2)
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            recovered.restore_state(state)
+        assert recovered.secondary_core_count == state["current_core_count"]
+
+    def test_autopilot_recovery_applies_unrestricted_snapshot(self, engine, kernel):
+        """The Autopilot crash/recover cycle ends with the snapshot honoured."""
+        from repro.cluster.autopilot import Autopilot, ManagedService
+
+        original = PerfIsoController(kernel, PerfIsoSpec(cpu_policy="none"))
+        holder = {"controller": original}
+        autopilot = Autopilot()
+        autopilot.register(
+            ManagedService(
+                name="perfiso",
+                machine="m0",
+                start=lambda: holder["controller"].start(),
+                stop=lambda: holder["controller"].stop(),
+                save_state=lambda: holder["controller"].state_dict(),
+                restore_state=lambda s: holder["controller"].restore_state(s),
+            )
+        )
+        autopilot.start("m0", "perfiso")
+        engine.run(until=0.05)
+        autopilot.checkpoint("m0", "perfiso")
+
+        # The crash: the replacement instance is configured blind, so its
+        # start() pins the secondary — recovery must lift that again.
+        replacement = PerfIsoController(
+            TestKillSwitchAndRecovery._fresh_kernel(), blind_spec(buffer_cores=2)
+        )
+        holder["controller"] = replacement
+        with pytest.warns(RuntimeWarning, match="cpu_policy"):
+            autopilot.crash_and_recover("m0", "perfiso")
+        assert autopilot.service("m0", "perfiso").restarts == 1
+        assert replacement.secondary_affinity is None
+        assert replacement.secondary_core_count is None

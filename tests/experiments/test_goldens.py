@@ -75,6 +75,19 @@ CASES = {
     "trace-standalone": lambda: sc.replayed_trace_standalone(
         peak_qps=900.0, trough_qps=300.0, **SHORT
     ),
+    # ------------------------------------------- dynamic controller arena
+    "controller-pid": lambda: sc.controller_showdown(
+        policy="pid", workload="flash_crowd", base_qps=500.0, peak_qps=1500.0, **SHORT
+    ),
+    "controller-mpc": lambda: sc.controller_showdown(
+        policy="mpc", workload="bursty", base_qps=500.0, peak_qps=1500.0, **SHORT
+    ),
+    "controller-utilization": lambda: sc.controller_showdown(
+        policy="utilization", workload="diurnal", base_qps=500.0, peak_qps=1500.0, **SHORT
+    ),
+    "controller-oracle": lambda: sc.controller_showdown(
+        policy="oracle", workload="trace", base_qps=500.0, peak_qps=1500.0, **SHORT
+    ),
 }
 
 

@@ -1,0 +1,143 @@
+"""Tests for the controller-showdown harness.
+
+Determinism is the load-bearing property: the showdown compares controllers,
+so the comparison must hold at any worker count and across repeated runs.
+The flash-crowd ordering assertion pins the paper-level conclusion that a
+forecast-aware controller protects the tail at least as well as blind
+isolation sized for the steady state.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.experiments import showdown
+from repro.experiments.showdown import (
+    DETAIL_COLUMNS,
+    RANKING_COLUMNS,
+    run_showdown,
+)
+from repro.runtime import ExperimentRunner, ResultCache
+
+#: Small enough for the fast tier, long enough for a stable tail.
+FAST = dict(duration=1.0, warmup=0.2, seed=5)
+
+
+def fresh_runner(max_workers=1):
+    return ExperimentRunner(max_workers=max_workers, cache=ResultCache())
+
+
+class TestRunShowdown:
+    def test_grid_shape_and_columns(self):
+        result = run_showdown(
+            controllers=["blind", "none"],
+            workloads=["flash_crowd", "bursty"],
+            runner=fresh_runner(),
+            **FAST,
+        )
+        assert len(result.rows) == 4
+        assert [(r["workload"], r["controller"]) for r in result.rows] == [
+            ("flash_crowd", "blind"),
+            ("flash_crowd", "none"),
+            ("bursty", "blind"),
+            ("bursty", "none"),
+        ]
+        for row in result.rows:
+            assert set(DETAIL_COLUMNS) <= set(row)
+        assert len(result.ranking) == 2
+        for row in result.ranking:
+            assert set(RANKING_COLUMNS) <= set(row)
+        assert [row["rank"] for row in result.ranking] == [1, 2]
+
+    def test_worker_count_does_not_change_the_result(self):
+        serial = run_showdown(
+            controllers=["blind", "mpc"],
+            workloads=["flash_crowd"],
+            runner=fresh_runner(max_workers=1),
+            **FAST,
+        )
+        parallel = run_showdown(
+            controllers=["blind", "mpc"],
+            workloads=["flash_crowd"],
+            runner=fresh_runner(max_workers=2),
+            **FAST,
+        )
+        assert serial.rows == parallel.rows
+        assert serial.ranking == parallel.ranking
+
+    def test_oracle_protects_flash_crowd_at_least_as_well_as_blind(self):
+        """Forecast-aware sizing beats steady-state blind sizing on a spike."""
+        result = run_showdown(
+            controllers=["blind", "oracle"],
+            workloads=["flash_crowd"],
+            runner=fresh_runner(),
+            **FAST,
+        )
+        by_controller = {row["controller"]: row for row in result.rows}
+        oracle_p99 = by_controller["oracle"]["p99_ms"]
+        blind_p99 = by_controller["blind"]["p99_ms"]
+        assert oracle_p99 <= blind_p99 * 1.05
+
+    def test_no_isolation_never_outranks_blind_under_pressure(self):
+        result = run_showdown(
+            controllers=["blind", "none"],
+            workloads=["flash_crowd"],
+            runner=fresh_runner(),
+            **FAST,
+        )
+        order = [row["controller"] for row in result.ranking]
+        assert order.index("blind") < order.index("none")
+        assert result.winner() == result.ranking[0]["controller"]
+
+    def test_unknown_controller_is_rejected(self):
+        with pytest.raises(ConfigError, match="unknown controller"):
+            run_showdown(controllers=["banana"], workloads=["bursty"], **FAST)
+
+    def test_unknown_workload_is_rejected(self):
+        with pytest.raises(ConfigError, match="unknown workload"):
+            run_showdown(controllers=["blind"], workloads=["banana"], **FAST)
+
+    def test_empty_grid_is_rejected(self):
+        with pytest.raises(ConfigError, match="at least one controller"):
+            run_showdown(controllers=[], workloads=["bursty"], **FAST)
+
+
+class TestCli:
+    ARGS = [
+        "--controllers",
+        "blind,mpc",
+        "--workloads",
+        "flash_crowd",
+        "--duration",
+        "1",
+        "--warmup",
+        "0.2",
+        "--seed",
+        "5",
+        "--workers",
+        "1",
+    ]
+
+    def test_table_output(self, capsys):
+        assert showdown.main([*self.ARGS, "--out", "table"]) == 0
+        out = capsys.readouterr().out
+        assert "Controller ranking (best first)" in out
+        assert "winner:" in out
+        assert "mpc" in out and "blind" in out
+
+    def test_json_output_parses(self, capsys):
+        assert showdown.main([*self.ARGS, "--out", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert {row["controller"] for row in payload["rows"]} == {"blind", "mpc"}
+        assert [row["rank"] for row in payload["ranking"]] == [1, 2]
+
+    def test_csv_output_has_headers(self, capsys):
+        assert showdown.main([*self.ARGS, "--out", "csv"]) == 0
+        out = capsys.readouterr().out
+        assert ",".join(DETAIL_COLUMNS) in out
+        assert ",".join(RANKING_COLUMNS) in out
+
+    def test_unknown_controller_exits_2(self, capsys):
+        assert showdown.main(["--controllers", "banana"]) == 2
+        assert "unknown controller" in capsys.readouterr().err
