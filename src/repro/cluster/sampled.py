@@ -133,6 +133,11 @@ class SampledClusterModel:
         width reuses its leading columns via a single running-max pass, so the
         whole curve costs one draw plus one batched percentile call — and the
         common random numbers make the curve monotone by construction.
+
+        Each request samples a row and applies that row's per-machine skew to
+        the leading ``widest`` columns, exactly as :meth:`simulate` does —
+        the curve ablates the same heterogeneous fleet the full model serves,
+        rather than an idealised skew-free one that understates the tail.
         """
         counts = list(partition_counts)
         if not counts:
@@ -140,7 +145,14 @@ class SampledClusterModel:
         if any(count < 1 for count in counts):
             raise ClusterError("partition counts must be >= 1")
         widest = max(counts)
+        if widest > self._cluster.partitions:
+            raise ClusterError(
+                f"fan-out width {widest} exceeds the cluster's {self._cluster.partitions} "
+                "partitions; the per-machine skew model only covers real partitions"
+            )
+        rows = self._rng.integers(0, self._cluster.rows, size=num_requests)
         draws = self._rng.choice(self._samples, size=(num_requests, widest), replace=True)
+        draws = draws * self._machine_skew[rows, :widest]
         running_max = np.maximum.accumulate(draws, axis=1)
         overhead = 2 * self._cluster.network_hop_latency + self._cluster.mla_aggregation_cost
         columns = np.asarray([count - 1 for count in counts])

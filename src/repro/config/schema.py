@@ -999,13 +999,15 @@ class MachineGroupSpec:
 class PlacementSpec:
     """How batch demand is bin-packed onto reclaimable fleet capacity.
 
-    ``job_cores`` pins an explicit list of job sizes; when empty, the fleet
-    harness derives a deterministic job list targeting ``demand_fraction`` of
-    the fleet's estimated reclaimable cores, in jobs of ``job_cores_each``.
+    ``job_cores`` pins an explicit list of job sizes — including ``()``,
+    which means *no batch demand at all* (a baseline-only fleet).  Only the
+    default ``None`` ("unset") makes the fleet harness derive a deterministic
+    job list targeting ``demand_fraction`` of the fleet's estimated
+    reclaimable cores, in jobs of ``job_cores_each``.
     """
 
     strategy: str = "first_fit"
-    job_cores: Tuple[int, ...] = ()
+    job_cores: Optional[Tuple[int, ...]] = None
     demand_fraction: float = 0.7
     job_cores_each: int = 6
 
@@ -1017,7 +1019,7 @@ class PlacementSpec:
                 f"placement strategy must be one of {self.VALID_STRATEGIES}, "
                 f"got {self.strategy!r}"
             )
-        if any(cores < 1 for cores in self.job_cores):
+        if self.job_cores is not None and any(cores < 1 for cores in self.job_cores):
             raise ConfigError("every placement job must demand at least one core")
         if not 0.0 < self.demand_fraction <= 1.0:
             raise ConfigError("demand_fraction must be in (0, 1]")
@@ -1092,6 +1094,17 @@ class FleetSpec:
     #: Machines per execution shard (fixed, so results never depend on the
     #: worker count).
     shard_machines: int = 256
+    #: Hyperscale sampling: fraction of each machine group that runs the full
+    #: per-machine inverse-CDF draw.  The default ``1.0`` is *exact mode* —
+    #: every machine is drawn individually, byte-identical at any worker
+    #: count.  Below 1.0 only a deterministically chosen sample of machines
+    #: (per group and per colocation class) is drawn; the rest contribute
+    #: their closed-form expected histogram from the calibrated row model.
+    sample_fraction: float = 1.0
+    #: Floor on sampled machines per group per colocation class, so canary
+    #: classes and small groups are always fully drawn even at tiny
+    #: ``sample_fraction``.
+    min_sampled_machines: int = 256
     seed: int = 7
 
     def __post_init__(self) -> None:
@@ -1113,6 +1126,10 @@ class FleetSpec:
             raise ConfigError("calibration duration must be > 0 and warmup >= 0")
         if self.shard_machines < 1:
             raise ConfigError("shard_machines must be >= 1")
+        if not 0.0 < self.sample_fraction <= 1.0:
+            raise ConfigError("sample_fraction must be in (0, 1]")
+        if self.min_sampled_machines < 1:
+            raise ConfigError("min_sampled_machines must be >= 1")
 
     @property
     def total_machines(self) -> int:

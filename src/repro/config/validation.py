@@ -142,6 +142,19 @@ def validate_fleet(spec: FleetSpec) -> None:
             "the rollout spans more than 48 diurnal periods; shrink the bucket "
             "counts or bucket_seconds, or grow diurnal_period"
         )
+    if spec.sample_fraction < 1.0:
+        # Sampled (hyperscale) mode: the per-group P99 estimate rests on the
+        # sampled machines' empirical draws, so each group class must yield a
+        # statistically sufficient sample count per bucket (>= ~10 samples
+        # above the 99th percentile).
+        floor = spec.min_sampled_machines * spec.samples_per_machine_bucket
+        if floor < 1024:
+            raise ConfigError(
+                "sampled fleet mode needs min_sampled_machines * "
+                f"samples_per_machine_bucket >= 1024 for a stable P99, got {floor}; "
+                "raise min_sampled_machines, raise samples_per_machine_bucket, "
+                "or run exact mode (sample_fraction=1.0)"
+            )
 
 
 def collect_warnings(spec: ExperimentSpec) -> List[str]:

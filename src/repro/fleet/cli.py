@@ -61,6 +61,21 @@ def _build_parser() -> argparse.ArgumentParser:
         "--samples", type=int, default=32, help="latency samples per machine per bucket"
     )
     parser.add_argument(
+        "--sample-fraction",
+        type=float,
+        default=1.0,
+        help=(
+            "fraction of each machine group drawn per-machine (1.0 = exact "
+            "mode; below 1.0 enables sampled hyperscale mode)"
+        ),
+    )
+    parser.add_argument(
+        "--min-sampled",
+        type=int,
+        default=256,
+        help="floor on sampled machines per group and colocation class",
+    )
+    parser.add_argument(
         "--calibration-qps",
         type=_parse_qps_list,
         default=None,
@@ -118,6 +133,8 @@ _SCENARIO_INCOMPATIBLE = (
     "guardrail",
     "buckets",
     "samples",
+    "sample_fraction",
+    "min_sampled",
     "calibration_qps",
     "calibration_duration",
     "calibration_warmup",
@@ -203,6 +220,8 @@ def _run_default_fleet(args, runner) -> List[dict]:
         bake_buckets=args.buckets,
         stage_buckets=args.buckets,
         samples_per_machine_bucket=args.samples,
+        sample_fraction=args.sample_fraction,
+        min_sampled_machines=args.min_sampled,
     )
     result = FleetSimulation(spec, runner=runner).run()
     rows = result.rows()

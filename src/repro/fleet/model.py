@@ -47,7 +47,14 @@ __all__ = [
     "FleetModel",
     "stable_seed",
     "interpolate_mode",
+    "mode_curve_matrix",
+    "blend_curve",
+    "mode_scalars",
+    "closed_form_histogram",
 ]
+
+#: ``np.trapz`` was renamed in NumPy 2.0; support both (deps pin >= 1.24).
+_trapezoid = getattr(np, "trapezoid", getattr(np, "trapz", None))
 
 #: Resolution of the calibrated inverse-CDF curves.
 QUANTILE_POINTS = 129
@@ -115,25 +122,107 @@ class GroupCalibration:
         return max(0, int(math.floor(idle_cores)))
 
 
-def interpolate_mode(mode: ModeCalibration, qps: float) -> Tuple[np.ndarray, float, float, float]:
-    """Blend the two nearest load points: (quantile curve, busy, sec_cpu, rate)."""
-    points = mode.qps
-    curves = [np.asarray(curve, dtype=np.float64) for curve in mode.quantiles]
+def _bracket(points: Tuple[float, ...], qps: float) -> Tuple[int, int, float]:
+    """The (lower, upper, weight) load-point bracket around ``qps``.
+
+    ``lower == upper`` (weight 0) at and beyond the calibrated range — the
+    same clamping the historical :func:`interpolate_mode` applied.
+    """
     if qps <= points[0]:
-        index = 0
-        return curves[0], mode.busy_cpu[index], mode.secondary_cpu[index], mode.progress_per_s[index]
+        return 0, 0, 0.0
     if qps >= points[-1]:
-        index = len(points) - 1
-        return curves[index], mode.busy_cpu[index], mode.secondary_cpu[index], mode.progress_per_s[index]
+        last = len(points) - 1
+        return last, last, 0.0
     upper = next(i for i, point in enumerate(points) if point >= qps)
     lower = upper - 1
     weight = (qps - points[lower]) / (points[upper] - points[lower])
-    blend = (1.0 - weight) * curves[lower] + weight * curves[upper]
+    return lower, upper, weight
+
+
+def mode_curve_matrix(mode: ModeCalibration) -> np.ndarray:
+    """Every load point's quantile curve as one ``(points, QUANTILE_POINTS)``
+    array — hoist this conversion out of per-bucket loops."""
+    return np.asarray(mode.quantiles, dtype=np.float64)
+
+
+def blend_curve(matrix: np.ndarray, mode: ModeCalibration, qps: float) -> np.ndarray:
+    """The quantile curve at ``qps``: bitwise the curve
+    :func:`interpolate_mode` returns, computed from a prebuilt matrix."""
+    lower, upper, weight = _bracket(mode.qps, qps)
+    if lower == upper:
+        return matrix[lower]
+    return (1.0 - weight) * matrix[lower] + weight * matrix[upper]
+
+
+def mode_scalars(mode: ModeCalibration, qps: float) -> Tuple[float, float, float]:
+    """The (busy, secondary_cpu, progress_per_s) blend at ``qps`` without
+    converting the quantile curves — the accounting loop only needs these."""
+    lower, upper, weight = _bracket(mode.qps, qps)
+    if lower == upper:
+        return mode.busy_cpu[lower], mode.secondary_cpu[lower], mode.progress_per_s[lower]
 
     def mix(values: Tuple[float, ...]) -> float:
         return (1.0 - weight) * values[lower] + weight * values[upper]
 
-    return blend, mix(mode.busy_cpu), mix(mode.secondary_cpu), mix(mode.progress_per_s)
+    return mix(mode.busy_cpu), mix(mode.secondary_cpu), mix(mode.progress_per_s)
+
+
+def interpolate_mode(mode: ModeCalibration, qps: float) -> Tuple[np.ndarray, float, float, float]:
+    """Blend the two nearest load points: (quantile curve, busy, sec_cpu, rate)."""
+    curve = blend_curve(mode_curve_matrix(mode), mode, qps)
+    busy, secondary, progress = mode_scalars(mode, qps)
+    return curve, busy, secondary, progress
+
+
+def _largest_remainder(expected: np.ndarray, total: int) -> np.ndarray:
+    """Round non-negative ``expected`` (summing to ~``total``) to integers
+    that sum to exactly ``total``, deterministically (largest remainders win,
+    stable over index on ties)."""
+    floors = np.floor(expected).astype(np.int64)
+    deficit = total - int(floors.sum())
+    if deficit > 0:
+        order = np.argsort(-(expected - floors), kind="stable")
+        floors[order[:deficit]] += 1
+    elif deficit < 0:  # floating-point spill: trim the largest cells
+        order = np.argsort(-floors, kind="stable")
+        for index in order[: -deficit]:
+            floors[index] -= 1
+    return floors
+
+
+def closed_form_histogram(
+    curve: np.ndarray, edges: np.ndarray, total: int
+) -> Tuple[np.ndarray, float, float]:
+    """The closed-form row model: the *expected* digest contribution of
+    ``total`` inverse-CDF draws from ``curve``, without drawing them.
+
+    Unsampled machines in hyperscale mode contribute this instead of
+    per-machine randomness: the calibrated quantile curve is a piecewise-
+    linear inverse CDF, so the CDF at each digest bin edge is the curve's
+    inverse (one ``np.interp`` against the swapped axes), bin masses are its
+    differences, and counts are rounded largest-remainder so every machine-
+    bucket still contributes exactly its sample quota.  Machine skew is
+    ignored here (its mean is ~1.0005 at the fleet's sigma); sampled
+    machines carry the heterogeneity signal.
+
+    Returns ``(counts, sum, maximum)`` ready for
+    :meth:`~repro.metrics.latency.LatencyDigest.add_counts` — ``counts`` has
+    ``len(edges) + 1`` cells (underflow, bins, overflow).
+    """
+    grid = quantile_grid()
+    cdf = np.interp(edges, curve, grid)
+    # Uniform draws in (QUANTILE_GRID_MAX, 1) clamp to the last curve value,
+    # so the CDF saturates at 1.0 there (np.interp stops at the grid's 0.999).
+    cdf = np.where(edges >= curve[-1], 1.0, cdf)
+    probs = np.empty(edges.size + 1, dtype=np.float64)
+    probs[0] = cdf[0]
+    probs[1:-1] = np.diff(cdf)
+    probs[-1] = 1.0 - cdf[-1]
+    np.clip(probs, 0.0, None, out=probs)
+    probs /= probs.sum()
+    counts = _largest_remainder(probs * total, total)
+    mean = float(_trapezoid(curve, grid) + (1.0 - grid[-1]) * curve[-1])
+    return counts, mean * total, float(curve[-1])
 
 
 def _secondary_fields(group: MachineGroupSpec) -> Dict[str, object]:

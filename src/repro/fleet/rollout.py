@@ -11,6 +11,7 @@ baseline version for every file it touched.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Tuple
 
@@ -50,8 +51,21 @@ class GuardrailMonitor:
             return 0.0 if measured_p99 <= 0.0 else float("inf")
         return measured_p99 / reference_p99
 
+    def breached_ratio(self, p99_ratio: float) -> bool:
+        """The single guardrail verdict every consumer must route through.
+
+        A non-finite ratio fails safe: ``inf`` (measurement against a zero
+        reference) breaches because the comparison exceeds any multiplier,
+        and ``nan`` (a corrupted signal) breaches because a guardrail that
+        cannot read its own telemetry must halt, not silently advance — a
+        bare ``ratio > multiplier`` comparison would wave ``nan`` through.
+        """
+        if math.isnan(p99_ratio):
+            return True
+        return p99_ratio > self._multiplier
+
     def breached(self, measured_p99: float, reference_p99: float) -> bool:
-        return self.ratio(measured_p99, reference_p99) > self._multiplier
+        return self.breached_ratio(self.ratio(measured_p99, reference_p99))
 
 
 class StagedRollout:
@@ -110,7 +124,7 @@ class StagedRollout:
         """
         if self.status != "in_progress":
             raise ClusterError(f"cannot record a stage on a rollout that is {self.status}")
-        breached = p99_ratio > self.monitor.p99_multiplier
+        breached = self.monitor.breached_ratio(p99_ratio)
         decision = StageDecision(
             stage=stage,
             fraction=fraction,

@@ -20,13 +20,14 @@ repeats produce byte-identical results.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..cluster.autopilot import Autopilot
-from ..config.schema import FleetSpec, PerfIsoSpec, BlindIsolationSpec
+from ..config.schema import FleetSpec, MachineGroupSpec, PerfIsoSpec, BlindIsolationSpec
 from ..config.validation import validate_fleet
 from ..metrics.latency import LatencyDigest
 from ..units import to_millis
@@ -35,14 +36,23 @@ from .model import (
     FleetModel,
     GroupCalibration,
     ModeCalibration,
-    interpolate_mode,
+    blend_curve,
+    closed_form_histogram,
+    mode_curve_matrix,
+    mode_scalars,
     quantile_grid,
     stable_seed,
 )
 from .placement import MachineCapacity, PlacementDemand, PlacementPlan, plan_placement
 from .rollout import StagedRollout
 
-__all__ = ["FleetShardTask", "FleetShardResult", "FleetSimulation", "build_demands"]
+__all__ = [
+    "FleetShardTask",
+    "FleetShardResult",
+    "FleetSimulation",
+    "build_demands",
+    "sampled_positions",
+]
 
 #: Per-machine multiplicative latency skew (hardware generations, daemons).
 MACHINE_SKEW_SIGMA = 0.03
@@ -57,9 +67,10 @@ class FleetShardTask:
     shard_index: int
     seed: int
     logical_cores: int
+    #: Per-class sampling rates.  Either class may be raised above the spec
+    #: rate by the per-bucket sample floor so small canary (colocated) or
+    #: small reference (baseline) classes still yield a stable P99.
     samples_per_machine: int
-    #: Colocated machines are sampled at a (possibly) higher rate so canary
-    #: stages have enough draws for a fair P99 against the baseline reference.
     colocated_samples_per_machine: int
     bucket_seconds: float
     loads: Tuple[float, ...]
@@ -67,6 +78,11 @@ class FleetShardTask:
     placed_cores: Tuple[int, ...]
     baseline: ModeCalibration
     colocated: ModeCalibration
+    #: Hyperscale sampling: shard-relative indices of the machines that run
+    #: the full per-machine inverse-CDF draw.  ``None`` (exact mode) draws
+    #: every machine; any other value makes the remaining machines contribute
+    #: their closed-form expected histogram instead.
+    sampled: Optional[Tuple[int, ...]] = None
 
 
 @dataclass
@@ -87,44 +103,111 @@ class FleetShardResult:
 
 
 def _simulate_shard(task: FleetShardTask) -> FleetShardResult:
-    """Worker entry point: sample one shard's machines across the buckets."""
+    """Worker entry point: sample one shard's machines across the buckets.
+
+    The per-machine-bucket math is vectorised over the whole
+    ``(buckets, machines, samples)`` block: every uniform for the shard is
+    drawn in one call (in the exact stream order the historical per-bucket
+    loop consumed, so exact mode stays byte-identical to it), inverse-CDF
+    mapped per bucket, then binned into per-bucket
+    :class:`~repro.metrics.latency.LatencyDigest`\\ s through one batched
+    ``searchsorted``/``bincount`` pass and the ``add_counts`` fast path.
+
+    In sampled (hyperscale) mode only ``task.sampled`` machines are drawn;
+    the rest contribute :func:`~repro.fleet.model.closed_form_histogram`
+    expected counts from the calibrated row model.
+    """
     machines = len(task.placed_cores)
+    buckets = len(task.loads)
     rng = np.random.default_rng(
         stable_seed("fleet-shard", task.seed, task.group, task.stage, task.shard_index)
     )
     skew = rng.lognormal(mean=0.0, sigma=MACHINE_SKEW_SIGMA, size=machines)
     placed = np.asarray(task.placed_cores, dtype=np.float64)
-    colocated_index = np.flatnonzero(placed > 0)
-    baseline_index = np.flatnonzero(placed == 0)
+    colocated_all = np.flatnonzero(placed > 0)
+    baseline_all = np.flatnonzero(placed == 0)
+    if task.sampled is None:
+        baseline_index, colocated_index = baseline_all, colocated_all
+    else:
+        member = np.zeros(machines, dtype=bool)
+        if task.sampled:
+            member[np.asarray(task.sampled, dtype=np.intp)] = True
+        baseline_index = baseline_all[member[baseline_all]]
+        colocated_index = colocated_all[member[colocated_all]]
     grid = quantile_grid()
+    prototype = LatencyDigest()
+    edges = prototype.edges
+    cells = prototype.counts_size
 
-    baseline_digests: List[LatencyDigest] = []
-    colocated_digests: List[LatencyDigest] = []
+    modes = (
+        (task.baseline, baseline_index, task.samples_per_machine, baseline_all.size),
+        (
+            task.colocated,
+            colocated_index,
+            task.colocated_samples_per_machine,
+            colocated_all.size,
+        ),
+    )
+    # Per-bucket blended quantile curves, hoisted out of the sampling math
+    # (the historical loop re-converted every calibration tuple per bucket).
+    bucket_curves = tuple(
+        [blend_curve(mode_curve_matrix(calibration), calibration, qps) for qps in task.loads]
+        for calibration, _, _, _ in modes
+    )
+
+    # One flat draw covers every (bucket, mode, machine, sample) uniform; the
+    # layout below slices it back bucket-major, baseline before colocated —
+    # the order the per-bucket loop consumed the stream in.
+    draw_width = sum(index.size * per for _, index, per, _ in modes)
+    flat = rng.random(buckets * draw_width).reshape(buckets, draw_width)
+    split = modes[0][1].size * modes[0][2]
+    mode_uniforms = (flat[:, :split], flat[:, split:])
+
+    per_mode_digests: Tuple[List[LatencyDigest], List[LatencyDigest]] = ([], [])
+    for which, (calibration, index, per_machine, class_size) in enumerate(modes):
+        curves = bucket_curves[which]
+        drawn = index.size
+        if drawn:
+            samples = np.empty((buckets, drawn, per_machine), dtype=np.float64)
+            uniforms = mode_uniforms[which].reshape(buckets, drawn, per_machine)
+            for bucket in range(buckets):
+                samples[bucket] = np.interp(uniforms[bucket], grid, curves[bucket])
+            samples *= skew[index][None, :, None]
+            block = samples.reshape(buckets, -1)
+            indices = np.searchsorted(edges, block, side="right")
+            offsets = (np.arange(buckets) * cells)[:, None]
+            counts = np.bincount(
+                (indices + offsets).ravel(), minlength=buckets * cells
+            ).reshape(buckets, cells)
+            sums = block.sum(axis=1)
+            maxima = block.max(axis=1)
+        unsampled = class_size - drawn
+        for bucket in range(buckets):
+            digest = LatencyDigest()
+            if drawn:
+                digest.add_counts(
+                    counts[bucket], float(sums[bucket]), float(maxima[bucket])
+                )
+            if unsampled:
+                closed_counts, closed_sum, closed_max = closed_form_histogram(
+                    curves[bucket], edges, unsampled * per_machine
+                )
+                digest.add_counts(closed_counts, closed_sum, closed_max)
+            per_mode_digests[which].append(digest)
+    baseline_digests, colocated_digests = per_mode_digests
+
+    # Capacity accounting is exact for every machine regardless of sampling:
+    # it depends only on placed cores and the calibrated CPU fractions.
     reclaimed = 0.0
     progress = 0.0
-    for qps in task.loads:
-        bucket_baseline = LatencyDigest()
-        bucket_colocated = LatencyDigest()
-        for calibration, index, digest, per_machine in (
-            (task.baseline, baseline_index, bucket_baseline, task.samples_per_machine),
-            (task.colocated, colocated_index, bucket_colocated,
-             task.colocated_samples_per_machine),
-        ):
-            if index.size == 0:
-                continue
-            curve, _, _, _ = interpolate_mode(calibration, qps)
-            uniforms = rng.random((index.size, per_machine))
-            samples = np.interp(uniforms, grid, curve) * skew[index][:, None]
-            digest.add(samples.ravel())
-        if colocated_index.size:
-            _, _, secondary_cpu, _ = interpolate_mode(task.colocated, qps)
+    if colocated_all.size:
+        for qps in task.loads:
+            _, secondary_cpu, _ = mode_scalars(task.colocated, qps)
             granted = secondary_cpu * task.logical_cores
-            effective = np.minimum(placed[colocated_index], granted)
+            effective = np.minimum(placed[colocated_all], granted)
             reclaimed += float(effective.sum()) * task.bucket_seconds / 3600.0
             if granted > 0.0:
                 progress += float((effective / granted).sum()) * task.bucket_seconds / 3600.0
-        baseline_digests.append(bucket_baseline)
-        colocated_digests.append(bucket_colocated)
 
     return FleetShardResult(
         group=task.group,
@@ -141,11 +224,12 @@ def _simulate_shard(task: FleetShardTask) -> FleetShardResult:
 def build_demands(spec: FleetSpec, calibrations: Dict[str, GroupCalibration]) -> List[PlacementDemand]:
     """The batch queue awaiting placement, derived deterministically.
 
-    Explicit ``placement.job_cores`` wins; otherwise the queue targets
-    ``demand_fraction`` of the fleet's estimated reclaimable cores in jobs of
-    ``job_cores_each``.
+    Explicit ``placement.job_cores`` wins — including ``()``, which means a
+    deliberately empty queue (a baseline-only fleet).  Only the unset default
+    (``None``) targets ``demand_fraction`` of the fleet's estimated
+    reclaimable cores in jobs of ``job_cores_each``.
     """
-    if spec.placement.job_cores:
+    if spec.placement.job_cores is not None:
         sizes: Sequence[int] = spec.placement.job_cores
     else:
         total_reclaimable = sum(
@@ -158,6 +242,41 @@ def build_demands(spec: FleetSpec, calibrations: Dict[str, GroupCalibration]) ->
         PlacementDemand(name=f"batch-{index:06d}", cores=cores)
         for index, cores in enumerate(sizes)
     ]
+
+
+def sampled_positions(
+    spec: FleetSpec,
+    group: MachineGroupSpec,
+    names: Sequence[str],
+    placed_by_machine: Dict[str, int],
+) -> Optional[FrozenSet[int]]:
+    """The deterministically chosen machines of ``group`` that run the full
+    inverse-CDF draw in sampled mode (``None`` in exact mode = everyone).
+
+    Machines are picked evenly strided *per colocation class* (baseline vs
+    colocated), so a small canary class is always fully drawn no matter how
+    aggressive ``sample_fraction`` is, and the choice depends only on the
+    spec and the placement plan — never on the worker count.
+    """
+    if spec.sample_fraction >= 1.0:
+        return None
+    chosen: set = set()
+    classes = ([], [])  # baseline positions, colocated positions
+    for position, name in enumerate(names):
+        classes[1 if placed_by_machine.get(name, 0) > 0 else 0].append(position)
+    for positions in classes:
+        count = len(positions)
+        if not count:
+            continue
+        wanted = max(
+            math.ceil(spec.sample_fraction * count), min(spec.min_sampled_machines, count)
+        )
+        if wanted >= count:
+            chosen.update(positions)
+        else:
+            picks = np.unique(np.round(np.linspace(0, count - 1, wanted)).astype(int))
+            chosen.update(positions[pick] for pick in picks)
+    return frozenset(chosen)
 
 
 class FleetSimulation:
@@ -226,16 +345,52 @@ class FleetSimulation:
                     for index in range(buckets)
                 )
                 calibration = calibrations[group.name]
-                colocated_count = sum(
-                    1 for name in names if placed_by_machine.get(name, 0) > 0
+                sampled = sampled_positions(spec, group, names, placed_by_machine)
+                colocated_positions = [
+                    index
+                    for index, name in enumerate(names)
+                    if placed_by_machine.get(name, 0) > 0
+                ]
+                # The per-bucket sample floor covers *both* guardrail sides,
+                # spread over the machines that actually draw (everyone in
+                # exact mode): canary stages have few colocated machines, and
+                # since stages compare against the concurrent baseline, late
+                # stages can equally leave only a handful of baseline
+                # machines as the reference.  A P99 estimated from a handful
+                # of draws on either side is noise, not a guardrail signal.
+                # At fleet scale both floors are inactive.
+                drawn_colocated = (
+                    len(colocated_positions)
+                    if sampled is None
+                    else sum(1 for position in colocated_positions if position in sampled)
+                )
+                drawn_baseline = (
+                    len(names) - len(colocated_positions)
+                    if sampled is None
+                    else len(sampled) - drawn_colocated
                 )
                 colocated_rate = spec.samples_per_machine_bucket
-                if colocated_count:
-                    floor = -(-spec.min_colocated_samples_per_bucket // colocated_count)
+                if drawn_colocated:
+                    floor = -(-spec.min_colocated_samples_per_bucket // drawn_colocated)
                     colocated_rate = max(colocated_rate, floor)
+                baseline_rate = spec.samples_per_machine_bucket
+                if drawn_baseline:
+                    floor = -(-spec.min_colocated_samples_per_bucket // drawn_baseline)
+                    baseline_rate = max(baseline_rate, floor)
                 for shard_index, start, stop in model.shards(group):
                     placed = tuple(
                         placed_by_machine.get(name, 0) for name in names[start:stop]
+                    )
+                    shard_sampled = (
+                        None
+                        if sampled is None
+                        else tuple(
+                            sorted(
+                                position - start
+                                for position in sampled
+                                if start <= position < stop
+                            )
+                        )
                     )
                     tasks.append(
                         FleetShardTask(
@@ -244,13 +399,14 @@ class FleetSimulation:
                             shard_index=shard_index,
                             seed=spec.seed,
                             logical_cores=group.machine.logical_cores,
-                            samples_per_machine=spec.samples_per_machine_bucket,
+                            samples_per_machine=baseline_rate,
                             colocated_samples_per_machine=colocated_rate,
                             bucket_seconds=spec.bucket_seconds,
                             loads=loads,
                             placed_cores=placed,
                             baseline=calibration.baseline,
                             colocated=calibration.colocated,
+                            sampled=shard_sampled,
                         )
                     )
             shard_results = runner.map(
@@ -330,15 +486,33 @@ class FleetSimulation:
             violation_minutes = 0.0
             for group in spec.groups:
                 group_colocated = LatencyDigest.merged(merged[group.name]["colocated"])
-                stage_baseline.merge(LatencyDigest.merged(merged[group.name]["baseline"]))
+                group_baseline = LatencyDigest.merged(merged[group.name]["baseline"])
+                stage_baseline.merge(group_baseline)
                 stage_colocated.merge(group_colocated)
-                reference = reference_p99[group.name]
+                # Guardrail reference: the *concurrent* baseline machines of
+                # the same stage, so colocated and reference P99s are always
+                # measured at the same diurnal phase.  (Comparing against the
+                # bake-time snapshot let a stage landing on the diurnal peak
+                # breach against a trough-time reference with zero isolation
+                # effect.)  The bake reference only remains as the fallback
+                # for a stage that left no baseline machines.
+                reference = (
+                    group_baseline.percentile(99.0)
+                    if group_baseline.count
+                    else reference_p99[group.name]
+                )
                 if group_colocated.count:
                     ratio = rollout.monitor.ratio(group_colocated.percentile(99.0), reference)
                     worst_ratio = max(worst_ratio, ratio)
-                for bucket_digest in merged[group.name]["colocated"]:
+                for bucket, bucket_digest in enumerate(merged[group.name]["colocated"]):
+                    bucket_baseline = merged[group.name]["baseline"][bucket]
+                    bucket_reference = (
+                        bucket_baseline.percentile(99.0)
+                        if bucket_baseline.count
+                        else reference
+                    )
                     if bucket_digest.count and rollout.monitor.breached(
-                        bucket_digest.percentile(99.0), reference
+                        bucket_digest.percentile(99.0), bucket_reference
                     ):
                         violation_minutes += spec.bucket_seconds / 60.0
             result.baseline_digest.merge(stage_baseline)

@@ -362,6 +362,24 @@ class LatencyDigest:
         return (self._bins, self._lowest, self._highest)
 
     @property
+    def edges(self) -> np.ndarray:
+        """The ``bins + 1`` geometric bin edges (read-only view).
+
+        Exposed so bulk producers (the vectorised fleet shard) can bin large
+        sample blocks themselves with one batched ``searchsorted``/``bincount``
+        pass and feed the result through :meth:`add_counts`.
+        """
+        view = self._edges.view()
+        view.flags.writeable = False
+        return view
+
+    @property
+    def counts_size(self) -> int:
+        """Length of the count vector :meth:`add_counts` expects
+        (``bins + 2``: underflow, the bins, overflow)."""
+        return self._counts.size
+
+    @property
     def count(self) -> int:
         return int(self._counts.sum())
 
@@ -383,6 +401,37 @@ class LatencyDigest:
         self._counts += np.bincount(indices, minlength=self._counts.size).astype(np.int64)
         self._sum += float(values.sum())
         self._max = max(self._max, float(values.max()))
+
+    def add_counts(self, counts: np.ndarray, total: float, maximum: float) -> None:
+        """Accumulate pre-binned samples: the bulk-producer fast path.
+
+        ``counts`` must be a full count vector over this digest's layout
+        (``[underflow, bin 1..bins, overflow]``, see :attr:`counts_size`),
+        already binned against :attr:`edges` with ``side="right"`` semantics —
+        exactly what ``np.searchsorted(digest.edges, values, side="right")``
+        followed by ``np.bincount`` produces.  ``total`` and ``maximum`` are
+        the sum and max of the underlying samples; calling this is
+        count-identical and sum/max-identical to :meth:`add` on the raw
+        values, without this digest touching them.
+        """
+        counts = np.asarray(counts)
+        if counts.shape != self._counts.shape:
+            raise ExperimentError(
+                f"count vector has shape {counts.shape}, digest expects "
+                f"{self._counts.shape} (underflow + {self._bins} bins + overflow)"
+            )
+        if not np.issubdtype(counts.dtype, np.integer):
+            raise ExperimentError("count vector must be integral")
+        if np.any(counts < 0):
+            raise ExperimentError("count vector must be non-negative")
+        added = int(counts.sum())
+        if added == 0:
+            return
+        if maximum < 0.0:
+            raise ExperimentError(f"negative latency recorded: {maximum}")
+        self._counts += counts.astype(np.int64, copy=False)
+        self._sum += float(total)
+        self._max = max(self._max, float(maximum))
 
     def record_drop(self, count: int = 1) -> None:
         self._dropped += count

@@ -58,3 +58,23 @@ class TestSampledClusterModel:
             model.simulate(0)
         with pytest.raises(ClusterError):
             model.tail_at_scale_curve([0])
+
+    def test_curve_applies_machine_skew(self, samples):
+        """Regression: ``tail_at_scale_curve`` ignored the per-machine skew
+        that ``simulate`` applies, so it ablated an idealised homogeneous
+        fleet.  With the fix, widening the skew moves the curve; before it,
+        both models drew the same RNG stream and the curves were identical."""
+        flat = SampledClusterModel(
+            ClusterSpec(), samples, seed=3, machine_skew_sigma=0.0
+        ).tail_at_scale_curve([4, 22], num_requests=4000)
+        skewed = SampledClusterModel(
+            ClusterSpec(), samples, seed=3, machine_skew_sigma=0.5
+        ).tail_at_scale_curve([4, 22], num_requests=4000)
+        assert flat != skewed
+        # Heterogeneity can only fatten the max-over-servers tail.
+        assert skewed[22] > flat[22]
+
+    def test_curve_rejects_fanout_beyond_real_partitions(self, samples):
+        model = SampledClusterModel(ClusterSpec(), samples, seed=1)
+        with pytest.raises(ClusterError, match="partitions"):
+            model.tail_at_scale_curve([model.cluster.partitions + 1])

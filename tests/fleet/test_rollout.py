@@ -37,6 +37,17 @@ class TestGuardrailMonitor:
         with pytest.raises(ClusterError):
             GuardrailMonitor(0.9)
 
+    def test_zero_reference_ratio_is_infinite_and_breaches(self):
+        monitor = GuardrailMonitor(1.5)
+        assert monitor.ratio(1.0, 0.0) == float("inf")
+        assert monitor.breached_ratio(float("inf"))
+
+    def test_nan_ratio_fails_safe(self):
+        """A guardrail that cannot read its own telemetry must halt —
+        a bare ``ratio > multiplier`` comparison waves ``nan`` through."""
+        monitor = GuardrailMonitor(1.5)
+        assert monitor.breached_ratio(float("nan"))
+
 
 class TestStagedRollout:
     def test_begin_publishes_baseline_then_target(self):
@@ -101,6 +112,16 @@ class TestStagedRollout:
     def test_empty_entries_rejected(self):
         with pytest.raises(ClusterError, match="at least one"):
             StagedRollout(Autopilot().config, RolloutSpec(), {})
+
+    def test_nan_ratio_halts_the_rollout(self):
+        """Regression: ``record_stage`` re-implemented the guardrail as a
+        bare ``>`` comparison, so a NaN ratio silently advanced the stage
+        instead of routing through the monitor's fail-safe verdict."""
+        engine = make_rollout()
+        engine.begin()
+        decision = engine.record_stage("stage-1", 0.02, p99_ratio=float("nan"))
+        assert decision.breached and decision.action == "halt"
+        assert engine.status == "halted"
 
     def test_history_records_decisions(self):
         engine = make_rollout()

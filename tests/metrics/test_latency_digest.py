@@ -101,3 +101,82 @@ class TestEdges:
         clone = digest.copy()
         clone.add(samples(4))
         assert clone.count != digest.count
+
+
+class TestPercentileEdgeCases:
+    def test_all_samples_in_the_underflow_bin(self):
+        digest = LatencyDigest(bins=8, lowest=1e-3, highest=1.0)
+        digest.add([1e-6, 1e-5, 1e-4])
+        # The underflow bin resolves to the grid's lower bound, capped by
+        # the true maximum so the percentile never exceeds an observed value.
+        assert digest.percentile(50.0) == pytest.approx(1e-4)
+        assert digest.percentile(99.0) == pytest.approx(1e-4)
+
+    def test_all_samples_in_the_overflow_bin(self):
+        digest = LatencyDigest(bins=8, lowest=1e-3, highest=1.0)
+        digest.add([10.0, 20.0, 30.0])
+        # The overflow bin resolves to the exact tracked maximum.
+        assert digest.percentile(99.0) == 30.0
+
+    def test_percentile_zero_and_one_hundred(self):
+        digest = LatencyDigest.from_samples(samples(13))
+        assert 0.0 < digest.percentile(0.0) <= digest.percentile(100.0)
+        assert digest.percentile(100.0) <= digest.maximum
+
+    def test_single_sample_is_every_percentile(self):
+        digest = LatencyDigest.from_samples([0.004])
+        for q in (0.0, 50.0, 99.0, 100.0):
+            assert digest.percentile(q) == pytest.approx(0.004, rel=0.03)
+
+
+class TestAddCounts:
+    def binned(self, values, digest):
+        values = np.asarray(values, dtype=np.float64)
+        indices = np.searchsorted(digest.edges, values, side="right")
+        return np.bincount(indices, minlength=digest.counts_size)
+
+    def test_add_counts_matches_add_exactly(self):
+        values = samples(21)
+        via_add = LatencyDigest.from_samples(values)
+        via_counts = LatencyDigest()
+        via_counts.add_counts(
+            self.binned(values, via_counts), float(values.sum()), float(values.max())
+        )
+        assert via_counts.count == via_add.count
+        assert via_counts.maximum == via_add.maximum
+        assert via_counts.stats() == via_add.stats()
+
+    def test_zero_counts_are_a_no_op(self):
+        digest = LatencyDigest()
+        digest.add_counts(np.zeros(digest.counts_size, dtype=np.int64), 0.0, -1.0)
+        assert digest.count == 0 and digest.maximum == 0.0
+
+    def test_wrong_shape_rejected(self):
+        digest = LatencyDigest()
+        with pytest.raises(ExperimentError, match="shape"):
+            digest.add_counts(np.ones(3, dtype=np.int64), 1.0, 1.0)
+
+    def test_non_integral_counts_rejected(self):
+        digest = LatencyDigest()
+        with pytest.raises(ExperimentError, match="integral"):
+            digest.add_counts(np.ones(digest.counts_size, dtype=np.float64), 1.0, 1.0)
+
+    def test_negative_counts_rejected(self):
+        digest = LatencyDigest()
+        counts = np.zeros(digest.counts_size, dtype=np.int64)
+        counts[3] = -1
+        counts[4] = 2
+        with pytest.raises(ExperimentError, match="non-negative"):
+            digest.add_counts(counts, 1.0, 1.0)
+
+    def test_negative_maximum_rejected(self):
+        digest = LatencyDigest()
+        counts = np.zeros(digest.counts_size, dtype=np.int64)
+        counts[3] = 1
+        with pytest.raises(ExperimentError, match="negative latency"):
+            digest.add_counts(counts, 1.0, -0.5)
+
+    def test_edges_view_is_read_only(self):
+        digest = LatencyDigest()
+        with pytest.raises(ValueError):
+            digest.edges[0] = 0.0

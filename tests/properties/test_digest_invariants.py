@@ -1,0 +1,61 @@
+"""Property-based tests for the exactly-mergeable latency digest.
+
+The vectorised fleet shard bins sample blocks itself (one batched
+``searchsorted``/``bincount`` pass) and feeds the result through
+``LatencyDigest.add_counts``; these properties pin that fast path to the
+reference ``add`` path for arbitrary sample sets and chunkings.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.latency import LatencyDigest
+
+latency_lists = st.lists(
+    st.floats(min_value=0.0, max_value=500.0, allow_nan=False, allow_infinity=False),
+    min_size=1,
+    max_size=300,
+)
+
+
+def binned(values: np.ndarray, digest: LatencyDigest) -> np.ndarray:
+    indices = np.searchsorted(digest.edges, values, side="right")
+    return np.bincount(indices, minlength=digest.counts_size)
+
+
+class TestAddCountsProperties:
+    @given(latency_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_add_counts_is_count_identical_to_add(self, latencies):
+        values = np.asarray(latencies, dtype=np.float64)
+        via_add = LatencyDigest()
+        via_add.add(values)
+        via_counts = LatencyDigest()
+        via_counts.add_counts(
+            binned(values, via_counts), float(values.sum()), float(values.max())
+        )
+        assert np.array_equal(via_counts._counts, via_add._counts)
+        assert via_counts.count == via_add.count
+        assert via_counts.maximum == via_add.maximum
+        for q in (50.0, 95.0, 99.0, 100.0):
+            assert via_counts.percentile(q) == via_add.percentile(q)
+
+    @given(latency_lists, st.integers(min_value=1, max_value=7))
+    @settings(max_examples=100, deadline=None)
+    def test_chunked_add_counts_merges_exactly(self, latencies, chunks):
+        """Feeding counts per chunk (how every per-bucket shard digest is
+        built) equals one add of the union — the digest's merge contract."""
+        values = np.asarray(latencies, dtype=np.float64)
+        whole = LatencyDigest()
+        whole.add(values)
+        chunked = LatencyDigest()
+        for part in np.array_split(values, chunks):
+            if part.size == 0:
+                continue
+            chunked.add_counts(
+                binned(part, chunked), float(part.sum()), float(part.max())
+            )
+        assert np.array_equal(chunked._counts, whole._counts)
+        assert chunked.maximum == whole.maximum
+        assert chunked.stats().p99 == whole.stats().p99
