@@ -67,6 +67,9 @@ class PerfIsoController:
         # lazily and only for policies that declare the matching capability.
         self._forecast = None
         self._latency_window = None
+        # Optional span tracer (telemetry subsystem).  None keeps _poll on
+        # its untraced path; decisions and results are unaffected either way.
+        self._tracer = None
         # statistics
         self.polls = 0
         self.updates_applied = 0
@@ -141,6 +144,15 @@ class PerfIsoController:
             self._forecast = forecast
         if latency_window is not None:
             self._latency_window = latency_window
+
+    def attach_tracer(self, tracer) -> None:
+        """Stream one ``controller.decide`` span per enabled poll to ``tracer``.
+
+        Tracing is observational only: the policy sees the identical
+        observation and its decision is applied identically, so traced and
+        untraced runs produce the same simulation results.
+        """
+        self._tracer = tracer
 
     def _register_process(self, process: OsProcess) -> None:
         if self._spec.io_throttle.enabled:
@@ -276,12 +288,38 @@ class PerfIsoController:
             return
         self.polls += 1
         if self._enabled:
-            decision = self._policy.decide(self._observe())
-            if decision is not None:
-                self._apply(decision)
+            if self._tracer is None:
+                decision = self._policy.decide(self._observe())
+                if decision is not None:
+                    self._apply(decision)
+            else:
+                self._traced_decide()
         self._kernel.engine.schedule(
             self._spec.poll_interval, self._poll, priority=EventPriority.CONTROLLER
         )
+
+    def _traced_decide(self) -> None:
+        observation = self._observe()
+        with self._tracer.span(
+            "controller.decide",
+            policy=self._policy.name,
+            idle_cores=observation.idle_cores,
+            cores_before=observation.current_core_count,
+        ) as span:
+            decision = self._policy.decide(observation)
+            span.attributes["decision"] = self._describe(decision)
+            if decision is not None:
+                self._apply(decision)
+
+    @staticmethod
+    def _describe(decision: Optional[AllocationDecision]) -> str:
+        if decision is None:
+            return "hold"
+        if decision.unrestricted:
+            return "unrestricted"
+        if decision.cpu_rate is not None:
+            return f"cpu_rate={decision.cpu_rate:.3f}"
+        return f"cores={decision.core_count}"
 
     def _observe(self) -> ControllerObservation:
         """One poll's observation, gathering only what the policy reads."""

@@ -1,120 +1,9 @@
-"""Offline buffer-core profiling (Section 4.1).
-
-Choosing the number of buffer cores requires a one-off measurement of the
-primary under its provisioned peak load: how many worker threads can become
-ready for execution within a very short window (the paper observes up to 15
-threads in 5 microseconds, and settles on 8 buffer cores for its servers).
-
-The profiler replays the primary's arrival and fan-out model at peak load and
-builds the distribution of "threads becoming ready per window".  The
-recommended buffer is a high percentile of that distribution — conservative
-enough to absorb bursts, without reserving half the machine.
-"""
+"""Back-compat shim: the buffer-core profiler moved to
+:mod:`repro.telemetry.profiling` when profiling was consolidated under the
+telemetry subsystem.  Import from there in new code."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List
-
-import numpy as np
-
-from ..config.schema import IndexServeSpec
-from ..errors import IsolationError
-from ..simulation.randomness import RandomStreams
-from ..units import micros
-from ..workloads.query_trace import QueryTrace
+from ..telemetry.profiling import BufferCoreProfiler, BurstProfile
 
 __all__ = ["BurstProfile", "BufferCoreProfiler"]
-
-
-@dataclass(frozen=True)
-class BurstProfile:
-    """Distribution of ready-thread bursts observed during profiling."""
-
-    window: float
-    qps: float
-    duration: float
-    max_burst: int
-    p50_burst: float
-    p99_burst: float
-    p999_burst: float
-    recommended_buffer_cores: int
-    histogram: Dict[int, int]
-
-
-class BufferCoreProfiler:
-    """Derives a buffer-core recommendation from the primary's burstiness."""
-
-    def __init__(
-        self,
-        spec: IndexServeSpec,
-        seed: int = 0,
-        window: float = micros(5),
-    ) -> None:
-        if window <= 0:
-            raise IsolationError("profiling window must be positive")
-        self._spec = spec
-        self._window = window
-        self._streams = RandomStreams(seed)
-
-    def profile(
-        self,
-        peak_qps: float = 4000.0,
-        duration: float = 5.0,
-        percentile: float = 99.0,
-        minimum: int = 2,
-    ) -> BurstProfile:
-        """Replay ``duration`` seconds of peak-load arrivals and measure bursts.
-
-        ``percentile`` selects how aggressive the recommendation is: the
-        recommended buffer is the chosen percentile of the per-window burst
-        size, never below ``minimum``.
-        """
-        if peak_qps <= 0 or duration <= 0:
-            raise IsolationError("peak_qps and duration must be positive")
-        rng = self._streams.stream("profiler")
-        trace = QueryTrace(self._spec, size=min(20_000, max(1000, int(peak_qps * duration))),
-                           rng=self._streams.stream("profiler-trace"))
-
-        expected_arrivals = int(peak_qps * duration)
-        gaps = rng.exponential(1.0 / peak_qps, size=expected_arrivals)
-        arrival_times = np.cumsum(gaps)
-        arrival_times = arrival_times[arrival_times < duration]
-
-        # Every query wakes its whole worker pack essentially at once; two
-        # queries landing in the same window compound.
-        bursts: List[int] = []
-        histogram: Dict[int, int] = {}
-        trace_cycle = trace.cycle()
-        window = self._window
-        current_window_end = window
-        current_burst = 0
-        for arrival in arrival_times:
-            workers = next(trace_cycle).worker_count
-            if arrival <= current_window_end:
-                current_burst += workers
-            else:
-                if current_burst > 0:
-                    bursts.append(current_burst)
-                    histogram[current_burst] = histogram.get(current_burst, 0) + 1
-                current_window_end = (int(arrival / window) + 1) * window
-                current_burst = workers
-        if current_burst > 0:
-            bursts.append(current_burst)
-            histogram[current_burst] = histogram.get(current_burst, 0) + 1
-
-        if not bursts:
-            raise IsolationError("profiling produced no arrivals; increase qps or duration")
-        burst_array = np.asarray(bursts, dtype=float)
-        recommended = max(minimum, int(np.ceil(np.percentile(burst_array, percentile))))
-        return BurstProfile(
-            window=window,
-            qps=peak_qps,
-            duration=duration,
-            max_burst=int(burst_array.max()),
-            p50_burst=float(np.percentile(burst_array, 50.0)),
-            p99_burst=float(np.percentile(burst_array, 99.0)),
-            p999_burst=float(np.percentile(burst_array, 99.9)),
-            recommended_buffer_cores=recommended,
-            histogram=histogram,
-        )

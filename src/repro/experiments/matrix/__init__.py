@@ -30,8 +30,7 @@ import argparse
 import difflib
 import inspect
 import itertools
-import sys
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ...config.schema import ExperimentSpec
@@ -314,9 +313,20 @@ def run_scenario(
     name: str,
     runner=None,
     grid: Optional[Mapping[str, Sequence[Any]]] = None,
+    telemetry=None,
     **common: Any,
 ) -> MatrixResult:
-    """Expand and execute one scenario as a single runner batch."""
+    """Expand and execute one scenario as a single runner batch.
+
+    ``telemetry`` is an optional
+    :class:`~repro.telemetry.stream.TelemetrySession`.  Because the process
+    fan-out cannot stream probes back from worker processes, an instrumented
+    experiment-kind run executes its variants serially in this process (and
+    bypasses the result cache — a cache hit would have no snapshots to
+    publish).  Fleet-kind scenarios keep their shard fan-out; their
+    per-bucket snapshots are produced in the parent.  Results are identical
+    either way.
+    """
     from ...runtime.runner import ExperimentTask, default_runner
 
     scenario_obj = get_scenario(name)
@@ -327,13 +337,26 @@ def run_scenario(
 
         hits_before = active.cache.hits
         results = [
-            FleetSimulation(variant.spec, runner=active).run() for variant in variants
+            FleetSimulation(variant.spec, runner=active, telemetry=telemetry).run()
+            for variant in variants
         ]
         return MatrixResult(
             scenario=scenario_obj,
             variants=variants,
             results=results,
             cache_hits=active.cache.hits - hits_before,
+        )
+    if telemetry is not None:
+        from ..single_machine import SingleMachineExperiment
+
+        results = [
+            SingleMachineExperiment(variant.spec, scenario=variant.label).run(
+                telemetry=telemetry
+            )
+            for variant in variants
+        ]
+        return MatrixResult(
+            scenario=scenario_obj, variants=variants, results=results, cache_hits=0
         )
     outcomes = active.run_batch(
         [ExperimentTask(variant.spec, scenario=variant.label) for variant in variants]
@@ -349,13 +372,17 @@ def run_scenario(
 def run_matrix(
     names: Sequence[str],
     runner=None,
+    telemetry=None,
     **common: Any,
 ) -> List[MatrixResult]:
     """Run several scenarios, sharing the runner's cache across them."""
     from ...runtime.runner import default_runner
 
     active = runner if runner is not None else default_runner()
-    return [run_scenario(name, runner=active, **common) for name in names]
+    return [
+        run_scenario(name, runner=active, telemetry=telemetry, **common)
+        for name in names
+    ]
 
 
 # ------------------------------------------------------------------------ CLI
@@ -425,6 +452,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="run under cProfile and write a cumulative-time report to PATH",
     )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="telemetry.jsonl",
+        default=None,
+        metavar="PATH",
+        help="stream JSONL telemetry to PATH (default telemetry.jsonl); "
+        "experiment variants run serially in-process while instrumented",
+    )
     parser.add_argument("--qps", type=float, default=None, help="override workload QPS")
     parser.add_argument("--duration", type=float, default=None, help="override duration (s)")
     parser.add_argument("--warmup", type=float, default=None, help="override warmup (s)")
@@ -448,11 +484,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runner = (
         ExperimentRunner(max_workers=args.workers) if args.workers is not None else None
     )
+    telemetry = None
+    if args.telemetry:
+        from ...telemetry import TelemetrySession
+
+        telemetry = TelemetrySession.to_path(
+            args.telemetry, source="matrix", meta={"scenario": args.run}
+        )
+
     def _execute():
         return run_scenario(
             args.run,
             runner=runner,
             grid=_parse_grid(args.grid),
+            telemetry=telemetry,
             qps=args.qps,
             duration=args.duration,
             warmup=args.warmup,
@@ -461,14 +506,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     try:
         if args.profile:
-            from ...runtime.profiling import run_profiled
+            from ...telemetry.profiling import run_profiled
 
             result = run_profiled(_execute, args.profile)
         else:
             result = _execute()
     except ConfigError as error:
-        print(f"error: {error}", file=sys.stderr)
+        from ...telemetry.log import get_logger
+
+        get_logger("repro.experiments.matrix").error("command failed", error=str(error))
         return 2
+    finally:
+        if telemetry is not None:
+            telemetry.close()
     rows = result.rows()
     if args.out == "json":
         print(rows_to_json(rows))

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import argparse
 import json
-import sys
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
@@ -85,6 +84,7 @@ def run_showdown(
     base_qps: Optional[float] = None,
     peak_qps: Optional[float] = None,
     runner: Optional[ExperimentRunner] = None,
+    telemetry=None,
 ) -> ShowdownResult:
     """Race ``controllers`` across ``workloads`` and rank them.
 
@@ -92,6 +92,11 @@ def run_showdown(
     :func:`~repro.experiments.scenarios.controller_showdown` from the same
     ``seed``, so within one workload shape the controllers replay identical
     traffic — the ranking isolates the policy, nothing else.
+
+    ``telemetry`` (a :class:`~repro.telemetry.stream.TelemetrySession`) runs
+    the grid serially in this process so probes can stream — snapshots and
+    controller-decide spans are labelled per cell; measured results are
+    identical to the fanned-out run.
     """
     if not controllers:
         raise ConfigError("showdown needs at least one controller")
@@ -130,8 +135,18 @@ def run_showdown(
         for workload in workloads
         for controller in controllers
     ]
-    runner = runner if runner is not None else ExperimentRunner()
-    outcomes = runner.run_batch(tasks)
+    if telemetry is not None:
+        from ..single_machine import SingleMachineExperiment
+
+        runs = [
+            SingleMachineExperiment(task.spec, scenario=task.scenario).run(
+                telemetry=telemetry
+            )
+            for task in tasks
+        ]
+    else:
+        runner = runner if runner is not None else ExperimentRunner()
+        runs = [outcome.result for outcome in runner.run_batch(tasks)]
 
     result = ShowdownResult()
     labels = [
@@ -139,8 +154,7 @@ def run_showdown(
         for workload in workloads
         for controller in controllers
     ]
-    for (workload, controller), outcome in zip(labels, outcomes):
-        run = outcome.result
+    for (workload, controller), run in zip(labels, runs):
         p99_ms = run.latency.as_millis()["p99_ms"]
         result.rows.append(
             {
@@ -232,7 +246,22 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--out", choices=("table", "json", "csv"), default="table", help="output format"
     )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="telemetry.jsonl",
+        default=None,
+        metavar="PATH",
+        help="stream JSONL telemetry to PATH (default telemetry.jsonl); "
+        "cells run serially in-process while instrumented",
+    )
     args = parser.parse_args(argv)
+
+    telemetry = None
+    if args.telemetry:
+        from ...telemetry import TelemetrySession
+
+        telemetry = TelemetrySession.to_path(args.telemetry, source="showdown")
 
     try:
         result = run_showdown(
@@ -245,10 +274,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             base_qps=args.base_qps,
             peak_qps=args.peak_qps,
             runner=ExperimentRunner(max_workers=args.workers),
+            telemetry=telemetry,
         )
     except ConfigError as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        from ...telemetry.log import get_logger
+
+        get_logger("repro.experiments.showdown").error("command failed", error=str(exc))
         return 2
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
     if args.out == "json":
         print(json.dumps({"rows": result.rows, "ranking": result.ranking}, indent=2, sort_keys=True))

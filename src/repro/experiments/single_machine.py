@@ -129,7 +129,15 @@ class SingleMachineExperiment:
         return self._spec
 
     # ------------------------------------------------------------------- run
-    def run(self) -> SingleMachineResult:
+    def run(self, telemetry=None) -> SingleMachineResult:
+        """Run the experiment; ``telemetry`` optionally instruments it.
+
+        ``telemetry`` is a :class:`~repro.telemetry.stream.TelemetrySession`.
+        Instrumentation is strictly observational — probes draw from no
+        random stream and a sliding latency window only *tees* samples the
+        collector already took — so the result is byte-identical with or
+        without it (pinned by ``tests/telemetry``).
+        """
         spec = self._spec
         streams = RandomStreams(spec.seed)
         engine = SimulationEngine()
@@ -144,6 +152,14 @@ class SingleMachineExperiment:
         latency_window = None
         if spec.perfiso is not None and policy_class(spec.perfiso.cpu_policy).uses_latency:
             latency_window = SlidingLatencyWindow(window=spec.perfiso.pid.window)
+        elif telemetry is not None:
+            # Telemetry wants a windowed P99 even under policies that never
+            # read one; the observer tee is pure recording, so attaching it
+            # cannot change what the collector (or any policy) observes.
+            window = (
+                spec.perfiso.pid.window if spec.perfiso is not None else 1.0
+            )
+            latency_window = SlidingLatencyWindow(window=window)
         collector = LatencyCollector(warmup_end=warmup_end, observer=latency_window)
         primary = IndexServeTenant(
             kernel, spec.indexserve, rng=streams.stream("indexserve"), collector=collector
@@ -224,6 +240,20 @@ class SingleMachineExperiment:
         if controller is not None:
             controller.start()
         client.start()
+
+        if telemetry is not None:
+            telemetry.attach_single_machine(
+                engine,
+                kernel,
+                collector,
+                client,
+                primary,
+                spec,
+                controller=controller,
+                arrival_model=arrival_model,
+                latency_window=latency_window,
+                label=self._scenario,
+            )
 
         engine.run(until=spec.workload.total_time)
 

@@ -10,7 +10,6 @@ byte-identical bytes.
 from __future__ import annotations
 
 import argparse
-import sys
 from typing import List, Optional, Sequence
 
 from ..errors import ConfigError, ReproError
@@ -99,6 +98,15 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="run under cProfile and write a cumulative-time report to PATH",
     )
+    parser.add_argument(
+        "--telemetry",
+        nargs="?",
+        const="telemetry.jsonl",
+        default=None,
+        metavar="PATH",
+        help="stream JSONL telemetry (per-bucket fleet snapshots, rollout "
+        "stage spans) to PATH (default telemetry.jsonl)",
+    )
     return parser
 
 
@@ -154,6 +162,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     runner = (
         ExperimentRunner(max_workers=args.workers) if args.workers is not None else None
     )
+
+    telemetry = None
+    if args.telemetry:
+        from ..telemetry import TelemetrySession
+
+        telemetry = TelemetrySession.to_path(
+            args.telemetry,
+            source="fleet",
+            meta={"scenario": args.scenario or "default-fleet"},
+        )
+
     def _execute():
         if args.scenario is not None:
             overridden = [
@@ -167,19 +186,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"{', '.join(overridden)} would be ignored — drop them, or "
                     "build a custom fleet without --scenario"
                 )
-            return _run_catalog_scenario(args, runner)
-        return _run_default_fleet(args, runner)
+            return _run_catalog_scenario(args, runner, telemetry)
+        return _run_default_fleet(args, runner, telemetry)
 
     try:
         if args.profile:
-            from ..runtime.profiling import run_profiled
+            from ..telemetry.profiling import run_profiled
 
             rows = run_profiled(_execute, args.profile)
         else:
             rows = _execute()
     except ReproError as error:
-        print(f"error: {error}", file=sys.stderr)
+        from ..telemetry.log import get_logger
+
+        get_logger("repro.fleet").error("command failed", error=str(error))
         return 2
+    finally:
+        if telemetry is not None:
+            telemetry.close()
 
     if args.out == "json":
         print(rows_to_json(rows))
@@ -190,7 +214,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     return 0
 
 
-def _run_catalog_scenario(args, runner) -> List[dict]:
+def _run_catalog_scenario(args, runner, telemetry=None) -> List[dict]:
     from ..experiments import matrix
 
     scenario = matrix.get_scenario(args.scenario)
@@ -199,11 +223,13 @@ def _run_catalog_scenario(args, runner) -> List[dict]:
             f"scenario {args.scenario!r} is not a fleet scenario; "
             "use python -m repro.experiments.matrix to run it"
         )
-    result = matrix.run_scenario(args.scenario, runner=runner, seed=args.seed)
+    result = matrix.run_scenario(
+        args.scenario, runner=runner, telemetry=telemetry, seed=args.seed
+    )
     return result.rows()
 
 
-def _run_default_fleet(args, runner) -> List[dict]:
+def _run_default_fleet(args, runner, telemetry=None) -> List[dict]:
     from .scenarios import default_fleet_spec
     from .simulate import FleetSimulation
 
@@ -223,7 +249,7 @@ def _run_default_fleet(args, runner) -> List[dict]:
         sample_fraction=args.sample_fraction,
         min_sampled_machines=args.min_sampled,
     )
-    result = FleetSimulation(spec, runner=runner).run()
+    result = FleetSimulation(spec, runner=runner, telemetry=telemetry).run()
     rows = result.rows()
     totals = {"stage": "total"}
     totals.update(result.totals())

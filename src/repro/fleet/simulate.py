@@ -21,6 +21,7 @@ repeats produce byte-identical results.
 from __future__ import annotations
 
 import math
+from contextlib import ExitStack
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
@@ -280,12 +281,22 @@ def sampled_positions(
 
 
 class FleetSimulation:
-    """Operates one fleet spec end to end and returns a :class:`FleetResult`."""
+    """Operates one fleet spec end to end and returns a :class:`FleetResult`.
 
-    def __init__(self, spec: FleetSpec, runner=None) -> None:
+    ``telemetry`` (a :class:`~repro.telemetry.stream.TelemetrySession`) makes
+    the rollout observable while it runs: per-bucket fleet snapshots (offered
+    vs served QPS, occupancy, idle buffer, P99 vs guardrail) plus spans
+    around every rollout stage and shard fan-out.  The fleet tier is
+    analytic, so snapshots are derived in this process from the merged
+    digests — the shard fan-out itself is untouched and results are
+    byte-identical with telemetry on or off.
+    """
+
+    def __init__(self, spec: FleetSpec, runner=None, telemetry=None) -> None:
         validate_fleet(spec)
         self._spec = spec
         self._runner = runner
+        self._telemetry = telemetry
         self.autopilot = Autopilot()
         self.rollout: Optional[StagedRollout] = None
 
@@ -319,6 +330,12 @@ class FleetSimulation:
 
         namespace = versioned_namespace("fleet-shard")
         bucket_cursor = 0
+        telemetry = self._telemetry
+        tracer = None
+        if telemetry is not None:
+            # The analytic tier's "now" is the bucket cursor in simulated
+            # seconds; spans and snapshots share it.
+            tracer = telemetry.tracer(lambda: bucket_cursor * spec.bucket_seconds)
         result = FleetResult(
             machines=spec.total_machines,
             groups=len(spec.groups),
@@ -335,6 +352,8 @@ class FleetSimulation:
             """Fan one stage's shards out and merge their digests per bucket."""
             nonlocal bucket_cursor
             tasks: List[FleetShardTask] = []
+            group_loads: Dict[str, Tuple[float, ...]] = {}
+            colocated_counts: Dict[str, int] = {}
             for group in spec.groups:
                 names = model.machine_names(group)
                 # One arrival model per group per stage (load_at would build
@@ -351,6 +370,8 @@ class FleetSimulation:
                     for index, name in enumerate(names)
                     if placed_by_machine.get(name, 0) > 0
                 ]
+                group_loads[group.name] = loads
+                colocated_counts[group.name] = len(colocated_positions)
                 # The per-bucket sample floor covers *both* guardrail sides,
                 # spread over the machines that actually draw (everyone in
                 # exact mode): canary stages have few colocated machines, and
@@ -409,9 +430,20 @@ class FleetSimulation:
                             sampled=shard_sampled,
                         )
                     )
-            shard_results = runner.map(
-                _simulate_shard, [(task,) for task in tasks], cache_namespace=namespace
-            )
+            if tracer is not None:
+                with tracer.span(
+                    "fleet.shards", stage=stage, shards=len(tasks), buckets=buckets
+                ):
+                    shard_results = runner.map(
+                        _simulate_shard,
+                        [(task,) for task in tasks],
+                        cache_namespace=namespace,
+                    )
+            else:
+                shard_results = runner.map(
+                    _simulate_shard, [(task,) for task in tasks], cache_namespace=namespace
+                )
+            start_bucket = bucket_cursor
             bucket_cursor += buckets
             merged: Dict[str, Dict[str, List[LatencyDigest]]] = {
                 group.name: {
@@ -429,11 +461,29 @@ class FleetSimulation:
                 reclaimed += shard.reclaimed_core_hours
                 progress += shard.batch_machine_hours
                 result.machine_buckets += shard.machines * buckets
+            if telemetry is not None:
+                self._publish_buckets(
+                    telemetry,
+                    stage,
+                    start_bucket,
+                    buckets,
+                    group_loads,
+                    colocated_counts,
+                    calibrations,
+                    merged,
+                    rollout,
+                )
             return merged, reclaimed, progress
 
         # ------------------------------------------------------ baseline bake
         bake_buckets = spec.rollout.bake_buckets
-        bake_merged, _, _ = run_buckets("bake", bake_buckets, {})
+        if tracer is not None:
+            with tracer.span(
+                "rollout.stage", stage="bake", fraction=0.0, decision="reference"
+            ):
+                bake_merged, _, _ = run_buckets("bake", bake_buckets, {})
+        else:
+            bake_merged, _, _ = run_buckets("bake", bake_buckets, {})
         reference_p99: Dict[str, float] = {}
         bake_digest = LatencyDigest()
         for group in spec.groups:
@@ -463,6 +513,12 @@ class FleetSimulation:
         # ----------------------------------------------------- rollout stages
         for stage_index, fraction in enumerate(spec.rollout.stage_fractions):
             stage = f"stage-{stage_index + 1}"
+            stage_stack = ExitStack()
+            stage_span = None
+            if tracer is not None:
+                stage_span = stage_stack.enter_context(
+                    tracer.span("rollout.stage", stage=stage, fraction=fraction)
+                )
             capacities: List[MachineCapacity] = []
             machines_enabled = 0
             for group in spec.groups:
@@ -519,6 +575,10 @@ class FleetSimulation:
             result.colocated_digest.merge(stage_colocated)
 
             decision = rollout.record_stage(stage, fraction, worst_ratio)
+            if stage_span is not None:
+                stage_span.attributes["decision"] = decision.action
+                stage_span.attributes["p99_ratio"] = round(worst_ratio, 4)
+            stage_stack.close()
             result.stages.append(
                 StageAccount(
                     stage=stage,
@@ -548,3 +608,78 @@ class FleetSimulation:
             for name in sorted(self._config_entries())
         }
         return result
+
+    # -------------------------------------------------------------- telemetry
+    def _publish_buckets(
+        self,
+        telemetry,
+        stage: str,
+        start_bucket: int,
+        buckets: int,
+        group_loads: Dict[str, Tuple[float, ...]],
+        colocated_counts: Dict[str, int],
+        calibrations: Dict[str, GroupCalibration],
+        merged: Dict[str, Dict[str, List[LatencyDigest]]],
+        rollout: StagedRollout,
+    ) -> None:
+        """One snapshot per simulated bucket, derived from merged digests.
+
+        Occupancy and the idle buffer come from the calibrated CPU fractions
+        (:func:`~repro.fleet.model.mode_scalars`) at each bucket's diurnal
+        load; the analytic tier models no query drops, so served QPS equals
+        offered QPS by construction.  ``None`` marks a side with no samples
+        (e.g. colocated P99 during the bake).
+        """
+        spec = self._spec
+        for bucket in range(buckets):
+            offered = 0.0
+            busy_cores = 0.0
+            idle_buffer = 0.0
+            total_cores = 0.0
+            bucket_baseline = LatencyDigest()
+            bucket_colocated = LatencyDigest()
+            for group in spec.groups:
+                calibration = calibrations[group.name]
+                qps = group_loads[group.name][bucket]
+                cores = group.machine.logical_cores
+                colocated = colocated_counts[group.name]
+                offered += qps * group.machines
+                busy_base, _, _ = mode_scalars(calibration.baseline, qps)
+                busy_col, secondary_cpu, _ = mode_scalars(calibration.colocated, qps)
+                busy_cores += (
+                    (group.machines - colocated) * busy_base
+                    + colocated * (busy_col + secondary_cpu)
+                ) * cores
+                idle_buffer += colocated * max(0.0, 1.0 - busy_col - secondary_cpu) * cores
+                total_cores += group.machines * cores
+                bucket_baseline.merge(merged[group.name]["baseline"][bucket])
+                bucket_colocated.merge(merged[group.name]["colocated"][bucket])
+            baseline_p99 = (
+                bucket_baseline.percentile(99.0) if bucket_baseline.count else None
+            )
+            colocated_p99 = (
+                bucket_colocated.percentile(99.0) if bucket_colocated.count else None
+            )
+            ratio = None
+            if baseline_p99 is not None and colocated_p99 is not None:
+                candidate = rollout.monitor.ratio(colocated_p99, baseline_p99)
+                if math.isfinite(candidate):
+                    ratio = candidate
+            metrics = {
+                "fleet.offered_qps": offered,
+                "fleet.served_qps": offered,
+                "fleet.occupancy": busy_cores / total_cores if total_cores else 0.0,
+                "fleet.idle_buffer_cores": idle_buffer,
+                "fleet.machines_colocated": float(sum(colocated_counts.values())),
+                "fleet.baseline_p99_ms": (
+                    to_millis(baseline_p99) if baseline_p99 is not None else None
+                ),
+                "fleet.colocated_p99_ms": (
+                    to_millis(colocated_p99) if colocated_p99 is not None else None
+                ),
+                "fleet.p99_ratio": ratio,
+                "fleet.guardrail_ratio": rollout.monitor.p99_multiplier,
+            }
+            telemetry.writer.write_snapshot(
+                (start_bucket + bucket) * spec.bucket_seconds, metrics, label=stage
+            )

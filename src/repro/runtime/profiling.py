@@ -1,41 +1,9 @@
-"""cProfile wrapper shared by the matrix and fleet command lines.
-
-``--profile PATH`` on either CLI runs the requested work under
-:mod:`cProfile` and writes a cumulative-time report to ``PATH``, so the
-profiling workflow that drove the kernel optimisation work (see the README's
-Performance section) is one flag away instead of a bespoke script.
-"""
+"""Back-compat shim: the cProfile wrapper moved to
+:mod:`repro.telemetry.profiling` when profiling was consolidated under the
+telemetry subsystem.  Import from there in new code."""
 
 from __future__ import annotations
 
-import cProfile
-import io
-import pstats
-from typing import Any, Callable, TypeVar
+from ..telemetry.profiling import REPORT_LINES, run_profiled
 
-__all__ = ["run_profiled"]
-
-T = TypeVar("T")
-
-#: Number of entries included in the written report.
-REPORT_LINES = 60
-
-
-def run_profiled(fn: Callable[[], T], profile_path: str) -> T:
-    """Run ``fn`` under cProfile and write a cumulative-time report.
-
-    The report is written even when ``fn`` raises, so a failing run still
-    leaves its profile behind for inspection.
-    """
-    profiler = cProfile.Profile()
-    profiler.enable()
-    try:
-        result: Any = fn()
-    finally:
-        profiler.disable()
-        stream = io.StringIO()
-        stats = pstats.Stats(profiler, stream=stream)
-        stats.sort_stats("cumulative").print_stats(REPORT_LINES)
-        with open(profile_path, "w", encoding="utf-8") as handle:
-            handle.write(stream.getvalue())
-    return result
+__all__ = ["run_profiled", "REPORT_LINES"]

@@ -30,7 +30,24 @@ from typing import Any, Callable, List, Optional
 from ..errors import SimulationError
 from .events import Event, EventPriority, EventQueue
 
-__all__ = ["SimulationEngine"]
+__all__ = ["ProbeSubscription", "SimulationEngine"]
+
+
+class ProbeSubscription:
+    """One telemetry observer: ``callback(now)`` every ``interval`` seconds.
+
+    Handed out by :meth:`SimulationEngine.subscribe`; pass it back to
+    :meth:`SimulationEngine.unsubscribe` to stop probing.  ``fired`` counts
+    deliveries (a cheap liveness signal for tests and the console).
+    """
+
+    __slots__ = ("callback", "interval", "event", "fired")
+
+    def __init__(self, callback: Callable[[float], None], interval: float) -> None:
+        self.callback = callback
+        self.interval = interval
+        self.event: Optional[Event] = None
+        self.fired = 0
 
 
 class SimulationEngine:
@@ -43,6 +60,13 @@ class SimulationEngine:
         self._stopped = False
         self._events_executed = 0
         self._stop_hooks: List[Callable[[], None]] = []
+        # Telemetry probe seam.  ``None`` (the default) is the zero-cost
+        # disabled state: run() performs a single ``is None`` check and the
+        # hot loop below is untouched.  Probes are ordinary TELEMETRY-priority
+        # events, so subscribing changes nothing about how domain events
+        # sort relative to each other.
+        self._probes: Optional[List[ProbeSubscription]] = None
+        self._probe_pending = 0
 
     # ------------------------------------------------------------------ time
     @property
@@ -101,6 +125,71 @@ class SimulationEngine:
         """Register a callable invoked once when :meth:`run` finishes."""
         self._stop_hooks.append(hook)
 
+    # ------------------------------------------------------- telemetry seam
+    @property
+    def subscriber_count(self) -> int:
+        """Number of active telemetry probe subscriptions."""
+        return len(self._probes) if self._probes is not None else 0
+
+    def subscribe(
+        self, callback: Callable[[float], None], interval: float
+    ) -> ProbeSubscription:
+        """Register a telemetry probe: ``callback(now)`` every ``interval``.
+
+        Probes are ordinary events at :data:`EventPriority.TELEMETRY` (the
+        lowest priority, so a probe observes the settled state of its
+        timestamp).  A probe only stays scheduled while domain events remain
+        pending — it can never keep an otherwise-drained engine alive — and
+        :meth:`run` re-arms any probe that went dormant, so repeated
+        ``run(until=...)`` calls keep probing.  Probes draw from no random
+        stream and must not mutate simulation state; with zero subscribers
+        the engine's hot loop is byte-identical to the unsubscribed build.
+        """
+        if interval <= 0:
+            raise SimulationError(f"probe interval must be positive, got {interval}")
+        subscription = ProbeSubscription(callback, float(interval))
+        if self._probes is None:
+            self._probes = []
+        self._probes.append(subscription)
+        self._schedule_probe(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: ProbeSubscription) -> None:
+        """Remove a probe registered with :meth:`subscribe` (idempotent)."""
+        if self._probes is None or subscription not in self._probes:
+            return
+        self._probes.remove(subscription)
+        if subscription.event is not None:
+            self.cancel(subscription.event)
+            subscription.event = None
+            self._probe_pending -= 1
+        if not self._probes:
+            self._probes = None
+
+    def _schedule_probe(self, subscription: ProbeSubscription) -> None:
+        subscription.event = self._queue.push(
+            self._now + subscription.interval,
+            self._fire_probe,
+            (subscription,),
+            EventPriority.TELEMETRY,
+        )
+        self._probe_pending += 1
+
+    def _fire_probe(self, subscription: ProbeSubscription) -> None:
+        self._probe_pending -= 1
+        subscription.event = None
+        subscription.fired += 1
+        subscription.callback(self._now)
+        # Reschedule only while non-probe work remains; a drained queue must
+        # stay drained so run() terminates exactly as it always has.
+        if len(self._queue) - self._probe_pending > 0:
+            self._schedule_probe(subscription)
+
+    def _rearm_probes(self) -> None:
+        for subscription in self._probes or ():
+            if subscription.event is None:
+                self._schedule_probe(subscription)
+
     # --------------------------------------------------------------- running
     def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
         """Execute events until the queue drains, ``until`` is reached, or
@@ -113,6 +202,11 @@ class SimulationEngine:
         """
         if self._running:
             raise SimulationError("engine is already running (re-entrant run() call)")
+        # Telemetry seam: the sole disabled-path cost is this None check.  A
+        # probe that went dormant when a previous run() drained the queue is
+        # re-armed here so composed run(until=...) calls keep probing.
+        if self._probes is not None:
+            self._rearm_probes()
         self._running = True
         self._stopped = False
         executed_this_run = 0

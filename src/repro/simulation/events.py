@@ -42,6 +42,9 @@ class EventPriority:
     TENANT = 30
     CONTROLLER = 40
     MEASUREMENT = 50
+    #: Telemetry probes run last at any shared timestamp: observers see the
+    #: settled state every other same-instant event produced.
+    TELEMETRY = 60
 
 
 class Event:

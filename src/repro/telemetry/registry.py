@@ -1,0 +1,221 @@
+"""The metrics registry: counters, gauges and histograms by namespace.
+
+The registry is the in-memory state the snapshot stream publishes.  It
+deliberately reuses the repo's existing measurement types instead of growing
+parallel ones: a :class:`Histogram` is a thin facade over the exactly-
+mergeable :class:`~repro.metrics.latency.LatencyDigest`, and a tracked
+:class:`Gauge` records its history into a
+:class:`~repro.metrics.timeseries.TimeSeries`, so anything observed live can
+be folded into the same post-hoc analyses the experiments already run.
+
+Metric names are dotted paths; :meth:`MetricsRegistry.namespace` returns a
+prefixed view so each component (scheduler, controller, workload, rollout)
+registers metrics under its own prefix without knowing about the others.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Union
+
+from ..errors import ReproError
+from ..metrics.latency import LatencyDigest
+from ..metrics.timeseries import TimeSeries
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "TelemetryError"]
+
+
+class TelemetryError(ReproError):
+    """Raised on telemetry misuse (duplicate metrics, bad records, ...)."""
+
+
+class Counter:
+    """A monotonically non-decreasing tally (events, queries, decisions)."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "unit", "value")
+
+    def __init__(self, name: str, unit: str = "") -> None:
+        self.name = name
+        self.unit = unit
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise TelemetryError(f"counter {self.name!r} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def read(self) -> float:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value, set directly or sampled from a callable.
+
+    A callback gauge (``fn=...``) is evaluated lazily at read time, so probing
+    it costs nothing between snapshots.  A tracked gauge (``track=True``)
+    additionally appends every explicit :meth:`set` to a
+    :class:`~repro.metrics.timeseries.TimeSeries` for post-run analysis.
+    """
+
+    kind = "gauge"
+
+    __slots__ = ("name", "unit", "_value", "_fn", "series")
+
+    def __init__(
+        self,
+        name: str,
+        unit: str = "",
+        fn: Optional[Callable[[], float]] = None,
+        track: bool = False,
+    ) -> None:
+        self.name = name
+        self.unit = unit
+        self._value = 0.0
+        self._fn = fn
+        self.series: Optional[TimeSeries] = TimeSeries(name, unit) if track else None
+
+    def set(self, value: float, time: Optional[float] = None) -> None:
+        if self._fn is not None:
+            raise TelemetryError(f"gauge {self.name!r} is callback-driven; cannot set()")
+        self._value = float(value)
+        if self.series is not None and time is not None:
+            self.series.append(time, self._value)
+
+    def read(self) -> float:
+        if self._fn is not None:
+            return float(self._fn())
+        return self._value
+
+
+class Histogram:
+    """A distribution summary over the shared log-spaced digest grid.
+
+    Backed by :class:`~repro.metrics.latency.LatencyDigest`, so fleet-side
+    consumers can merge per-shard histograms exactly, and snapshot output
+    carries the same percentile semantics the experiment reports use.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "unit", "digest")
+
+    def __init__(self, name: str, unit: str = "", digest: Optional[LatencyDigest] = None) -> None:
+        self.name = name
+        self.unit = unit
+        self.digest = digest if digest is not None else LatencyDigest()
+
+    def observe(self, value: float) -> None:
+        self.digest.add((value,))
+
+    def observe_many(self, values) -> None:
+        self.digest.add(values)
+
+    def read(self) -> Dict[str, float]:
+        stats = self.digest.stats()
+        return {
+            "count": float(stats.count),
+            "mean": stats.mean,
+            "p50": stats.p50,
+            "p99": stats.p99,
+            "max": stats.maximum,
+        }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """All metrics of one telemetry session, keyed by dotted name."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Metric] = {}
+
+    # ---------------------------------------------------------- registration
+    def _register(self, metric: Metric) -> Metric:
+        existing = self._metrics.get(metric.name)
+        if existing is not None:
+            if type(existing) is not type(metric):
+                raise TelemetryError(
+                    f"metric {metric.name!r} already registered as {existing.kind}"
+                )
+            return existing
+        self._metrics[metric.name] = metric
+        return metric
+
+    def counter(self, name: str, unit: str = "") -> Counter:
+        return self._register(Counter(name, unit))  # type: ignore[return-value]
+
+    def gauge(
+        self,
+        name: str,
+        unit: str = "",
+        fn: Optional[Callable[[], float]] = None,
+        track: bool = False,
+    ) -> Gauge:
+        return self._register(Gauge(name, unit, fn=fn, track=track))  # type: ignore[return-value]
+
+    def histogram(self, name: str, unit: str = "") -> Histogram:
+        return self._register(Histogram(name, unit))  # type: ignore[return-value]
+
+    def namespace(self, prefix: str) -> "MetricsNamespace":
+        """A view registering every metric under ``prefix.``."""
+        if not prefix:
+            raise TelemetryError("namespace prefix must be non-empty")
+        return MetricsNamespace(self, prefix)
+
+    # --------------------------------------------------------------- queries
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def get(self, name: str) -> Optional[Metric]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def collect(self) -> Dict[str, object]:
+        """Read every metric once, in sorted name order.
+
+        Counters and gauges read to floats; histograms to their summary
+        dictionaries.  This is the payload of one snapshot record.
+        """
+        return {name: self._metrics[name].read() for name in sorted(self._metrics)}
+
+
+class MetricsNamespace:
+    """A prefixed facade over a registry (``scheduler.``, ``controller.``...)."""
+
+    __slots__ = ("_registry", "_prefix")
+
+    def __init__(self, registry: MetricsRegistry, prefix: str) -> None:
+        self._registry = registry
+        self._prefix = prefix.rstrip(".")
+
+    @property
+    def prefix(self) -> str:
+        return self._prefix
+
+    def _qualify(self, name: str) -> str:
+        return f"{self._prefix}.{name}"
+
+    def counter(self, name: str, unit: str = "") -> Counter:
+        return self._registry.counter(self._qualify(name), unit)
+
+    def gauge(
+        self,
+        name: str,
+        unit: str = "",
+        fn: Optional[Callable[[], float]] = None,
+        track: bool = False,
+    ) -> Gauge:
+        return self._registry.gauge(self._qualify(name), unit, fn=fn, track=track)
+
+    def histogram(self, name: str, unit: str = "") -> Histogram:
+        return self._registry.histogram(self._qualify(name), unit)
+
+    def namespace(self, prefix: str) -> "MetricsNamespace":
+        return MetricsNamespace(self._registry, self._qualify(prefix))

@@ -1,0 +1,334 @@
+"""The live fleet console: a stdlib-only HTTP view over a telemetry stream.
+
+``python -m repro.telemetry.serve run.jsonl`` serves a small dashboard that
+tails the JSONL stream while the producing simulation is still running (every
+record is flushed as written, so the file is always a valid prefix):
+
+* ``GET /`` — the console page: latest snapshot metrics, span counts and a
+  rolling P99-vs-SLO table, refreshed by polling ``/snapshots``;
+* ``GET /meta`` — the stream's meta record;
+* ``GET /snapshots?after=N`` — snapshot records with ``seq > N`` (the page
+  polls this incrementally);
+* ``GET /spans?after=N`` — span records past index ``N``;
+* ``GET /summary`` — record counts by type.
+
+Everything is standard library (``http.server`` + ``json``): the console must
+work in the bare repro container.  The server is read-only over the file and
+holds no references into the producing process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence
+from urllib.parse import parse_qs, urlparse
+
+from .registry import TelemetryError
+
+__all__ = ["StreamTail", "TelemetryServer", "main"]
+
+
+class StreamTail:
+    """Incrementally ingests a JSONL telemetry stream from disk.
+
+    ``refresh()`` reads only the bytes appended since the last call and keeps
+    complete records in memory, so a console polling a live multi-megabyte
+    stream never re-parses the whole file.  A trailing partial line (the
+    producer mid-``write``) is left in the buffer for the next refresh.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        self.meta: Optional[Dict[str, Any]] = None
+        self.snapshots: List[Dict[str, Any]] = []
+        self.spans: List[Dict[str, Any]] = []
+        self.logs: List[Dict[str, Any]] = []
+        self._offset = 0
+        self._pending = ""
+        self._lock = threading.Lock()
+
+    @property
+    def records(self) -> int:
+        return (
+            (1 if self.meta is not None else 0)
+            + len(self.snapshots)
+            + len(self.spans)
+            + len(self.logs)
+        )
+
+    def refresh(self) -> None:
+        """Ingest any bytes appended to the file since the last refresh."""
+        with self._lock:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                handle.seek(self._offset)
+                chunk = handle.read()
+                self._offset = handle.tell()
+            if not chunk:
+                return
+            text = self._pending + chunk
+            lines = text.split("\n")
+            # The final element is either "" (chunk ended on a newline) or a
+            # partial record still being written; both wait for more bytes.
+            self._pending = lines.pop()
+            for line in lines:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # a torn write; later records still ingest
+                kind = record.get("type")
+                if kind == "meta":
+                    self.meta = record
+                elif kind == "snapshot":
+                    self.snapshots.append(record)
+                elif kind == "span":
+                    self.spans.append(record)
+                elif kind == "log":
+                    self.logs.append(record)
+
+    def summary(self) -> Dict[str, Any]:
+        return {
+            "records": self.records,
+            "snapshots": len(self.snapshots),
+            "spans": len(self.spans),
+            "logs": len(self.logs),
+            "source": (self.meta or {}).get("source", ""),
+            "run_id": (self.meta or {}).get("run_id", ""),
+        }
+
+
+_CONSOLE_HTML = """<!DOCTYPE html>
+<html>
+<head>
+<meta charset="utf-8">
+<title>repro telemetry console</title>
+<style>
+  body { font-family: ui-monospace, Menlo, Consolas, monospace; margin: 2em;
+         background: #111; color: #ddd; }
+  h1 { font-size: 1.1em; } h2 { font-size: 0.95em; color: #9ad; }
+  table { border-collapse: collapse; margin-bottom: 1.5em; }
+  td, th { border: 1px solid #333; padding: 0.25em 0.7em; text-align: right; }
+  th { color: #9ad; text-align: left; }
+  td.name { text-align: left; }
+  .ok { color: #7c7; } .bad { color: #e66; }
+  #status { color: #888; }
+</style>
+</head>
+<body>
+<h1>repro telemetry console</h1>
+<div id="status">connecting&hellip;</div>
+<h2>latest snapshot</h2>
+<table id="metrics"><tbody></tbody></table>
+<h2>recent P99 vs SLO</h2>
+<table id="recent"><tbody></tbody></table>
+<h2>spans</h2>
+<table id="spans"><tbody></tbody></table>
+<script>
+let after = -1;
+const snapshots = [];
+function cell(text, cls) {
+  const td = document.createElement('td');
+  td.textContent = text; if (cls) td.className = cls; return td;
+}
+function render() {
+  const latest = snapshots[snapshots.length - 1];
+  if (!latest) return;
+  const metrics = document.querySelector('#metrics tbody');
+  metrics.innerHTML = '';
+  for (const [name, value] of Object.entries(latest.metrics)) {
+    const tr = document.createElement('tr');
+    tr.appendChild(cell(name, 'name'));
+    const rendered = (value === null) ? '-' :
+      (typeof value === 'object') ? JSON.stringify(value) :
+      Number(value).toPrecision(6);
+    tr.appendChild(cell(rendered));
+    metrics.appendChild(tr);
+  }
+  const recent = document.querySelector('#recent tbody');
+  recent.innerHTML = '<tr><th>t</th><th>label</th><th>p99</th><th>slo/guardrail</th></tr>';
+  for (const snap of snapshots.slice(-12)) {
+    const m = snap.metrics;
+    const p99 = m['latency.windowed_p99_ms'] ?? m['fleet.colocated_p99_ms'];
+    const bound = m['latency.slo_ms'] ?? m['fleet.guardrail_ratio'];
+    const ratio = m['latency.p99_over_slo'] ?? m['fleet.p99_ratio'];
+    const tr = document.createElement('tr');
+    tr.appendChild(cell(Number(snap.time).toFixed(3)));
+    tr.appendChild(cell(snap.label || '-', 'name'));
+    tr.appendChild(cell(p99 == null ? '-' : Number(p99).toFixed(3),
+                        ratio != null && ratio > 1 ? 'bad' : 'ok'));
+    tr.appendChild(cell(bound == null ? '-' : Number(bound).toFixed(3)));
+    recent.appendChild(tr);
+  }
+}
+async function renderSpans() {
+  const reply = await fetch('/spans?after=-12');
+  const body = await reply.json();
+  const table = document.querySelector('#spans tbody');
+  table.innerHTML = '<tr><th>name</th><th>t</th><th>wall ms</th><th>status</th></tr>';
+  for (const span of body.spans) {
+    const tr = document.createElement('tr');
+    tr.appendChild(cell(span.name, 'name'));
+    tr.appendChild(cell(Number(span.time).toFixed(3)));
+    tr.appendChild(cell(Number(span.wall_ms).toFixed(3)));
+    tr.appendChild(cell(span.status, span.status === 'ok' ? 'ok' : 'bad'));
+    table.appendChild(tr);
+  }
+}
+async function poll() {
+  try {
+    const reply = await fetch(`/snapshots?after=${after}`);
+    const body = await reply.json();
+    for (const snap of body.snapshots) snapshots.push(snap);
+    if (snapshots.length > 512) snapshots.splice(0, snapshots.length - 512);
+    after = body.next;
+    const meta = await (await fetch('/meta')).json();
+    document.getElementById('status') .textContent =
+      `source=${meta.source || '?'} run=${meta.run_id || '?'} ` +
+      `snapshots=${body.total}`;
+    render();
+    await renderSpans();
+  } catch (err) {
+    document.getElementById('status').textContent = `poll failed: ${err}`;
+  }
+  setTimeout(poll, 1000);
+}
+poll();
+</script>
+</body>
+</html>
+"""
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server_version = "repro-telemetry/1"
+    tail: StreamTail  # injected by TelemetryServer via the class factory
+
+    def log_message(self, format: str, *args: object) -> None:  # noqa: A002
+        pass  # the console is quiet; diagnostics belong to the CLI logger
+
+    def _send(self, payload: bytes, content_type: str, status: int = 200) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(self, payload: Dict[str, Any], status: int = 200) -> None:
+        self._send(
+            json.dumps(payload, sort_keys=True).encode("utf-8"),
+            "application/json",
+            status,
+        )
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        parsed = urlparse(self.path)
+        query = parse_qs(parsed.query)
+        tail = self.tail
+        tail.refresh()
+        if parsed.path == "/":
+            self._send(_CONSOLE_HTML.encode("utf-8"), "text/html; charset=utf-8")
+        elif parsed.path == "/meta":
+            self._send_json(tail.meta or {})
+        elif parsed.path == "/summary":
+            self._send_json(tail.summary())
+        elif parsed.path == "/snapshots":
+            after = int(query.get("after", ["-1"])[0])
+            fresh = [snap for snap in tail.snapshots if snap["seq"] > after]
+            self._send_json(
+                {
+                    "snapshots": fresh,
+                    "next": fresh[-1]["seq"] if fresh else after,
+                    "total": len(tail.snapshots),
+                }
+            )
+        elif parsed.path == "/spans":
+            after = int(query.get("after", ["0"])[0])
+            spans = tail.spans[after:] if after >= 0 else tail.spans[after:]
+            self._send_json({"spans": spans, "total": len(tail.spans)})
+        else:
+            self._send_json({"error": f"unknown path {parsed.path!r}"}, status=404)
+
+
+class TelemetryServer:
+    """Owns the HTTP server for one stream; ``port=0`` picks a free port."""
+
+    def __init__(self, path: str, host: str = "127.0.0.1", port: int = 0) -> None:
+        tail = StreamTail(path)
+        tail.refresh()  # fail fast on a missing file
+        handler = type("BoundHandler", (_Handler,), {"tail": tail})
+        self.tail = tail
+        self._httpd = ThreadingHTTPServer((host, port), handler)
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/"
+
+    def serve_forever(self) -> None:
+        self._httpd.serve_forever()
+
+    def start_background(self) -> None:
+        """Serve from a daemon thread (tests, or embedding in a run)."""
+        if self._thread is not None:
+            raise TelemetryError("telemetry server already started")
+        self._thread = threading.Thread(target=self.serve_forever, daemon=True)
+        self._thread.start()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "TelemetryServer":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry.serve",
+        description="Serve the live console over a JSONL telemetry stream.",
+    )
+    parser.add_argument("path", help="telemetry stream to serve (tailed live)")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8787, help="port (0 = ephemeral)")
+    args = parser.parse_args(argv)
+
+    from .log import get_logger
+
+    logger = get_logger("repro.telemetry.serve")
+    try:
+        server = TelemetryServer(args.path, host=args.host, port=args.port)
+    except OSError as error:
+        logger.error("console failed to start", path=args.path, error=str(error))
+        return 2
+    logger.info("console serving", url=server.url, path=args.path)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

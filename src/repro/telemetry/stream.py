@@ -1,0 +1,286 @@
+"""The snapshot stream: periodic JSONL publishing for running simulations.
+
+A :class:`TelemetrySession` bundles the three moving parts — a
+:class:`~repro.telemetry.registry.MetricsRegistry`, per-clock
+:class:`~repro.telemetry.spans.SpanTracer`\\ s and a :class:`SnapshotWriter`
+— behind one object the CLIs construct from ``--telemetry[=PATH]``.  The
+session instruments a single-machine experiment through the engine's probe
+seam (:meth:`~repro.simulation.engine.SimulationEngine.subscribe`); the
+fleet tier publishes its per-bucket snapshots directly.
+
+Telemetry is strictly read-only with respect to the simulation: probes draw
+from no random stream, never mutate domain state, and the instrumented
+experiment produces byte-identical results to an uninstrumented one (pinned
+by tests and a hypothesis property).
+"""
+
+from __future__ import annotations
+
+import json
+import time as _time
+import uuid
+from typing import Any, Dict, List, Optional
+
+from .registry import MetricsRegistry, TelemetryError
+from .schema import SCHEMA_VERSION
+from .spans import Span, SpanTracer
+
+__all__ = [
+    "SnapshotWriter",
+    "TelemetrySession",
+    "default_probe_interval",
+    "read_records",
+]
+
+#: Default probe cadence: this many snapshots across one run's total time.
+PROBES_PER_RUN = 128
+
+
+def default_probe_interval(total_time: float) -> float:
+    """The default probe interval for a run covering ``total_time`` seconds."""
+    if total_time <= 0:
+        raise TelemetryError("total_time must be positive")
+    return total_time / PROBES_PER_RUN
+
+
+class SnapshotWriter:
+    """Writes one versioned JSONL telemetry stream.
+
+    The meta record is emitted immediately on construction so even a run that
+    crashes before its first probe leaves a valid (if empty) stream behind.
+    Meta, snapshot and log records flush as written — the live console tails
+    the file while the run is still producing — while the much more frequent
+    span records buffer until the next flush (see :meth:`write_span`).
+    """
+
+    def __init__(
+        self,
+        path: str,
+        source: str,
+        run_id: Optional[str] = None,
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.path = str(path)
+        self.run_id = run_id if run_id is not None else uuid.uuid4().hex[:12]
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._seq = 0
+        self.snapshots_written = 0
+        self.spans_written = 0
+        record: Dict[str, Any] = {
+            "type": "meta",
+            "schema": SCHEMA_VERSION,
+            "source": source,
+            "run_id": self.run_id,
+            "created_unix": round(_time.time(), 3),
+        }
+        if meta:
+            record.update(meta)
+        self._write(record)
+
+    # ------------------------------------------------------------------ sink
+    def _write(self, record: Dict[str, Any], flush: bool = True) -> None:
+        if self._handle is None:
+            raise TelemetryError(f"telemetry stream {self.path} is closed")
+        self._handle.write(json.dumps(record, sort_keys=True, default=str))
+        self._handle.write("\n")
+        if flush:
+            self._handle.flush()
+
+    def write_snapshot(
+        self, time: float, metrics: Dict[str, Any], label: Optional[str] = None
+    ) -> int:
+        """Append one snapshot record; returns its sequence number."""
+        seq = self._seq
+        self._seq = seq + 1
+        record: Dict[str, Any] = {
+            "type": "snapshot",
+            "seq": seq,
+            "time": float(time),
+            "metrics": metrics,
+        }
+        if label is not None:
+            record["label"] = label
+        self._write(record)
+        self.snapshots_written += 1
+        return seq
+
+    def write_span(self, span: Span) -> None:
+        # Spans can be very frequent (one per controller poll); they buffer
+        # until the next snapshot flush instead of paying a flush syscall
+        # each.  The console's tailer tolerates the trailing partial line.
+        self._write(span.as_record(), flush=False)
+        self.spans_written += 1
+
+    def write_log(self, level: str, event: str, fields: Dict[str, Any]) -> None:
+        record: Dict[str, Any] = {"type": "log", "level": level, "event": event}
+        if fields:
+            record["fields"] = {key: str(value) for key, value in fields.items()}
+        self._write(record)
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "SnapshotWriter":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def read_records(path: str) -> List[Dict[str, Any]]:
+    """Load every record of a JSONL telemetry stream (no validation)."""
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(json.loads(line))
+    return records
+
+
+class TelemetrySession:
+    """One observability session shared by everything a CLI invocation runs.
+
+    The session owns the JSONL writer and a fresh metrics registry per
+    instrumented run; tracers are bound per simulation clock so spans always
+    carry the right notion of "now".  Closing the session closes the stream.
+    """
+
+    def __init__(
+        self,
+        writer: SnapshotWriter,
+        probe_interval: Optional[float] = None,
+    ) -> None:
+        if probe_interval is not None and probe_interval <= 0:
+            raise TelemetryError("probe interval must be positive")
+        self.writer = writer
+        self.probe_interval = probe_interval
+        self.registry = MetricsRegistry()
+
+    @classmethod
+    def to_path(
+        cls,
+        path: str,
+        source: str,
+        meta: Optional[Dict[str, Any]] = None,
+        probe_interval: Optional[float] = None,
+    ) -> "TelemetrySession":
+        return cls(SnapshotWriter(path, source=source, meta=meta), probe_interval)
+
+    # --------------------------------------------------------------- tracing
+    def tracer(self, clock) -> SpanTracer:
+        """A span tracer against ``clock`` whose spans stream to the writer."""
+        return SpanTracer(clock, sink=self.writer.write_span)
+
+    def interval_for(self, total_time: float) -> float:
+        return (
+            self.probe_interval
+            if self.probe_interval is not None
+            else default_probe_interval(total_time)
+        )
+
+    # ------------------------------------------------------- instrumentation
+    def attach_single_machine(
+        self,
+        engine,
+        kernel,
+        collector,
+        client,
+        primary,
+        spec,
+        controller=None,
+        arrival_model=None,
+        latency_window=None,
+        label: Optional[str] = None,
+    ):
+        """Wire probes, gauges and controller spans onto one assembled run.
+
+        Called by :meth:`SingleMachineExperiment.run
+        <repro.experiments.single_machine.SingleMachineExperiment.run>` after
+        the machine is built but before the engine runs.  Registers the
+        per-component gauges, attaches a decide-span tracer to the controller,
+        and subscribes a snapshot probe at the session's interval.  Returns
+        the probe subscription.
+        """
+        registry = MetricsRegistry()  # fresh per run; names repeat across runs
+        total_cores = kernel.logical_cores
+
+        scheduler = registry.namespace("scheduler")
+        scheduler.gauge(
+            "occupancy",
+            fn=lambda: 1.0 - kernel.idle_core_count() / total_cores,
+        )
+        scheduler.gauge("idle_cores", unit="cores", fn=kernel.idle_core_count)
+
+        workload = registry.namespace("workload")
+        offered = workload.gauge("offered_qps", unit="qps")
+        served = workload.gauge("served_qps", unit="qps")
+        workload.gauge("submitted", fn=lambda: client.submitted)
+
+        latency = registry.namespace("latency")
+        latency.gauge("completed", fn=lambda: primary.completed)
+        latency.gauge("dropped", fn=lambda: primary.dropped)
+        windowed = latency.gauge("windowed_p99_ms", unit="ms")
+        slo_ms = None
+        if spec.perfiso is not None:
+            slo_ms = spec.perfiso.pid.slo_p99 * 1e3
+            latency.gauge("slo_ms", unit="ms").set(slo_ms)
+
+        tracer = None
+        if controller is not None:
+            ns = registry.namespace("controller")
+            ns.gauge("polls", fn=lambda: float(controller.polls))
+            ns.gauge("updates_applied", fn=lambda: float(controller.updates_applied))
+            ns.gauge(
+                "secondary_cores",
+                unit="cores",
+                fn=lambda: (
+                    float(controller.secondary_core_count)
+                    if controller.secondary_core_count is not None
+                    else float(total_cores)
+                ),
+            )
+            tracer = self.tracer(lambda: engine.now)
+            controller.attach_tracer(tracer)
+
+        interval = self.interval_for(spec.workload.total_time)
+        writer = self.writer
+        state = {"last_time": engine.now, "last_completed": primary.completed}
+
+        def probe(now: float) -> None:
+            elapsed = now - state["last_time"]
+            completed = primary.completed
+            if elapsed > 0:
+                served.set((completed - state["last_completed"]) / elapsed)
+            state["last_time"] = now
+            state["last_completed"] = completed
+            if arrival_model is not None:
+                offered.set(float(arrival_model.rate_at(now)))
+            else:
+                offered.set(float(spec.workload.qps))
+            if latency_window is not None:
+                p99 = latency_window.p99(now)
+                windowed.set(p99 * 1e3 if p99 is not None else float("nan"))
+            metrics = registry.collect()
+            # NaN marks "no samples in window yet"; JSON has no NaN, so the
+            # record carries null instead.
+            p99_value = metrics.get("latency.windowed_p99_ms")
+            if p99_value is not None and p99_value != p99_value:
+                metrics["latency.windowed_p99_ms"] = None
+            if slo_ms is not None and metrics.get("latency.windowed_p99_ms") is not None:
+                metrics["latency.p99_over_slo"] = metrics["latency.windowed_p99_ms"] / slo_ms
+            writer.write_snapshot(now, metrics, label=label)
+
+        return engine.subscribe(probe, interval)
+
+    # ------------------------------------------------------------- lifecycle
+    def close(self) -> None:
+        self.writer.close()
+
+    def __enter__(self) -> "TelemetrySession":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

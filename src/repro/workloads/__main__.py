@@ -143,7 +143,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(_summarise(trace, str(path)))
         return 0
     except (ConfigError, TenantError) as error:
-        print(f"error: {error}", file=sys.stderr)
+        from ..telemetry.log import get_logger
+
+        get_logger("repro.workloads").error("command failed", error=str(error))
         return 2
 
 

@@ -173,7 +173,8 @@ class TestWorkloadsCli:
         bad = tmp_path / "bad.csv"
         bad.write_text("t,qps\n0.0,1.0\n5.0,-1.0\n")
         assert workloads_main(["--validate", str(bad)]) == 2
-        assert "error:" in capsys.readouterr().err
+        err = capsys.readouterr().err
+        assert "level=error" in err and "command failed" in err
 
     def test_synthesize_requires_out(self, capsys):
         with pytest.raises(SystemExit):

@@ -1,0 +1,93 @@
+"""Telemetry on the analytic fleet tier: per-bucket snapshots + stage spans."""
+
+import pytest
+from fleet_testing import make_tiny_fleet_spec
+
+from repro.fleet.simulate import FleetSimulation
+from repro.telemetry import TelemetrySession, validate_stream_file
+from repro.telemetry.stream import read_records
+
+
+@pytest.fixture(scope="module")
+def fleet_runner():
+    from repro.runtime import ExperimentRunner, ResultCache
+
+    return ExperimentRunner(max_workers=2, cache=ResultCache())
+
+
+@pytest.fixture(scope="module")
+def fleet_stream(tmp_path_factory, fleet_runner):
+    """One instrumented tiny-fleet run shared by this module's tests."""
+    spec = make_tiny_fleet_spec()
+    baseline = FleetSimulation(spec, runner=fleet_runner).run()
+    path = tmp_path_factory.mktemp("fleet-telemetry") / "stream.jsonl"
+    with TelemetrySession.to_path(str(path), source="fleet") as session:
+        instrumented = FleetSimulation(spec, runner=fleet_runner, telemetry=session).run()
+    return spec, baseline, instrumented, str(path)
+
+
+def test_results_identical_with_and_without_telemetry(fleet_stream):
+    _spec, baseline, instrumented, _path = fleet_stream
+    assert instrumented.status == baseline.status == "completed"
+    assert instrumented.rows() == baseline.rows()
+    assert [vars(stage) for stage in instrumented.stages] == [
+        vars(stage) for stage in baseline.stages
+    ]
+
+
+def test_stream_is_valid_with_bucket_snapshots(fleet_stream):
+    spec, _baseline, _instrumented, path = fleet_stream
+    summary = validate_stream_file(path)
+    # One snapshot per simulated bucket across bake + every rollout stage.
+    total_buckets = spec.rollout.bake_buckets + len(spec.rollout.stage_fractions) * (
+        spec.rollout.stage_buckets
+    )
+    assert summary.snapshots == total_buckets
+    for metric in (
+        "fleet.offered_qps",
+        "fleet.served_qps",
+        "fleet.occupancy",
+        "fleet.idle_buffer_cores",
+        "fleet.machines_colocated",
+        "fleet.baseline_p99_ms",
+        "fleet.colocated_p99_ms",
+        "fleet.p99_ratio",
+        "fleet.guardrail_ratio",
+    ):
+        assert metric in summary.metric_names
+
+
+def test_stage_and_shard_spans(fleet_stream):
+    spec, _baseline, _instrumented, path = fleet_stream
+    records = read_records(path)
+    spans = [r for r in records if r["type"] == "span"]
+    stage_spans = [s for s in spans if s["name"] == "rollout.stage"]
+    shard_spans = [s for s in spans if s["name"] == "fleet.shards"]
+    # bake + one per rollout stage.
+    assert len(stage_spans) == 1 + len(spec.rollout.stage_fractions)
+    assert stage_spans[0]["attributes"]["stage"] == "bake"
+    for span in stage_spans[1:]:
+        assert span["attributes"]["decision"] in ("advance", "halt")
+        assert "p99_ratio" in span["attributes"]
+    assert len(shard_spans) == 1 + len(spec.rollout.stage_fractions)
+    assert all(s["attributes"]["shards"] >= 1 for s in shard_spans)
+
+
+def test_snapshot_values_are_physical(fleet_stream):
+    spec, _baseline, _instrumented, path = fleet_stream
+    records = read_records(path)
+    snapshots = [r for r in records if r["type"] == "snapshot"]
+    machines = spec.total_machines
+    for snapshot in snapshots:
+        metrics = snapshot["metrics"]
+        # The analytic tier has no drop model: served == offered.
+        assert metrics["fleet.served_qps"] == metrics["fleet.offered_qps"]
+        assert metrics["fleet.offered_qps"] > 0.0
+        assert 0 <= metrics["fleet.machines_colocated"] <= machines
+        assert metrics["fleet.occupancy"] >= 0.0
+        assert metrics["fleet.idle_buffer_cores"] >= 0.0
+    labels = [snapshot.get("label") for snapshot in snapshots]
+    assert labels[0] == "bake"
+    assert len(set(labels)) == 1 + len(spec.rollout.stage_fractions)
+    times = [snapshot["time"] for snapshot in snapshots]
+    assert times == sorted(times)

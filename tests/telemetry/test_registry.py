@@ -1,0 +1,111 @@
+"""Tests for the metrics registry (counters, gauges, histograms, namespaces)."""
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.registry import TelemetryError
+
+
+class TestCounter:
+    def test_counts_up(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("queries", unit="q")
+        counter.inc()
+        counter.inc(4.0)
+        assert counter.read() == 5.0
+
+    def test_rejects_decrease(self):
+        counter = MetricsRegistry().counter("queries")
+        with pytest.raises(TelemetryError, match="cannot decrease"):
+            counter.inc(-1.0)
+
+
+class TestGauge:
+    def test_set_and_read(self):
+        gauge = MetricsRegistry().gauge("depth")
+        gauge.set(3.5)
+        assert gauge.read() == 3.5
+
+    def test_callback_gauge_reads_lazily(self):
+        state = {"value": 1.0}
+        gauge = MetricsRegistry().gauge("depth", fn=lambda: state["value"])
+        assert gauge.read() == 1.0
+        state["value"] = 7.0
+        assert gauge.read() == 7.0
+
+    def test_callback_gauge_rejects_set(self):
+        gauge = MetricsRegistry().gauge("depth", fn=lambda: 0.0)
+        with pytest.raises(TelemetryError, match="callback-driven"):
+            gauge.set(1.0)
+
+    def test_tracked_gauge_records_history(self):
+        gauge = MetricsRegistry().gauge("depth", track=True)
+        gauge.set(1.0, time=0.5)
+        gauge.set(2.0, time=1.5)
+        assert gauge.series is not None
+        assert list(gauge.series.values()) == [1.0, 2.0]
+
+
+class TestHistogram:
+    def test_summary_stats(self):
+        histogram = MetricsRegistry().histogram("latency", unit="s")
+        histogram.observe_many([0.010, 0.012, 0.100])
+        summary = histogram.read()
+        assert summary["count"] == 3.0
+        assert summary["max"] >= 0.1
+        assert 0.0 < summary["p50"] < summary["p99"] <= summary["max"] * 1.05
+
+    def test_backed_by_mergeable_digest(self):
+        first = MetricsRegistry().histogram("latency")
+        second = MetricsRegistry().histogram("latency")
+        first.observe(0.010)
+        second.observe(0.020)
+        first.digest.merge(second.digest)
+        assert first.read()["count"] == 2.0
+
+
+class TestRegistry:
+    def test_same_name_same_type_dedupes(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+
+    def test_same_name_other_type_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("a")
+        with pytest.raises(TelemetryError, match="already registered"):
+            registry.gauge("a")
+
+    def test_collect_reads_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("b").set(2.0)
+        registry.counter("a").inc()
+        registry.histogram("c").observe(0.01)
+        collected = registry.collect()
+        assert list(collected) == ["a", "b", "c"]
+        assert collected["a"] == 1.0
+        assert isinstance(collected["c"], dict)
+
+    def test_contains_and_names(self):
+        registry = MetricsRegistry()
+        registry.gauge("x.y")
+        assert "x.y" in registry and registry.names() == ["x.y"]
+        assert len(registry) == 1
+        assert registry.get("missing") is None
+
+
+class TestNamespace:
+    def test_prefixes_names(self):
+        registry = MetricsRegistry()
+        scheduler = registry.namespace("scheduler")
+        scheduler.gauge("occupancy").set(0.5)
+        assert "scheduler.occupancy" in registry
+
+    def test_nested_namespaces(self):
+        registry = MetricsRegistry()
+        inner = registry.namespace("fleet").namespace("group-a")
+        inner.counter("shards").inc()
+        assert "fleet.group-a.shards" in registry
+
+    def test_empty_prefix_rejected(self):
+        with pytest.raises(TelemetryError, match="non-empty"):
+            MetricsRegistry().namespace("")

@@ -1,0 +1,123 @@
+"""Tests for the stream tail and the stdlib HTTP console."""
+
+import json
+import urllib.error
+import urllib.request
+
+from repro.telemetry import SnapshotWriter
+from repro.telemetry.serve import StreamTail, TelemetryServer
+from repro.telemetry.spans import Span
+
+
+def make_stream(path, snapshots=3):
+    writer = SnapshotWriter(str(path), source="test", meta={"scenario": "s"})
+    for index in range(snapshots):
+        writer.write_snapshot(float(index), {"x": float(index)})
+    writer.write_span(Span(name="controller.decide", time=1.0, wall_ms=0.1))
+    writer.write_log("info", "hello", {})
+    return writer
+
+
+class TestStreamTail:
+    def test_ingests_whole_file(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        make_stream(path).close()
+        tail = StreamTail(str(path))
+        tail.refresh()
+        assert tail.meta["scenario"] == "s"
+        assert len(tail.snapshots) == 3
+        assert len(tail.spans) == 1
+        assert len(tail.logs) == 1
+        assert tail.summary()["records"] == 6
+
+    def test_incremental_refresh_reads_only_new_bytes(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        writer = make_stream(path, snapshots=1)
+        tail = StreamTail(str(path))
+        tail.refresh()
+        assert len(tail.snapshots) == 1
+        writer.write_snapshot(9.0, {"x": 9.0})
+        tail.refresh()
+        assert len(tail.snapshots) == 2
+        assert tail.snapshots[-1]["time"] == 9.0
+        writer.close()
+
+    def test_partial_trailing_line_waits_for_more_bytes(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        record = {"type": "snapshot", "seq": 0, "time": 0.0, "metrics": {}}
+        line = json.dumps(record)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"type": "meta", "schema": 1, "source": "t", "run_id": "r"}))
+            handle.write("\n")
+            handle.write(line[:20])  # producer caught mid-write
+            handle.flush()
+        tail = StreamTail(str(path))
+        tail.refresh()
+        assert tail.meta is not None
+        assert tail.snapshots == []
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write(line[20:])
+            handle.write("\n")
+        tail.refresh()
+        assert len(tail.snapshots) == 1
+
+
+class TestTelemetryServer:
+    def get(self, url):
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, response.read().decode("utf-8")
+
+    def test_endpoints(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        make_stream(path).close()
+        with TelemetryServer(str(path), host="127.0.0.1", port=0) as server:
+            server.start_background()
+            base = server.url.rstrip("/")
+            status, html = self.get(server.url)
+            assert status == 200
+            assert "telemetry console" in html
+
+            status, body = self.get(f"{base}/meta")
+            assert json.loads(body)["source"] == "test"
+
+            status, body = self.get(f"{base}/summary")
+            summary = json.loads(body)
+            assert summary["snapshots"] == 3
+            assert summary["spans"] == 1
+
+            status, body = self.get(f"{base}/snapshots?after=-1")
+            payload = json.loads(body)
+            assert [r["seq"] for r in payload["snapshots"]] == [0, 1, 2]
+            assert payload["next"] == 2
+            status, body = self.get(f"{base}/snapshots?after={payload['next']}")
+            assert json.loads(body)["snapshots"] == []
+
+            status, body = self.get(f"{base}/spans?after=1")
+            assert json.loads(body)["spans"] == []
+            status, body = self.get(f"{base}/spans?after=-5")
+            assert len(json.loads(body)["spans"]) == 1
+
+    def test_unknown_path_is_404(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        make_stream(path).close()
+        with TelemetryServer(str(path), host="127.0.0.1", port=0) as server:
+            server.start_background()
+            try:
+                urllib.request.urlopen(f"{server.url.rstrip('/')}/nope", timeout=5)
+            except urllib.error.HTTPError as error:
+                assert error.code == 404
+            else:
+                raise AssertionError("expected a 404")
+
+    def test_server_tails_live_stream(self, tmp_path):
+        path = tmp_path / "s.jsonl"
+        writer = make_stream(path, snapshots=1)
+        with TelemetryServer(str(path), host="127.0.0.1", port=0) as server:
+            server.start_background()
+            base = server.url.rstrip("/")
+            _status, body = self.get(f"{base}/snapshots?after=-1")
+            assert len(json.loads(body)["snapshots"]) == 1
+            writer.write_snapshot(5.0, {"x": 5.0})
+            _status, body = self.get(f"{base}/snapshots?after=0")
+            assert [r["time"] for r in json.loads(body)["snapshots"]] == [5.0]
+        writer.close()

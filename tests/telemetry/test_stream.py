@@ -1,0 +1,81 @@
+"""Tests for the SnapshotWriter and TelemetrySession plumbing."""
+
+import pytest
+
+from repro.telemetry import SnapshotWriter, TelemetrySession, validate_stream_file
+from repro.telemetry.registry import TelemetryError
+from repro.telemetry.stream import default_probe_interval, read_records
+
+
+def test_meta_record_written_on_construction(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    writer = SnapshotWriter(str(path), source="test", meta={"scenario": "s1"})
+    writer.close()
+    (meta,) = read_records(str(path))
+    assert meta["type"] == "meta"
+    assert meta["source"] == "test"
+    assert meta["scenario"] == "s1"
+    assert meta["run_id"] == writer.run_id
+    # Even a run that crashed before its first probe left a valid stream.
+    validate_stream_file(str(path))
+
+
+def test_snapshot_seq_autoincrements(tmp_path):
+    path = tmp_path / "stream.jsonl"
+    with SnapshotWriter(str(path), source="test") as writer:
+        assert writer.write_snapshot(0.5, {"a": 1.0}) == 0
+        assert writer.write_snapshot(1.0, {"a": 2.0}, label="stage-1") == 1
+        assert writer.snapshots_written == 2
+    summary = validate_stream_file(str(path))
+    assert summary.snapshots == 2
+    records = read_records(str(path))
+    assert records[2]["label"] == "stage-1"
+
+
+def test_write_after_close_raises(tmp_path):
+    writer = SnapshotWriter(str(tmp_path / "s.jsonl"), source="test")
+    writer.close()
+    writer.close()  # idempotent
+    with pytest.raises(TelemetryError, match="closed"):
+        writer.write_snapshot(0.0, {})
+
+
+def test_write_log_stringifies_fields(tmp_path):
+    path = tmp_path / "s.jsonl"
+    with SnapshotWriter(str(path), source="test") as writer:
+        writer.write_log("warning", "guardrail breach", {"ratio": 1.7})
+    records = read_records(str(path))
+    assert records[1] == {
+        "type": "log",
+        "level": "warning",
+        "event": "guardrail breach",
+        "fields": {"ratio": "1.7"},
+    }
+    validate_stream_file(str(path))
+
+
+def test_default_probe_interval():
+    assert default_probe_interval(1.28) == pytest.approx(0.01)
+    with pytest.raises(TelemetryError):
+        default_probe_interval(0.0)
+
+
+def test_session_to_path_and_tracer(tmp_path):
+    path = tmp_path / "s.jsonl"
+    with TelemetrySession.to_path(str(path), source="matrix") as session:
+        tracer = session.tracer(lambda: 4.0)
+        tracer.record("fleet.shards", shards=3)
+        session.writer.write_snapshot(4.0, {"x": 1.0})
+    summary = validate_stream_file(str(path))
+    assert summary.spans == 1
+    assert summary.snapshots == 1
+    assert summary.span_names == {"fleet.shards": 1}
+
+
+def test_session_interval_override():
+    writer_path = "/dev/null"
+    session = TelemetrySession(SnapshotWriter(writer_path, source="t"), probe_interval=0.25)
+    assert session.interval_for(10.0) == 0.25
+    session.close()
+    with pytest.raises(TelemetryError, match="positive"):
+        TelemetrySession(SnapshotWriter(writer_path, source="t"), probe_interval=0.0)

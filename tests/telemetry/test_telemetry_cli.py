@@ -1,0 +1,98 @@
+"""The --telemetry flags end to end, plus the stream-validator entry point."""
+
+import json
+
+from repro.experiments import matrix
+from repro.fleet import cli as fleet_cli
+from repro.telemetry import validate_stream_file
+from repro.telemetry.__main__ import main as validate_main
+
+FAST_MATRIX = [
+    "--qps", "500", "--duration", "0.5", "--warmup", "0.1", "--seed", "5",
+]
+
+TINY_FLEET_ARGS = [
+    "--machines", "24", "--stages", "2", "--buckets", "2", "--samples", "8",
+    "--calibration-qps", "300,900", "--calibration-duration", "0.4",
+    "--calibration-warmup", "0.1",
+]
+
+
+def test_matrix_telemetry_flag(tmp_path, capsys):
+    stream = tmp_path / "matrix.jsonl"
+    code = matrix.main(
+        ["--run", "flash-crowd-blind-isolation", "--telemetry", str(stream)]
+        + FAST_MATRIX
+    )
+    assert code == 0
+    capsys.readouterr()  # drain the table output
+    summary = validate_stream_file(str(stream))
+    assert summary.meta["source"] == "matrix"
+    assert summary.meta["scenario"] == "flash-crowd-blind-isolation"
+    assert summary.snapshots >= 10
+    assert summary.span_names.get("controller.decide", 0) >= 1
+    assert "latency.p99_over_slo" in summary.metric_names
+
+
+def test_matrix_telemetry_output_identical(tmp_path, capsys):
+    args = ["--run", "standalone", "--out", "json"] + FAST_MATRIX
+    assert matrix.main(args) == 0
+    plain = capsys.readouterr().out
+    assert matrix.main(args + ["--telemetry", str(tmp_path / "t.jsonl")]) == 0
+    instrumented = capsys.readouterr().out
+    assert json.loads(instrumented) == json.loads(plain)
+
+
+def test_fleet_telemetry_flag(tmp_path, capsys):
+    stream = tmp_path / "fleet.jsonl"
+    code = fleet_cli.main(
+        TINY_FLEET_ARGS + ["--out", "json", "--telemetry", str(stream)]
+    )
+    assert code == 0
+    rows = json.loads(capsys.readouterr().out)
+    assert rows[-1]["status"] == "completed"
+    summary = validate_stream_file(str(stream))
+    assert summary.meta["source"] == "fleet"
+    assert summary.snapshots >= 2 + 2 * 2  # bake + two stages of two buckets
+    assert summary.span_names.get("rollout.stage", 0) >= 3
+    assert "fleet.p99_ratio" in summary.metric_names
+
+
+class TestValidatorEntryPoint:
+    def make_stream(self, tmp_path):
+        from repro.telemetry import SnapshotWriter
+        from repro.telemetry.spans import Span
+
+        path = tmp_path / "v.jsonl"
+        with SnapshotWriter(str(path), source="test") as writer:
+            for index in range(12):
+                writer.write_snapshot(float(index), {"x": 1.0})
+            writer.write_span(Span(name="controller.decide", time=0.0, wall_ms=0.1))
+        return str(path)
+
+    def test_valid_stream_passes_thresholds(self, tmp_path, capsys):
+        path = self.make_stream(tmp_path)
+        code = validate_main(
+            [
+                "--validate", path,
+                "--min-snapshots", "10",
+                "--min-spans", "1",
+                "--require-span", "controller.decide",
+            ]
+        )
+        assert code == 0
+        assert "12 snapshots" in capsys.readouterr().out
+
+    def test_missing_span_fails(self, tmp_path, capsys):
+        path = self.make_stream(tmp_path)
+        code = validate_main(["--validate", path, "--require-span", "fleet.shards"])
+        assert code == 2
+
+    def test_threshold_shortfall_fails(self, tmp_path):
+        path = self.make_stream(tmp_path)
+        assert validate_main(["--validate", path, "--min-snapshots", "100"]) == 2
+
+    def test_invalid_stream_fails(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"type": "snapshot"}\n')
+        assert validate_main(["--validate", str(path)]) == 2
