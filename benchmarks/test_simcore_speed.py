@@ -34,6 +34,7 @@ from __future__ import annotations
 import gc
 import json
 import os
+import statistics
 import tempfile
 import time
 
@@ -102,50 +103,81 @@ def test_simcore_speed_and_guard():
         with open(_BENCH_PATH, "r", encoding="utf-8") as handle:
             committed = json.load(handle)
 
-    # ---- raw kernel throughput: direct experiments, engines instrumented.
-    # Both the uninstrumented and the telemetry-enabled pass take the best
-    # of two trials — the overhead ratio between two single-shot ~5 s
-    # measurements on a shared runner is double-digit-percent noisy.
-    events_executed = 0
-    direct_seconds = None
-    for _trial in range(2):
-        gc.collect()  # don't charge earlier garbage to this measurement
-        events_executed = 0
-        start = time.perf_counter()
-        for _approach, spec in _fig8_specs():
-            experiment = SingleMachineExperiment(spec)
-            experiment.run()
-            events_executed += experiment.engine.events_executed
-        trial_seconds = time.perf_counter() - start
-        if direct_seconds is None or trial_seconds < direct_seconds:
-            direct_seconds = trial_seconds
+    # ---- raw kernel throughput: direct experiments, engines instrumented,
+    # measured with and without telemetry streaming.  A shared runner sees
+    # multi-second noise episodes that dwarf the true telemetry cost, so
+    # the overhead is estimated the way that survives them:
+    #
+    # * one full warmup pass is run and discarded — CPython's adaptive
+    #   interpreter makes first-execution legs 30-50 % slower, which would
+    #   otherwise be charged to whichever side ran first;
+    # * each sweep runs the uninstrumented and instrumented leg
+    #   *back-to-back per scenario*, alternating which goes first so
+    #   position bias cancels, and a noise episode lands on at most one
+    #   ~1 s leg of one pair;
+    # * legs are timed with ``time.process_time`` (CPU time), which is
+    #   blind to the scheduler preemptions that dominate wall-clock
+    #   scatter on a shared box;
+    # * the committed figure aggregates the *per-scenario medians* across
+    #   three sweeps, so an episode that does land inside a leg is voted
+    #   out instead of polluting a whole-sweep sum.
+    #
+    # An independent best-of-N per path — the original design — let one
+    # lucky uninstrumented trial manufacture a double-digit overhead
+    # figure from a ~5 % effect.
+    sweeps = 3
+    specs = _fig8_specs()
+    plain_cpu_s = {approach: [] for approach, _ in specs}
+    telemetry_cpu_s = {approach: [] for approach, _ in specs}
+    events_by_scenario = {}
+    with tempfile.TemporaryDirectory() as scratch:
+        warm_path = os.path.join(scratch, "bench_telemetry_warmup.jsonl")
+        with TelemetrySession.to_path(warm_path, source="bench-simcore") as session:
+            for approach, spec in specs:
+                SingleMachineExperiment(spec).run()
+                SingleMachineExperiment(spec, scenario=approach).run(telemetry=session)
+        for sweep in range(sweeps):
+            stream_path = os.path.join(scratch, f"bench_telemetry_{sweep}.jsonl")
+            with TelemetrySession.to_path(stream_path, source="bench-simcore") as session:
+                for index, (approach, spec) in enumerate(specs):
+                    for leg in range(2):
+                        gc.collect()  # don't charge earlier garbage here
+                        if (leg + sweep + index) % 2 == 0:
+                            start = time.process_time()
+                            experiment = SingleMachineExperiment(spec)
+                            experiment.run()
+                            plain_cpu_s[approach].append(time.process_time() - start)
+                            events_by_scenario[approach] = (
+                                experiment.engine.events_executed
+                            )
+                        else:
+                            # Instrumented leg: the probe seam plus 128
+                            # JSONL snapshots (and controller decide spans)
+                            # per run must stay within
+                            # MAX_TELEMETRY_OVERHEAD of the plain leg.
+                            start = time.process_time()
+                            experiment = SingleMachineExperiment(spec, scenario=approach)
+                            experiment.run(telemetry=session)
+                            telemetry_cpu_s[approach].append(
+                                time.process_time() - start
+                            )
+    direct_seconds = sum(
+        statistics.median(times) for times in plain_cpu_s.values()
+    )
+    telemetry_seconds = sum(
+        statistics.median(times) for times in telemetry_cpu_s.values()
+    )
+    telemetry_overhead = telemetry_seconds / direct_seconds - 1.0
+    events_executed = sum(events_by_scenario.values())
     simulated_seconds = len(IsolationComparison.APPROACHES) * DURATION
     events_per_s = events_executed / direct_seconds
     assert events_executed > 0
-
-    # ---- same direct runs with telemetry streaming enabled: the probe seam
-    # plus 128 JSONL snapshots (and controller decide spans) per run must
-    # stay within MAX_TELEMETRY_OVERHEAD of the uninstrumented path.
-    telemetry_seconds = None
-    with tempfile.TemporaryDirectory() as scratch:
-        for trial in range(2):
-            gc.collect()
-            stream_path = os.path.join(scratch, f"bench_telemetry_{trial}.jsonl")
-            telemetry_events = 0
-            start = time.perf_counter()
-            with TelemetrySession.to_path(stream_path, source="bench-simcore") as session:
-                for approach, spec in _fig8_specs():
-                    experiment = SingleMachineExperiment(spec, scenario=approach)
-                    experiment.run(telemetry=session)
-                    telemetry_events += experiment.engine.events_executed
-            trial_seconds = time.perf_counter() - start
-            if telemetry_seconds is None or trial_seconds < telemetry_seconds:
-                telemetry_seconds = trial_seconds
-    # Probe events themselves execute, so the instrumented count is a touch
-    # higher; normalising by the *domain* event count keeps the two rates
-    # comparable (the extra probe work is charged to the wall clock).
-    events_per_s_telemetry = events_executed / telemetry_seconds
-    telemetry_overhead = events_per_s / events_per_s_telemetry - 1.0
+    # The instrumented rate is derived from the overhead ratio rather than
+    # measured against its own wall-clock sum so the three committed fields
+    # stay mutually consistent even when the median sweep differs per
+    # metric; it is normalised by the *domain* event count (probe events
+    # execute too, and their work is charged to the wall clock).
+    events_per_s_telemetry = events_per_s / (1.0 + telemetry_overhead)
 
     # ---- fig8 through the serial uncached runner (BENCH_runtime's metric).
     gc.collect()

@@ -19,6 +19,7 @@ runtime reconfiguration from cluster-wide configuration pushes.
 
 from __future__ import annotations
 
+import time as _time
 import warnings
 from typing import Dict, FrozenSet, List, Optional
 
@@ -299,17 +300,37 @@ class PerfIsoController:
         )
 
     def _traced_decide(self) -> None:
+        # One span per poll at millisecond cadence: emitted via record()
+        # with explicit wall timing because the contextmanager span form's
+        # generator machinery costs more than the decision itself, which
+        # is what pushed telemetry overhead over its benchmark budget.
+        # Neither decide() nor _apply() advances simulation time, so
+        # record()'s sim_duration of 0.0 matches the traced block exactly.
         observation = self._observe()
-        with self._tracer.span(
+        started_wall = _time.perf_counter()
+        try:
+            decision = self._policy.decide(observation)
+            if decision is not None:
+                self._apply(decision)
+        except BaseException as exc:
+            self._tracer.record(
+                "controller.decide",
+                wall_ms=(_time.perf_counter() - started_wall) * 1e3,
+                status="error",
+                policy=self._policy.name,
+                idle_cores=observation.idle_cores,
+                cores_before=observation.current_core_count,
+                exception=type(exc).__name__,
+            )
+            raise
+        self._tracer.record(
             "controller.decide",
+            wall_ms=(_time.perf_counter() - started_wall) * 1e3,
             policy=self._policy.name,
             idle_cores=observation.idle_cores,
             cores_before=observation.current_core_count,
-        ) as span:
-            decision = self._policy.decide(observation)
-            span.attributes["decision"] = self._describe(decision)
-            if decision is not None:
-                self._apply(decision)
+            decision=self._describe(decision),
+        )
 
     @staticmethod
     def _describe(decision: Optional[AllocationDecision]) -> str:

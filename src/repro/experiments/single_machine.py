@@ -152,14 +152,11 @@ class SingleMachineExperiment:
         latency_window = None
         if spec.perfiso is not None and policy_class(spec.perfiso.cpu_policy).uses_latency:
             latency_window = SlidingLatencyWindow(window=spec.perfiso.pid.window)
-        elif telemetry is not None:
-            # Telemetry wants a windowed P99 even under policies that never
-            # read one; the observer tee is pure recording, so attaching it
-            # cannot change what the collector (or any policy) observes.
-            window = (
-                spec.perfiso.pid.window if spec.perfiso is not None else 1.0
-            )
-            latency_window = SlidingLatencyWindow(window=window)
+        # Telemetry without a latency-feedback policy reads its windowed P99
+        # straight off the collector's sample buffer at probe time (see
+        # TelemetrySession.attach_single_machine) — maintaining a second
+        # window structure just for probes taxed every served query and blew
+        # the telemetry-overhead benchmark budget.
         collector = LatencyCollector(warmup_end=warmup_end, observer=latency_window)
         primary = IndexServeTenant(
             kernel, spec.indexserve, rng=streams.stream("indexserve"), collector=collector

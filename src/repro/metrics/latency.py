@@ -194,6 +194,20 @@ class LatencyCollector:
             return 0.0
         return float(np.percentile(self._view(), q))
 
+    def percentile_since(self, cursor: int, q: float) -> "float | None":
+        """The q-th percentile of samples recorded at index ``cursor`` on.
+
+        Telemetry probes use this with a sample-count cursor to report the
+        latency distribution of each probe interval straight off the
+        existing buffer — no per-sample tee into a second window structure.
+        ``None`` when no samples arrived since the cursor.
+        """
+        if cursor < 0:
+            raise ExperimentError(f"negative sample cursor: {cursor}")
+        if cursor >= self._count:
+            return None
+        return float(np.percentile(self._buffer[cursor: self._count], q))
+
 
 class SlidingLatencyWindow:
     """Latency percentiles over a sliding wall-clock window.

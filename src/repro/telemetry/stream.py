@@ -17,6 +17,7 @@ by tests and a hypothesis property).
 from __future__ import annotations
 
 import json
+import re
 import time as _time
 import uuid
 from typing import Any, Dict, List, Optional
@@ -34,6 +35,122 @@ __all__ = [
 
 #: Default probe cadence: this many snapshots across one run's total time.
 PROBES_PER_RUN = 128
+
+#: Cached compact encoder for span records, the only high-frequency record
+#: type (one per controller poll).  ``json.dumps(..., default=str)`` builds
+#: a fresh encoder per call and the sparse record types don't care, but at
+#: span rates that construction dominates; dict insertion order is already
+#: deterministic, so spans skip ``sort_keys`` too.
+_SPAN_ENCODE = json.JSONEncoder(separators=(",", ":"), default=str).encode
+
+#: Strings that serialise as themselves inside double quotes — no escapes,
+#: no control characters.  Everything the hot span path emits (span names,
+#: policy names, decision descriptions) matches; anything else falls back
+#: to the real encoder.
+_PLAIN_STRING = re.compile(r'[^"\\\x00-\x1f]*\Z').match
+
+
+#: Memo of already-rendered plain strings.  Span names, statuses, policy
+#: names, attribute keys and decision descriptions repeat across thousands
+#: of spans per run; a dict hit replaces the regex check and quote
+#: formatting.  Bounded so a pathological stream of unique strings cannot
+#: grow it without limit.
+_STR_RENDER: Dict[str, str] = {}
+
+
+def _render_str(value: str) -> Optional[str]:
+    rendered = _STR_RENDER.get(value)
+    if rendered is None:
+        if not _PLAIN_STRING(value):
+            return None
+        if len(_STR_RENDER) >= 4096:
+            _STR_RENDER.clear()
+        rendered = f'"{value}"'
+        _STR_RENDER[value] = rendered
+    return rendered
+
+
+def _scalar_json(value: object) -> Optional[str]:
+    """Compact JSON for a plain scalar, or ``None`` to defer to the encoder.
+
+    Matches ``json.dumps`` byte-for-byte for the values it accepts (pinned
+    by test): floats and ints render via ``repr`` exactly as the stdlib
+    encoder renders them, and non-finite floats are rejected so the
+    fallback path keeps ``json``'s NaN/Infinity behaviour.
+    """
+    kind = type(value)
+    if kind is str:
+        return _render_str(value)
+    if kind is bool:
+        return "true" if value else "false"
+    if kind is int:
+        return repr(value)
+    if kind is float:
+        if value - value == 0.0:  # finite
+            return repr(value)
+        return None
+    if value is None:
+        return "null"
+    return None
+
+
+def _span_line(span: "Span") -> str:
+    """One span's JSONL line, assembled without the generic JSON encoder.
+
+    Spans fire once per controller poll — at millisecond poll cadence the
+    stdlib encoder dominates the whole telemetry budget — so the known-shape
+    record is formatted directly.  Any name/status/attribute the fast path
+    cannot prove safe falls back to the encoder for the whole record.
+    """
+    # Inlined dispatch (no _scalar_json calls): at one span per 1 ms poll,
+    # even the helper-function call overhead shows up in the simcore bench.
+    name = span.name
+    status = span.status
+    time_v = span.time
+    sim_v = span.sim_duration
+    parts: Optional[List[str]] = []
+    if (
+        type(name) is str
+        and type(status) is str
+        and type(time_v) is float
+        and type(sim_v) is float
+        and time_v - time_v == 0.0
+        and sim_v - sim_v == 0.0
+    ):
+        rendered_name = _render_str(name)
+        rendered_status = _render_str(status)
+        if rendered_name is None or rendered_status is None:
+            parts = None
+        else:
+            for key, value in span.attributes.items():
+                kind = type(value)
+                if kind is str:
+                    rendered = _render_str(value)
+                elif kind is float:
+                    rendered = repr(value) if value - value == 0.0 else None
+                elif kind is int:
+                    rendered = repr(value)
+                elif kind is bool:
+                    rendered = "true" if value else "false"
+                elif value is None:
+                    rendered = "null"
+                else:
+                    rendered = None
+                rendered_key = _render_str(key) if type(key) is str else None
+                if rendered is None or rendered_key is None:
+                    parts = None
+                    break
+                parts.append(f"{rendered_key}:{rendered}")
+    else:
+        parts = None
+    wall_ms = round(span.wall_ms, 4)
+    if parts is None or type(wall_ms) is not float or wall_ms - wall_ms != 0.0:
+        return _SPAN_ENCODE(span.as_record())
+    return (
+        f'{{"type":"span","name":{rendered_name},"time":{time_v!r},'
+        f'"sim_duration":{sim_v!r},"wall_ms":{wall_ms!r},'
+        f'"status":{rendered_status},"attributes":{{{",".join(parts)}}}}}'
+    )
 
 
 def default_probe_interval(total_time: float) -> float:
@@ -100,15 +217,26 @@ class SnapshotWriter:
         }
         if label is not None:
             record["label"] = label
-        self._write(record)
+        # Snapshots fire at probe cadence from inside the engine's hot loop;
+        # like spans they use the cached compact encoder, but keep the
+        # per-record flush so the live console can tail mid-run.
+        if self._handle is None:
+            raise TelemetryError(f"telemetry stream {self.path} is closed")
+        self._handle.write(_SPAN_ENCODE(record))
+        self._handle.write("\n")
+        self._handle.flush()
         self.snapshots_written += 1
         return seq
 
     def write_span(self, span: Span) -> None:
         # Spans can be very frequent (one per controller poll); they buffer
         # until the next snapshot flush instead of paying a flush syscall
-        # each.  The console's tailer tolerates the trailing partial line.
-        self._write(span.as_record(), flush=False)
+        # each, and use the known-shape fast serialiser.  The console's
+        # tailer tolerates the trailing partial line.
+        if self._handle is None:
+            raise TelemetryError(f"telemetry stream {self.path} is closed")
+        self._handle.write(_span_line(span))
+        self._handle.write("\n")
         self.spans_written += 1
 
     def write_log(self, level: str, event: str, fields: Dict[str, Any]) -> None:
@@ -247,7 +375,11 @@ class TelemetrySession:
 
         interval = self.interval_for(spec.workload.total_time)
         writer = self.writer
-        state = {"last_time": engine.now, "last_completed": primary.completed}
+        state = {
+            "last_time": engine.now,
+            "last_completed": primary.completed,
+            "sample_cursor": collector.sample_count,
+        }
 
         def probe(now: float) -> None:
             elapsed = now - state["last_time"]
@@ -261,7 +393,19 @@ class TelemetrySession:
             else:
                 offered.set(float(spec.workload.qps))
             if latency_window is not None:
+                # A latency-feedback policy already maintains a sliding
+                # window; report the same number the controller sees.
                 p99 = latency_window.p99(now)
+                windowed.set(p99 * 1e3 if p99 is not None else float("nan"))
+            else:
+                # No policy window to piggyback on: the P99 of the samples
+                # the collector recorded since the last probe, read straight
+                # off its buffer.  This keeps the per-query hot path free of
+                # any telemetry work (warmup-period probes report NaN - the
+                # collector only buffers post-warmup samples).
+                cursor = state["sample_cursor"]
+                state["sample_cursor"] = collector.sample_count
+                p99 = collector.percentile_since(cursor, 99.0)
                 windowed.set(p99 * 1e3 if p99 is not None else float("nan"))
             metrics = registry.collect()
             # NaN marks "no samples in window yet"; JSON has no NaN, so the

@@ -4,7 +4,13 @@ import pytest
 
 from repro.telemetry import SnapshotWriter, TelemetrySession, validate_stream_file
 from repro.telemetry.registry import TelemetryError
-from repro.telemetry.stream import default_probe_interval, read_records
+from repro.telemetry.spans import Span
+from repro.telemetry.stream import (
+    _SPAN_ENCODE,
+    _span_line,
+    default_probe_interval,
+    read_records,
+)
 
 
 def test_meta_record_written_on_construction(tmp_path):
@@ -38,6 +44,39 @@ def test_write_after_close_raises(tmp_path):
     writer.close()  # idempotent
     with pytest.raises(TelemetryError, match="closed"):
         writer.write_snapshot(0.0, {})
+    with pytest.raises(TelemetryError, match="closed"):
+        writer.write_span(Span(name="controller.decide", time=0.0))
+
+
+@pytest.mark.parametrize(
+    "span",
+    [
+        Span(
+            name="controller.decide",
+            time=1.5,
+            wall_ms=0.0123,
+            attributes={
+                "policy": "blind",
+                "idle_cores": 3.0,
+                "cores_before": 8,
+                "decision": "cores=9",
+            },
+        ),
+        Span(name="rollout.stage", time=0.0, attributes={"stage": "5pct", "held": True}),
+        Span(name="fleet.shards", time=2.0, status="error", attributes={"x": None}),
+        # Not fast-path eligible: escapes, nested values, non-finite floats,
+        # non-scalar attribute values — must fall back to the real encoder.
+        Span(name='weird "name"\n', time=1.0, attributes={"a": 1}),
+        Span(name="s", time=1.0, attributes={"nested": {"k": 1}}),
+        Span(name="s", time=float("inf"), attributes={}),
+        Span(name="s", time=1.0, attributes={"v": float("nan")}),
+        Span(name="s", time=1.0, attributes={"obj": object()}),
+    ],
+)
+def test_span_fast_serialiser_matches_json_encoder(span):
+    # The hot-path serialiser must be byte-identical to the compact stdlib
+    # encoding for every span it accepts, and fall back for the rest.
+    assert _span_line(span) == _SPAN_ENCODE(span.as_record())
 
 
 def test_write_log_stringifies_fields(tmp_path):
