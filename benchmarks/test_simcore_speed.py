@@ -62,6 +62,10 @@ MAX_REGRESSION = 0.25
 #: Maximum tolerated slowdown when telemetry streaming is enabled.
 MAX_TELEMETRY_OVERHEAD = 0.10
 
+#: Maximum tolerated slowdown from the fault-injection seam when no faults
+#: are declared ("zero measurable": within paired-measurement noise).
+MAX_FAULTS_OVERHEAD = 0.03
+
 #: PR 3 baselines, from BENCH_runtime.json / BENCH_fleet.json as committed at
 #: d2a4bd2 (same scenario parameters and seed, cpu_count=1 container).
 FIG8_BASELINE_S = 16.468
@@ -244,4 +248,57 @@ def test_simcore_speed_and_guard():
             f"minus the {MAX_REGRESSION:.0%} tolerance); if the slowdown is "
             "intentional, re-run this benchmark and commit the new "
             "BENCH_simcore.json"
+        )
+
+
+def test_disabled_faults_zero_overhead():
+    """The fault-injection seam must be free when no faults are declared.
+
+    Paired legs run the same fig8 blind-isolation scenario with
+    ``faults=None`` and with an explicit all-disabled :class:`FaultPlanSpec`
+    — both must take the no-injector fast path, execute the identical event
+    count, and (under the perf guard) agree on kernel throughput within
+    paired-measurement noise.  This is the events/s face of the subsystem's
+    zero-fault contract; the byte-identical-summary face is pinned in
+    ``tests/faults/test_schedules.py``.
+    """
+    import dataclasses
+
+    from repro.config.schema import FaultPlanSpec
+    from repro.experiments import scenarios
+
+    plain_spec = scenarios.blind_isolation(
+        qps=600.0, duration=DURATION, warmup=WARMUP, seed=SEED
+    )
+    noop_spec = dataclasses.replace(plain_spec, faults=FaultPlanSpec())
+
+    # One discarded warmup pass per path (CPython's adaptive interpreter),
+    # then alternating back-to-back legs timed on CPU time — the same
+    # noise discipline as the telemetry-overhead estimate above.
+    SingleMachineExperiment(plain_spec).run()
+    SingleMachineExperiment(noop_spec).run()
+    timings = {id(plain_spec): [], id(noop_spec): []}
+    events = set()
+    for sweep in range(3):
+        order = (plain_spec, noop_spec) if sweep % 2 == 0 else (noop_spec, plain_spec)
+        for spec in order:
+            gc.collect()
+            start = time.process_time()
+            experiment = SingleMachineExperiment(spec)
+            experiment.run()
+            timings[id(spec)].append(time.process_time() - start)
+            events.add(experiment.engine.events_executed)
+    assert len(events) == 1  # the no-op plan perturbs not a single event
+
+    overhead = (
+        statistics.median(timings[id(noop_spec)])
+        / statistics.median(timings[id(plain_spec)])
+        - 1.0
+    )
+    print(f"\ndisabled-faults overhead: {overhead:+.2%}")
+    if os.environ.get(PERF_GUARD_ENV):
+        assert overhead <= MAX_FAULTS_OVERHEAD, (
+            f"a disabled fault plan slowed the kernel by {overhead:.1%} "
+            f"(budget {MAX_FAULTS_OVERHEAD:.0%}); the no-fault path must "
+            "stay free"
         )

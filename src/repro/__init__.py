@@ -38,7 +38,7 @@ from .experiments.single_machine import SingleMachineExperiment, SingleMachineRe
 from .fleet.simulate import FleetSimulation
 from .runtime import ExperimentRunner, ExperimentTask, ResultCache
 
-__version__ = "1.7.0"
+__version__ = "1.8.0"
 
 __all__ = [
     "FleetSimulation",

@@ -16,7 +16,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..config.loader import dump_json, load_json
 from ..config.schema import PerfIsoSpec
-from ..errors import ClusterError
+from ..errors import ClusterError, UnknownVersionError
 
 __all__ = ["ManagedService", "ConfigStore", "Autopilot"]
 
@@ -75,10 +75,7 @@ class ConfigStore:
     def fetch_version(self, name: str, version: int, cls: type) -> object:
         history = self._require(name)
         if not 1 <= version <= len(history):
-            raise ClusterError(
-                f"configuration {name!r} has no version {version} "
-                f"(history: 1..{len(history)})"
-            )
+            raise UnknownVersionError(name, version, range(1, len(history) + 1))
         return load_json(cls, history[version - 1])
 
     def fetch_perfiso(self, name: str = "perfiso.json") -> PerfIsoSpec:
@@ -100,10 +97,7 @@ class ConfigStore:
         history = self._require(name)
         target = self._active[name] - 1 if version is None else version
         if not 1 <= target <= len(history):
-            raise ClusterError(
-                f"cannot roll {name!r} back to version {target} "
-                f"(history: 1..{len(history)})"
-            )
+            raise UnknownVersionError(name, target, range(1, len(history) + 1))
         self._active[name] = target
         self.pushes += 1
         return target

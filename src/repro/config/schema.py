@@ -50,12 +50,26 @@ __all__ = [
     "TraceSpec",
     "WorkloadSpec",
     "ClusterSpec",
+    "MachineFaultSpec",
+    "DegradedCoreSpec",
+    "TelemetryFaultSpec",
+    "ControllerCrashSpec",
+    "ConfigPushFaultSpec",
+    "FaultPlanSpec",
     "ExperimentSpec",
     "MachineGroupSpec",
     "PlacementSpec",
     "RolloutSpec",
     "FleetSpec",
 ]
+
+#: Field metadata marking a spec field as hash-transparent while it equals
+#: its default.  Must stay in sync with
+#: :data:`repro.runtime.spec_hash.OMIT_IF_DEFAULT` (a string literal here to
+#: avoid importing the runtime package at schema-load time): specs that never
+#: set the field keep the exact content hash they had before the field
+#: existed, so pinned goldens survive schema growth.
+_HASH_OMIT_IF_DEFAULT = {"repro_hash_omit_if_default": True}
 
 #: Tenant kinds a fleet machine group may run as its harvested secondary.
 SECONDARY_KINDS = ("cpu_bully", "disk_bully", "hdfs", "ml_training")
@@ -947,6 +961,187 @@ class ClusterSpec:
         return self.index_machines + self.tla_machines
 
 
+# --------------------------------------------------------------------------- faults
+@dataclass(frozen=True)
+class MachineFaultSpec:
+    """Machine crash/restart episodes across a fleet.
+
+    Each machine independently draws crash times from a Poisson process at
+    ``crash_rate_per_hour`` and an exponential downtime with mean
+    ``mean_downtime`` seconds, all from the named ``"faults"`` random stream
+    keyed by ``(seed, group, machine index)`` — so the schedule is a pure
+    function of the spec and byte-identical at any worker count or shard
+    partition.  A rate of ``0.0`` disables machine faults entirely.
+    """
+
+    crash_rate_per_hour: float = 0.0
+    mean_downtime: float = 120.0
+    #: Cap on crash episodes drawn per machine (keeps schedules bounded).
+    max_crashes: int = 4
+
+    def __post_init__(self) -> None:
+        if self.crash_rate_per_hour < 0:
+            raise ConfigError("crash_rate_per_hour must be >= 0")
+        if self.mean_downtime <= 0:
+            raise ConfigError("mean_downtime must be positive")
+        if self.max_crashes < 1:
+            raise ConfigError("max_crashes must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.crash_rate_per_hour > 0.0
+
+
+@dataclass(frozen=True)
+class DegradedCoreSpec:
+    """Degraded/straggler cores: CPU work slows by ``slowdown`` over a window.
+
+    On a single machine the whole core complex dispatches at ``1/slowdown``
+    speed during ``[start, start + duration)``.  Across a fleet,
+    ``fraction_of_machines`` of each group (chosen deterministically from the
+    faults stream) straggle during the window; the rest run at full speed.
+    ``duration == 0`` disables the fault.
+    """
+
+    slowdown: float = 1.5
+    start: float = 0.0
+    duration: float = 0.0
+    fraction_of_machines: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise ConfigError("degraded-core slowdown must be >= 1.0")
+        if self.start < 0 or self.duration < 0:
+            raise ConfigError("degraded-core window start/duration must be >= 0")
+        if not 0.0 < self.fraction_of_machines <= 1.0:
+            raise ConfigError("fraction_of_machines must be in (0, 1]")
+
+    @property
+    def enabled(self) -> bool:
+        return self.duration > 0.0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class TelemetryFaultSpec:
+    """Controller telemetry dropout or staleness over a window.
+
+    During ``[start, start + duration)`` the controller's observation inputs
+    (``windowed_p99`` and ``forecast_peak_qps``) either go ``"missing"``
+    (read as ``None``, as if the metrics pipeline dropped the feed) or are
+    ``"frozen"`` at the value last seen before the window opened (a stale
+    cache that keeps serving).  ``duration == 0`` disables the fault.
+    """
+
+    mode: str = "missing"
+    start: float = 0.0
+    duration: float = 0.0
+
+    VALID_MODES = ("missing", "frozen")
+
+    def __post_init__(self) -> None:
+        if self.mode not in self.VALID_MODES:
+            raise ConfigError(
+                f"telemetry fault mode must be one of {self.VALID_MODES}, "
+                f"got {self.mode!r}"
+            )
+        if self.start < 0 or self.duration < 0:
+            raise ConfigError("telemetry fault start/duration must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        return self.duration > 0.0
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass(frozen=True)
+class ControllerCrashSpec:
+    """Controller crash followed by Autopilot ``restore_state`` recovery.
+
+    On a single machine the PerfIso controller is checkpointed every
+    ``checkpoint_interval`` seconds, killed at ``at`` and restarted
+    ``recovery_delay`` seconds later from its last checkpoint.  In a fleet
+    rollout the crash lands in whatever stage covers simulated time ``at``:
+    that stage's guardrail digest is lost, the guardrail fails safe and the
+    stage retries with backoff.  ``at == 0`` disables the fault.
+    """
+
+    at: float = 0.0
+    recovery_delay: float = 0.05
+    checkpoint_interval: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.at < 0:
+            raise ConfigError("controller crash time must be >= 0")
+        if self.recovery_delay <= 0:
+            raise ConfigError("controller recovery_delay must be positive")
+        if self.checkpoint_interval <= 0:
+            raise ConfigError("controller checkpoint_interval must be positive")
+
+    @property
+    def enabled(self) -> bool:
+        return self.at > 0.0
+
+
+@dataclass(frozen=True)
+class ConfigPushFaultSpec:
+    """Transient configuration-push failures mid-rollout.
+
+    Each store publish/rollback attempt independently fails with probability
+    ``failure_rate`` (drawn from the faults stream, so the failure pattern is
+    deterministic per spec), up to ``max_failures`` injected failures in
+    total.  The rollout retries failed pushes with capped backoff.
+    ``failure_rate == 0`` disables the fault.
+    """
+
+    failure_rate: float = 0.0
+    max_failures: int = 8
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.failure_rate <= 1.0:
+            raise ConfigError("config-push failure_rate must be in [0, 1]")
+        if self.max_failures < 1:
+            raise ConfigError("config-push max_failures must be >= 1")
+
+    @property
+    def enabled(self) -> bool:
+        return self.failure_rate > 0.0
+
+
+@dataclass(frozen=True)
+class FaultPlanSpec:
+    """A deterministic fault timeline for one experiment or fleet run.
+
+    Every sub-plan is optional; an unset (or all-disabled) plan is a no-op
+    and produces byte-identical results to a spec with no fault plan at all.
+    Fault schedules draw exclusively from the named ``"faults"`` random
+    stream, so enabling faults cannot perturb any other component's draws.
+    """
+
+    machines: Optional[MachineFaultSpec] = None
+    degraded: Optional[DegradedCoreSpec] = None
+    telemetry: Optional[TelemetryFaultSpec] = None
+    controller_crash: Optional[ControllerCrashSpec] = None
+    config_push: Optional[ConfigPushFaultSpec] = None
+
+    @property
+    def is_noop(self) -> bool:
+        """True when no sub-plan would inject anything."""
+        return not (
+            (self.machines is not None and self.machines.enabled)
+            or (self.degraded is not None and self.degraded.enabled)
+            or (self.telemetry is not None and self.telemetry.enabled)
+            or (self.controller_crash is not None and self.controller_crash.enabled)
+            or (self.config_push is not None and self.config_push.enabled)
+        )
+
+
 # --------------------------------------------------------------------------- fleet
 @dataclass(frozen=True)
 class MachineGroupSpec:
@@ -1045,6 +1240,17 @@ class RolloutSpec:
     bake_buckets: int = 4
     #: Buckets each stage must hold before the guardrail verdict.
     stage_buckets: int = 4
+    #: Churn hardening: attempts per stage before the rollout gives up.  A
+    #: stage whose guardrail digest is missing or stale (controller crash,
+    #: machines lost mid-measurement) fails safe — it does not advance — and
+    #: is retried up to ``stage_attempts - 1`` more times.
+    stage_attempts: int = 3
+    #: Backoff before a stage retry, in buckets; doubles per retry.
+    retry_backoff_buckets: int = 1
+    #: Cap on the per-retry backoff, in buckets.
+    retry_backoff_cap_buckets: int = 8
+    #: Attempts per configuration push before a transient failure is fatal.
+    push_attempts: int = 3
 
     def __post_init__(self) -> None:
         if not self.stage_fractions:
@@ -1067,6 +1273,14 @@ class RolloutSpec:
             raise ConfigError("guardrail_p99_multiplier must be >= 1.0")
         if self.bake_buckets < 1 or self.stage_buckets < 1:
             raise ConfigError("bake_buckets and stage_buckets must be >= 1")
+        if self.stage_attempts < 1:
+            raise ConfigError("stage_attempts must be >= 1")
+        if self.retry_backoff_buckets < 0:
+            raise ConfigError("retry_backoff_buckets must be >= 0")
+        if self.retry_backoff_cap_buckets < 1:
+            raise ConfigError("retry_backoff_cap_buckets must be >= 1")
+        if self.push_attempts < 1:
+            raise ConfigError("push_attempts must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -1106,6 +1320,12 @@ class FleetSpec:
     #: ``sample_fraction``.
     min_sampled_machines: int = 256
     seed: int = 7
+    #: Optional deterministic fault plan.  Hash-transparent while unset, so a
+    #: fault-free fleet hashes (and therefore caches) exactly as before the
+    #: fault subsystem existed.
+    faults: Optional[FaultPlanSpec] = field(
+        default=None, metadata=_HASH_OMIT_IF_DEFAULT
+    )
 
     def __post_init__(self) -> None:
         if not self.groups:
@@ -1159,6 +1379,12 @@ class ExperimentSpec:
     #: different sizes, or CPU bully + disk bully + ML training at once).
     extra_secondaries: Tuple[SecondaryJobSpec, ...] = ()
     seed: int = 1
+    #: Optional deterministic fault plan.  Hash-transparent while unset: a
+    #: spec without faults keeps the exact content hash it had before the
+    #: fault subsystem existed (pinned by the golden suite).
+    faults: Optional[FaultPlanSpec] = field(
+        default=None, metadata=_HASH_OMIT_IF_DEFAULT
+    )
 
     def replace(self, **changes) -> "ExperimentSpec":
         """Return a copy with ``changes`` applied (thin dataclasses.replace wrapper)."""

@@ -12,9 +12,49 @@ from __future__ import annotations
 from typing import List
 
 from ..errors import ConfigError
-from .schema import ClusterSpec, ExperimentSpec, FleetSpec
+from .schema import ClusterSpec, ExperimentSpec, FaultPlanSpec, FleetSpec
 
-__all__ = ["validate_experiment", "validate_cluster", "validate_fleet", "collect_warnings"]
+__all__ = [
+    "validate_experiment",
+    "validate_cluster",
+    "validate_fleet",
+    "validate_fault_plan",
+    "collect_warnings",
+]
+
+
+def validate_fault_plan(plan: FaultPlanSpec, horizon: float, context: str) -> None:
+    """Cross-field checks of a fault plan against its run's time horizon.
+
+    A fault window that opens after the run ends is almost always a unit
+    mistake (seconds vs buckets); failing loudly beats silently injecting
+    nothing.  ``context`` names the owning spec in error messages.
+    """
+    degraded = plan.degraded
+    if degraded is not None and degraded.enabled and degraded.start >= horizon:
+        raise ConfigError(
+            f"{context}: degraded-core window starts at {degraded.start} s but the "
+            f"run ends at {horizon} s; the fault would never fire"
+        )
+    telemetry = plan.telemetry
+    if telemetry is not None and telemetry.enabled and telemetry.start >= horizon:
+        raise ConfigError(
+            f"{context}: telemetry fault window starts at {telemetry.start} s but "
+            f"the run ends at {horizon} s; the fault would never fire"
+        )
+    crash = plan.controller_crash
+    if crash is not None and crash.enabled and crash.at >= horizon:
+        raise ConfigError(
+            f"{context}: controller crash at {crash.at} s is past the end of the "
+            f"run ({horizon} s); the fault would never fire"
+        )
+    machines = plan.machines
+    if machines is not None and machines.enabled and machines.mean_downtime >= horizon:
+        raise ConfigError(
+            f"{context}: mean machine downtime ({machines.mean_downtime} s) is at "
+            f"least the whole run ({horizon} s); a crashed machine would never "
+            "restart inside the simulated window"
+        )
 
 
 def validate_experiment(spec: ExperimentSpec) -> None:
@@ -114,6 +154,30 @@ def validate_experiment(spec: ExperimentSpec) -> None:
             "to its constant base rate"
         )
 
+    if spec.faults is not None:
+        if spec.faults.machines is not None and spec.faults.machines.enabled:
+            raise ConfigError(
+                "machine crash/restart faults apply to fleet specs; a "
+                "single-machine experiment has no fleet to fail over to"
+            )
+        if spec.faults.config_push is not None and spec.faults.config_push.enabled:
+            raise ConfigError(
+                "config-push faults apply to fleet rollouts; a single-machine "
+                "experiment performs no configuration pushes"
+            )
+        if (
+            spec.faults.controller_crash is not None
+            and spec.faults.controller_crash.enabled
+            and spec.perfiso is None
+        ):
+            raise ConfigError(
+                "a controller-crash fault needs a PerfIso controller to crash "
+                "(spec.perfiso is None)"
+            )
+        validate_fault_plan(
+            spec.faults, horizon=spec.workload.total_time, context="experiment"
+        )
+
 
 def validate_cluster(spec: ClusterSpec) -> None:
     """Raise :class:`ConfigError` if a cluster layout is inconsistent."""
@@ -155,6 +219,12 @@ def validate_fleet(spec: FleetSpec) -> None:
                 "raise min_sampled_machines, raise samples_per_machine_bucket, "
                 "or run exact mode (sample_fraction=1.0)"
             )
+    if spec.faults is not None:
+        validate_fault_plan(
+            spec.faults,
+            horizon=total_buckets * spec.bucket_seconds,
+            context="fleet",
+        )
 
 
 def collect_warnings(spec: ExperimentSpec) -> List[str]:

@@ -63,6 +63,10 @@ class PerfIsoController:
         self._network_throttle = NetworkThrottle(kernel, self._spec.network_throttle)
         self._enabled = self._spec.enabled
         self._running = False
+        #: The pending poll event, cancelled on stop() so a stopped-then-
+        #: restarted controller (crash recovery) cannot resurrect its old
+        #: poll chain alongside the new one and poll at double rate.
+        self._poll_event = None
         self._current_core_count: Optional[int] = None
         # Optional telemetry sources for observation-driven policies; polled
         # lazily and only for policies that declare the matching capability.
@@ -170,12 +174,14 @@ class PerfIsoController:
             self._io_throttler.start()
             self._memory_guard.start()
             self._network_throttle.start()
-        self._kernel.engine.schedule(
+        self._poll_event = self._kernel.engine.schedule(
             self._spec.poll_interval, self._poll, priority=EventPriority.CONTROLLER
         )
 
     def stop(self) -> None:
         self._running = False
+        self._kernel.engine.cancel(self._poll_event)
+        self._poll_event = None
         self._io_throttler.stop()
         self._memory_guard.stop()
         self._network_throttle.stop()
@@ -295,7 +301,7 @@ class PerfIsoController:
                     self._apply(decision)
             else:
                 self._traced_decide()
-        self._kernel.engine.schedule(
+        self._poll_event = self._kernel.engine.schedule(
             self._spec.poll_interval, self._poll, priority=EventPriority.CONTROLLER
         )
 

@@ -40,5 +40,34 @@ class ClusterError(ReproError):
     """A cluster-level component (routing, aggregation, deployment) failed."""
 
 
+class UnknownVersionError(ClusterError):
+    """A configuration version was requested that the store has never held.
+
+    Carries the configuration ``name``, the requested ``version`` and the
+    ``available`` versions so recovery code (staged rollouts rolling back
+    through churn) can decide whether the miss is fatal or survivable.
+    """
+
+    def __init__(self, name: str, version: object, available: tuple) -> None:
+        self.name = name
+        self.version = version
+        self.available = tuple(available)
+        listing = ", ".join(str(v) for v in self.available) if self.available else "none"
+        super().__init__(
+            f"configuration {name!r} has no version {version}; "
+            f"available versions: {listing}"
+        )
+
+
+class ConfigPushError(ClusterError):
+    """A configuration push failed transiently (lost ack, partitioned store).
+
+    Raised by fault-injecting config stores; staged rollouts treat it as
+    retryable, unlike other :class:`ClusterError`\\ s which indicate a
+    genuinely misconfigured deployment.
+    """
+
+
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
+

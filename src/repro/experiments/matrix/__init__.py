@@ -434,7 +434,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     action = parser.add_mutually_exclusive_group(required=True)
     action.add_argument("--list", action="store_true", help="print the scenario catalog")
-    action.add_argument("--run", metavar="NAME", help="expand and run one scenario")
+    action.add_argument(
+        "--run",
+        metavar="NAME[,NAME...]",
+        help="expand and run one or more scenarios (comma separated); a "
+        "failing scenario is reported in an error table, the rest still run",
+    )
     parser.add_argument(
         "--grid",
         action="append",
@@ -479,6 +484,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     from ...runtime.runner import ExperimentRunner
+    from ...telemetry.log import get_logger
+
+    log = get_logger("repro.experiments.matrix")
+    names = [name.strip() for name in args.run.split(",") if name.strip()]
 
     # 0 forces serial (the runner clamps to >= 1), matching REPRO_RUNNER_WORKERS.
     runner = (
@@ -493,41 +502,72 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
 
     def _execute():
-        return run_scenario(
-            args.run,
-            runner=runner,
-            grid=_parse_grid(args.grid),
-            telemetry=telemetry,
-            qps=args.qps,
-            duration=args.duration,
-            warmup=args.warmup,
-            seed=args.seed,
-        )
+        # One scenario blowing up mid-run must not take the batch down with
+        # it: the failure is recorded, the remaining scenarios still run, and
+        # every completed result is still flushed below.
+        from ...runtime.runner import default_runner
+
+        active = runner if runner is not None else default_runner()
+        grid = _parse_grid(args.grid)
+        results: List[MatrixResult] = []
+        failures: List[Dict[str, str]] = []
+        for name in names:
+            try:
+                results.append(
+                    run_scenario(
+                        name,
+                        runner=active,
+                        grid=grid,
+                        telemetry=telemetry,
+                        qps=args.qps,
+                        duration=args.duration,
+                        warmup=args.warmup,
+                        seed=args.seed,
+                    )
+                )
+            except Exception as error:
+                log.error("scenario failed", scenario=name, error=str(error))
+                failures.append(
+                    {"scenario": name, "error": f"{type(error).__name__}: {error}"}
+                )
+        return results, failures
 
     try:
+        if not names:
+            raise ConfigError("--run expects at least one scenario name")
+        # Malformed grids and unknown names are caller mistakes, not run
+        # failures: reject the whole invocation (exit 2) before running
+        # anything rather than burning a batch on a typo.
+        _parse_grid(args.grid)
+        for name in names:
+            get_scenario(name)
         if args.profile:
             from ...telemetry.profiling import run_profiled
 
-            result = run_profiled(_execute, args.profile)
+            results, failures = run_profiled(_execute, args.profile)
         else:
-            result = _execute()
+            results, failures = _execute()
     except ConfigError as error:
-        from ...telemetry.log import get_logger
-
-        get_logger("repro.experiments.matrix").error("command failed", error=str(error))
+        log.error("command failed", error=str(error))
         return 2
     finally:
         if telemetry is not None:
             telemetry.close()
-    rows = result.rows()
+
+    rows = [row for result in results for row in result.rows()]
     if args.out == "json":
         print(rows_to_json(rows))
     elif args.out == "csv":
         print(rows_to_csv(rows), end="")
     else:
-        print(f"== {result.scenario.name}: {result.scenario.description} ==")
-        print(format_table(rows))
-        print(f"\n{len(rows)} variants, {result.cache_hits} served from cache")
+        for result in results:
+            print(f"== {result.scenario.name}: {result.scenario.description} ==")
+            print(format_table(result.rows()))
+            print(f"\n{len(result.rows())} variants, {result.cache_hits} served from cache")
+    if failures:
+        print(f"\n== {len(failures)} of {len(names)} scenarios failed ==")
+        print(format_table(failures, columns=["scenario", "error"]))
+        return 1
     return 0
 
 

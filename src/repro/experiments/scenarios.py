@@ -22,11 +22,14 @@ from typing import Optional
 from ..config.schema import (
     BlindIsolationSpec,
     BurstySpec,
+    ControllerCrashSpec,
     CpuBullySpec,
     CpuCycleSpec,
+    DegradedCoreSpec,
     DiskBullySpec,
     DiurnalSpec,
     ExperimentSpec,
+    FaultPlanSpec,
     FlashCrowdSpec,
     HdfsSpec,
     IndexServeSpec,
@@ -37,6 +40,7 @@ from ..config.schema import (
     SchedulerSpec,
     SecondaryJobSpec,
     StaticCoreSpec,
+    TelemetryFaultSpec,
     TraceSpec,
     WorkloadSpec,
 )
@@ -89,6 +93,9 @@ __all__ = [
     "CONTROLLER_POLICIES",
     "SHOWDOWN_WORKLOADS",
     "controller_showdown",
+    "chaos_controller_crash",
+    "chaos_telemetry_dropout",
+    "chaos_degraded_cores",
 ]
 
 #: The paper's approximation of average and peak per-machine load (Section 5.3).
@@ -934,6 +941,124 @@ def controller_showdown(
         cpu_bully=CpuBullySpec(threads=bully_threads),
         perfiso=perfiso,
     )
+
+
+# ------------------------------------------------------------ chaos scenarios
+# Deterministic fault injection: the same experiment as the healthy scenario,
+# plus a fault plan drawn from the named "faults" stream.  Every window scales
+# with warmup/duration, so the golden-tier runs exercise the same phases as
+# the full-length ones.
+@matrix.scenario(
+    "chaos-controller-crash",
+    "Blind isolation with the controller crashing and recovering mid-run",
+    tags=("chaos", "controller"),
+)
+def chaos_controller_crash(
+    recovery_delay: float = 0.05,
+    buffer_cores: int = 8,
+    bully_threads: int = HIGH_BULLY_THREADS,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """``blind-isolation`` with a mid-run controller crash.
+
+    The controller checkpoints periodically, dies at 40% of the measured
+    window, and restarts ``recovery_delay`` seconds later from its last
+    checkpoint — while it is down the secondary keeps whatever core count
+    the last decision granted.
+    """
+    spec = blind_isolation(
+        buffer_cores=buffer_cores,
+        bully_threads=bully_threads,
+        qps=qps,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+    faults = FaultPlanSpec(
+        controller_crash=ControllerCrashSpec(
+            at=warmup + 0.4 * duration,
+            recovery_delay=recovery_delay,
+        )
+    )
+    return dataclasses.replace(spec, faults=faults)
+
+
+@matrix.scenario(
+    "chaos-telemetry-dropout",
+    "The PID controller flying blind through a telemetry dropout window",
+    axes={"mode": ("missing", "frozen")},
+    tags=("chaos", "controller"),
+)
+def chaos_telemetry_dropout(
+    mode: str = "missing",
+    slo_ms: float = 15.0,
+    bully_threads: int = HIGH_BULLY_THREADS,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """A latency-feedback controller whose telemetry degrades mid-run.
+
+    ``"missing"`` makes P99 reads return nothing (the policy must hold);
+    ``"frozen"`` serves the last healthy value (a stale cache that keeps
+    answering).  The window covers 30%..60% of the measured run.
+    """
+    spec = base_spec(qps=qps, duration=duration, warmup=warmup, seed=seed)
+    perfiso = PerfIsoSpec(
+        cpu_policy="pid", pid=PidControlSpec(slo_p99=slo_ms / 1000.0)
+    )
+    faults = FaultPlanSpec(
+        telemetry=TelemetryFaultSpec(
+            mode=mode, start=warmup + 0.3 * duration, duration=0.3 * duration
+        )
+    )
+    return dataclasses.replace(
+        spec,
+        cpu_bully=CpuBullySpec(threads=bully_threads),
+        perfiso=perfiso,
+        faults=faults,
+    )
+
+
+@matrix.scenario(
+    "chaos-degraded-cores",
+    "A mid-run straggler window slowing every core under blind isolation",
+    axes={"slowdown": (1.5, 3.0)},
+    tags=("chaos",),
+)
+def chaos_degraded_cores(
+    slowdown: float = 1.5,
+    buffer_cores: int = 8,
+    bully_threads: int = HIGH_BULLY_THREADS,
+    qps: float = AVERAGE_LOAD_QPS,
+    duration: float = 10.0,
+    warmup: float = 1.0,
+    seed: int = 1,
+) -> ExperimentSpec:
+    """``blind-isolation`` on a machine that straggles for half the run.
+
+    Every core dispatches at ``1/slowdown`` speed from 20% to 70% of the
+    measured window — the thermal-throttle / noisy-VM shape the degraded-core
+    fault models — then recovers.
+    """
+    spec = blind_isolation(
+        buffer_cores=buffer_cores,
+        bully_threads=bully_threads,
+        qps=qps,
+        duration=duration,
+        warmup=warmup,
+        seed=seed,
+    )
+    faults = FaultPlanSpec(
+        degraded=DegradedCoreSpec(
+            slowdown=slowdown, start=warmup + 0.2 * duration, duration=0.5 * duration
+        )
+    )
+    return dataclasses.replace(spec, faults=faults)
 
 
 # ------------------------------------------------------------- derived views

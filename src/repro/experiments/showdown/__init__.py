@@ -21,16 +21,23 @@ Run it directly::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from ...config.schema import (
+    ControllerCrashSpec,
+    DegradedCoreSpec,
+    FaultPlanSpec,
+    TelemetryFaultSpec,
+)
 from ...errors import ConfigError
 from ...runtime import ExperimentRunner, ExperimentTask
 from ..reporting import format_table, rows_to_csv
 from ..scenarios import CONTROLLER_POLICIES, SHOWDOWN_WORKLOADS, controller_showdown
 
-__all__ = ["ShowdownResult", "run_showdown", "main"]
+__all__ = ["ShowdownResult", "default_chaos_plan", "run_showdown", "main"]
 
 #: Columns of the per-run detail table, in emission order.
 DETAIL_COLUMNS = (
@@ -74,6 +81,27 @@ class ShowdownResult:
         return str(self.ranking[0]["controller"])
 
 
+def default_chaos_plan(duration: float = 10.0, warmup: float = 1.0) -> FaultPlanSpec:
+    """The chaos-showdown fault plan, scaled to the run window.
+
+    Three sequential, non-overlapping incidents: a degraded-core straggler
+    window early, a telemetry dropout mid-run, and a controller crash late —
+    so a controller's ranking reflects how it rides out each failure mode,
+    not just how it performs while everything is healthy.
+    """
+    return FaultPlanSpec(
+        degraded=DegradedCoreSpec(
+            slowdown=1.5, start=warmup + 0.1 * duration, duration=0.25 * duration
+        ),
+        telemetry=TelemetryFaultSpec(
+            mode="missing", start=warmup + 0.45 * duration, duration=0.2 * duration
+        ),
+        controller_crash=ControllerCrashSpec(
+            at=warmup + 0.75 * duration, recovery_delay=min(0.05, 0.02 * duration)
+        ),
+    )
+
+
 def run_showdown(
     controllers: Sequence[str] = CONTROLLER_POLICIES,
     workloads: Sequence[str] = SHOWDOWN_WORKLOADS,
@@ -85,6 +113,7 @@ def run_showdown(
     peak_qps: Optional[float] = None,
     runner: Optional[ExperimentRunner] = None,
     telemetry=None,
+    faults: Optional[FaultPlanSpec] = None,
 ) -> ShowdownResult:
     """Race ``controllers`` across ``workloads`` and rank them.
 
@@ -92,6 +121,12 @@ def run_showdown(
     :func:`~repro.experiments.scenarios.controller_showdown` from the same
     ``seed``, so within one workload shape the controllers replay identical
     traffic — the ranking isolates the policy, nothing else.
+
+    ``faults`` injects the identical fault plan into every cell (the chaos
+    showdown): same degraded windows, same telemetry dropouts, same crash
+    times, so resilience differences are attributable to the controller.
+    The ``"none"`` policy has no controller to crash, so any
+    ``controller_crash`` entry is stripped from its cells.
 
     ``telemetry`` (a :class:`~repro.telemetry.stream.TelemetrySession`) runs
     the grid serially in this process so probes can stream — snapshots and
@@ -119,9 +154,10 @@ def run_showdown(
     if peak_qps is not None:
         extra["peak_qps"] = peak_qps
 
-    tasks = [
-        ExperimentTask(
-            controller_showdown(
+    tasks = []
+    for workload in workloads:
+        for controller in controllers:
+            spec = controller_showdown(
                 policy=controller,
                 workload=workload,
                 slo_ms=slo_ms,
@@ -129,12 +165,15 @@ def run_showdown(
                 warmup=warmup,
                 seed=seed,
                 **extra,
-            ),
-            scenario=f"showdown/{workload}/{controller}",
-        )
-        for workload in workloads
-        for controller in controllers
-    ]
+            )
+            label = f"showdown/{workload}/{controller}"
+            if faults is not None:
+                cell_faults = faults
+                if spec.perfiso is None and faults.controller_crash is not None:
+                    cell_faults = dataclasses.replace(faults, controller_crash=None)
+                spec = dataclasses.replace(spec, faults=cell_faults)
+                label += "+chaos"
+            tasks.append(ExperimentTask(spec, scenario=label))
     if telemetry is not None:
         from ..single_machine import SingleMachineExperiment
 
@@ -242,6 +281,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--slo-ms", type=float, default=15.0, help="P99 SLO in milliseconds")
     parser.add_argument("--base-qps", type=float, default=None, help="override the base load")
     parser.add_argument("--peak-qps", type=float, default=None, help="override the peak load")
+    parser.add_argument(
+        "--chaos",
+        action="store_true",
+        help="inject the default chaos fault plan (degraded cores, telemetry "
+        "dropout, controller crash) into every cell",
+    )
     parser.add_argument("--workers", type=int, default=None, help="worker process count")
     parser.add_argument(
         "--out", choices=("table", "json", "csv"), default="table", help="output format"
@@ -275,6 +320,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             peak_qps=args.peak_qps,
             runner=ExperimentRunner(max_workers=args.workers),
             telemetry=telemetry,
+            faults=(
+                default_chaos_plan(args.duration, args.warmup) if args.chaos else None
+            ),
         )
     except ConfigError as exc:
         from ...telemetry.log import get_logger

@@ -16,6 +16,11 @@ from ..config.schema import ExperimentSpec
 from ..config.validation import validate_experiment
 from ..core.controller import PerfIsoController
 from ..errors import ExperimentError
+from ..faults.injector import (
+    DegradedForecast,
+    DegradedLatencyWindow,
+    SingleMachineFaultInjector,
+)
 from ..hardware.machine import Machine
 from ..hostos.syscalls import Kernel
 from ..core.policies import policy_class
@@ -123,6 +128,7 @@ class SingleMachineExperiment:
         self.controller: Optional[PerfIsoController] = None
         self.secondaries: List[SecondaryTenant] = []
         self.arrival_model = None
+        self.fault_injector: Optional[SingleMachineFaultInjector] = None
 
     @property
     def spec(self) -> ExperimentSpec:
@@ -211,6 +217,18 @@ class SingleMachineExperiment:
         secondaries = self._build_secondaries(kernel, streams)
         self.secondaries = secondaries
 
+        # An all-disabled fault plan is exactly no plan: nothing is wrapped,
+        # nothing is scheduled, and the run is byte-identical to a faultless
+        # spec (fault schedules draw only from the reserved "faults" stream).
+        faults = spec.faults if spec.faults is not None and not spec.faults.is_noop else None
+        telemetry_fault = (
+            faults.telemetry
+            if faults is not None and faults.telemetry is not None and faults.telemetry.enabled
+            else None
+        )
+        latency_proxy: Optional[DegradedLatencyWindow] = None
+        forecast_proxy: Optional[DegradedForecast] = None
+
         controller: Optional[PerfIsoController] = None
         if spec.perfiso is not None:
             controller = PerfIsoController(kernel, spec.perfiso)
@@ -222,7 +240,17 @@ class SingleMachineExperiment:
                 if arrival_model is not None
                 else ConstantArrival(spec.workload.qps)
             )
-            controller.attach_telemetry(forecast=forecast, latency_window=latency_window)
+            controller_window = latency_window
+            if telemetry_fault is not None:
+                # The controller reads its signals through fault proxies; the
+                # real window still receives every collector sample and the
+                # telemetry session still reads the raw sources.
+                forecast_proxy = DegradedForecast(forecast)
+                forecast = forecast_proxy
+                if latency_window is not None:
+                    latency_proxy = DegradedLatencyWindow(latency_window)
+                    controller_window = latency_proxy
+            controller.attach_telemetry(forecast=forecast, latency_window=controller_window)
             self.controller = controller
 
         sampler = CpuUtilizationSampler(engine, kernel, interval=0.5, warmup_end=warmup_end)
@@ -237,6 +265,18 @@ class SingleMachineExperiment:
         if controller is not None:
             controller.start()
         client.start()
+
+        if faults is not None:
+            injector = SingleMachineFaultInjector(
+                faults,
+                engine=engine,
+                kernel=kernel,
+                controller=controller,
+                latency_proxy=latency_proxy,
+                forecast_proxy=forecast_proxy,
+            )
+            injector.install()
+            self.fault_injector = injector
 
         if telemetry is not None:
             telemetry.attach_single_machine(
@@ -336,5 +376,12 @@ class SingleMachineExperiment:
             result.extra["offered_mean_qps"] = offered.mean()
             result.extra["offered_peak_qps"] = self.arrival_model.peak_in(
                 spec.workload.warmup, spec.workload.total_time
+            )
+        if self.fault_injector is not None:
+            # Only fault-bearing specs gain these keys, so zero-fault results
+            # (and their pinned goldens) keep their exact historical shape.
+            result.extra["fault_events"] = float(len(self.fault_injector.events))
+            result.extra["controller_restarts"] = float(
+                self.fault_injector.controller_restarts
             )
         return result

@@ -49,7 +49,13 @@ class StageAccount:
             "unplaced_jobs": self.unplaced_jobs,
             "baseline_p99_ms": round(self.baseline_p99_ms, 4),
             "colocated_p99_ms": round(self.colocated_p99_ms, 4),
-            "p99_ratio": round(self.p99_ratio, 4),
+            # A retried stage attempt has no usable ratio (NaN); JSON has no
+            # NaN, so the row carries null instead.
+            "p99_ratio": (
+                round(self.p99_ratio, 4)
+                if self.p99_ratio == self.p99_ratio
+                else None
+            ),
             "decision": self.decision,
             "reclaimed_core_hours": round(self.reclaimed_core_hours, 4),
             "batch_machine_hours": round(self.batch_machine_hours, 4),

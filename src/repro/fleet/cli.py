@@ -36,9 +36,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--list", action="store_true", help="list the fleet scenario catalog")
     parser.add_argument(
         "--scenario",
-        metavar="NAME",
+        metavar="NAME[,NAME...]",
         default=None,
-        help="run a registered fleet scenario instead of the default fleet",
+        help="run one or more registered fleet scenarios (comma separated) "
+        "instead of the default fleet; a failing scenario is reported in an "
+        "error table, the rest still run",
     )
     parser.add_argument("--machines", type=int, default=2000, help="total fleet size")
     parser.add_argument("--stages", type=int, default=3, help="rollout stage count")
@@ -186,16 +188,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     f"{', '.join(overridden)} would be ignored — drop them, or "
                     "build a custom fleet without --scenario"
                 )
-            return _run_catalog_scenario(args, runner, telemetry)
-        return _run_default_fleet(args, runner, telemetry)
+            return _run_catalog_scenarios(args, runner, telemetry)
+        return _run_default_fleet(args, runner, telemetry), []
 
     try:
         if args.profile:
             from ..telemetry.profiling import run_profiled
 
-            rows = run_profiled(_execute, args.profile)
+            rows, failures = run_profiled(_execute, args.profile)
         else:
-            rows = _execute()
+            rows, failures = _execute()
     except ReproError as error:
         from ..telemetry.log import get_logger
 
@@ -211,22 +213,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(rows_to_csv(rows), end="")
     else:
         print(format_table(rows))
+    if failures:
+        print(f"\n== {len(failures)} scenarios failed ==")
+        print(format_table(failures, columns=["scenario", "error"]))
+        return 1
     return 0
 
 
-def _run_catalog_scenario(args, runner, telemetry=None) -> List[dict]:
-    from ..experiments import matrix
+def _run_catalog_scenarios(args, runner, telemetry=None):
+    """Run every requested catalog scenario, isolating per-scenario failures.
 
-    scenario = matrix.get_scenario(args.scenario)
-    if scenario.kind != "fleet":
-        raise ConfigError(
-            f"scenario {args.scenario!r} is not a fleet scenario; "
-            "use python -m repro.experiments.matrix to run it"
-        )
-    result = matrix.run_scenario(
-        args.scenario, runner=runner, telemetry=telemetry, seed=args.seed
-    )
-    return result.rows()
+    Returns ``(rows, failures)``: the concatenated result rows of every
+    scenario that completed, plus one ``{"scenario", "error"}`` row per
+    scenario that raised — completed work is always flushed, and the CLI
+    exits non-zero when ``failures`` is non-empty.
+    """
+    from ..experiments import matrix
+    from ..runtime.runner import default_runner
+    from ..telemetry.log import get_logger
+
+    names = [name.strip() for name in args.scenario.split(",") if name.strip()]
+    if not names:
+        raise ConfigError("--scenario expects at least one scenario name")
+    # Unknown or non-fleet names are caller mistakes: reject the whole
+    # invocation (exit 2) before running anything.  Failures *during* a run
+    # are isolated per scenario below (exit 1, partial results flushed).
+    for name in names:
+        if matrix.get_scenario(name).kind != "fleet":
+            raise ConfigError(
+                f"scenario {name!r} is not a fleet scenario; "
+                "use python -m repro.experiments.matrix to run it"
+            )
+    active = runner if runner is not None else default_runner()
+    rows: List[dict] = []
+    failures: List[dict] = []
+    for name in names:
+        try:
+            result = matrix.run_scenario(
+                name, runner=active, telemetry=telemetry, seed=args.seed
+            )
+            rows.extend(result.rows())
+        except Exception as error:
+            get_logger("repro.fleet").error(
+                "scenario failed", scenario=name, error=str(error)
+            )
+            failures.append(
+                {"scenario": name, "error": f"{type(error).__name__}: {error}"}
+            )
+    return rows, failures
 
 
 def _run_default_fleet(args, runner, telemetry=None) -> List[dict]:

@@ -13,11 +13,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..cluster.autopilot import ConfigStore
 from ..config.schema import RolloutSpec
-from ..errors import ClusterError
+from ..errors import ClusterError, ConfigPushError, UnknownVersionError
 
 __all__ = ["GuardrailMonitor", "StageDecision", "StagedRollout"]
 
@@ -31,7 +31,9 @@ class StageDecision:
     #: Worst colocated-to-baseline P99 ratio observed across groups.
     p99_ratio: float
     breached: bool
-    action: str  # "advance" | "halt"
+    action: str  # "advance" | "halt" | "retry"
+    #: Which attempt of this stage produced the verdict (1-based).
+    attempt: int = 1
 
 
 class GuardrailMonitor:
@@ -85,9 +87,15 @@ class StagedRollout:
         self._entries = dict(entries)
         self._baseline_versions: Dict[str, int] = {}
         self._target_versions: Dict[str, int] = {}
+        self._stage_attempts: Dict[str, int] = {}
         self.status = "pending"  # pending -> in_progress -> completed | halted
         self.history: List[StageDecision] = []
         self.monitor = GuardrailMonitor(rollout.guardrail_p99_multiplier)
+        #: Transient push failures absorbed by retries (churn observability).
+        self.push_failures = 0
+        #: Rollback targets that no longer existed at halt time; the rollout
+        #: rolls every *other* file back rather than dying mid-recovery.
+        self.rollback_errors: List[UnknownVersionError] = []
 
     # ---------------------------------------------------------------- wiring
     @property
@@ -111,19 +119,45 @@ class StagedRollout:
             raise ClusterError(f"rollout already {self.status}")
         for name in sorted(self._entries):
             baseline, target = self._entries[name]
-            self._baseline_versions[name] = self._store.publish(name, baseline)
-            self._target_versions[name] = self._store.publish(name, target)
+            self._baseline_versions[name] = self._push(
+                lambda name=name, spec=baseline: self._store.publish(name, spec)
+            )
+            self._target_versions[name] = self._push(
+                lambda name=name, spec=target: self._store.publish(name, spec)
+            )
         self.status = "in_progress"
 
     def record_stage(self, stage: str, fraction: float, p99_ratio: float) -> StageDecision:
-        """Apply the guardrail verdict for one completed stage.
+        """Apply the guardrail verdict for one completed stage attempt.
 
-        On a breach the rollout halts immediately: every file is rolled back
-        to the exact baseline version captured by :meth:`begin`, regardless
-        of what else was published to the store in the meantime.
+        Three verdicts are possible:
+
+        * a finite, in-bounds ratio **advances** the stage;
+        * a ``nan`` ratio (the stage digest went missing or stale — a
+          controller crash, machines lost mid-measurement) fails safe: the
+          stage **retries** while attempts remain, because a guardrail that
+          cannot read its own telemetry must neither advance nor convict;
+        * a genuine breach — or a ``nan`` with attempts exhausted — **halts**:
+          every file is rolled back to the exact baseline version captured by
+          :meth:`begin`, regardless of what else was published to the store
+          in the meantime.  A rollback target that vanished is recorded in
+          ``rollback_errors`` and the remaining files still roll back.
         """
         if self.status != "in_progress":
             raise ClusterError(f"cannot record a stage on a rollout that is {self.status}")
+        attempt = self._stage_attempts.get(stage, 0) + 1
+        self._stage_attempts[stage] = attempt
+        if math.isnan(p99_ratio) and attempt < self._rollout.stage_attempts:
+            decision = StageDecision(
+                stage=stage,
+                fraction=fraction,
+                p99_ratio=p99_ratio,
+                breached=False,
+                action="retry",
+                attempt=attempt,
+            )
+            self.history.append(decision)
+            return decision
         breached = self.monitor.breached_ratio(p99_ratio)
         decision = StageDecision(
             stage=stage,
@@ -131,13 +165,48 @@ class StagedRollout:
             p99_ratio=p99_ratio,
             breached=breached,
             action="halt" if breached else "advance",
+            attempt=attempt,
         )
         self.history.append(decision)
         if breached:
             for name in sorted(self._entries):
-                self._store.rollback(name, self._baseline_versions[name])
+                try:
+                    self._push(
+                        lambda name=name: self._store.rollback(
+                            name, self._baseline_versions[name]
+                        )
+                    )
+                except UnknownVersionError as error:
+                    self.rollback_errors.append(error)
             self.status = "halted"
         return decision
+
+    def backoff_buckets(self, stage: str) -> int:
+        """Buckets to idle before the next attempt of ``stage``.
+
+        Doubles per retry from ``retry_backoff_buckets``, capped at
+        ``retry_backoff_cap_buckets``; a base of 0 retries immediately.
+        """
+        attempt = self._stage_attempts.get(stage, 1)
+        base = self._rollout.retry_backoff_buckets
+        if base <= 0:
+            return 0
+        return min(base * (2 ** (attempt - 1)), self._rollout.retry_backoff_cap_buckets)
+
+    def _push(self, operation):
+        """Run one store push, retrying transient :class:`ConfigPushError`\\ s.
+
+        A push that still fails after ``push_attempts`` tries re-raises: at
+        that point the store is not flaky, it is gone.
+        """
+        last: Optional[ConfigPushError] = None
+        for _ in range(self._rollout.push_attempts):
+            try:
+                return operation()
+            except ConfigPushError as error:
+                last = error
+                self.push_failures += 1
+        raise last
 
     def finish(self) -> None:
         """Mark a rollout that survived every stage as completed."""

@@ -15,7 +15,11 @@ import dataclasses
 from typing import Optional, Tuple
 
 from ..config.schema import (
+    ConfigPushFaultSpec,
+    ControllerCrashSpec,
+    FaultPlanSpec,
     FleetSpec,
+    MachineFaultSpec,
     MachineGroupSpec,
     PlacementSpec,
     RolloutSpec,
@@ -33,6 +37,7 @@ __all__ = [
     "fleet_guardrail_breach",
     "fleet_diurnal_skew",
     "fleet_hyperscale",
+    "fleet_chaos_rollout",
 ]
 
 #: Proportions of the three default row configurations (ML training rows,
@@ -108,6 +113,7 @@ def default_fleet_spec(
     samples_per_machine_bucket: int = 32,
     sample_fraction: float = 1.0,
     min_sampled_machines: int = 256,
+    faults: Optional[FaultPlanSpec] = None,
 ) -> FleetSpec:
     """The canonical heterogeneous fleet, parameterised for CLI and scenarios."""
     overrides = {}
@@ -117,6 +123,8 @@ def default_fleet_spec(
         overrides["calibration_duration"] = calibration_duration
     if calibration_warmup is not None:
         overrides["calibration_warmup"] = calibration_warmup
+    if faults is not None:
+        overrides["faults"] = faults
     return FleetSpec(
         groups=default_groups(machines, phase_spread=phase_spread),
         rollout=RolloutSpec(
@@ -256,6 +264,45 @@ def fleet_hyperscale(machines: int = 50_000, stages: int = 3, seed: int = 7) -> 
         stage_buckets=3,
         sample_fraction=0.02,
         min_sampled_machines=256,
+    )
+
+
+@matrix.scenario(
+    "fleet-chaos-rollout",
+    "A healthy rollout surviving machine crashes, a controller crash and flaky pushes",
+    tags=("fleet", "chaos"),
+    tier="fast",
+    kind="fleet",
+)
+def fleet_chaos_rollout(machines: int = 48, seed: int = 7) -> FleetSpec:
+    """The crash-hardened control plane under fire, end to end.
+
+    A viable (blind-isolation) rollout runs while the fault plan injects
+    machine crash/restart churn, a coordinator crash inside stage 1's
+    measurement window (its digest is lost, so the stage fails safe to a
+    retry, idles out the backoff and re-measures) and transient config-push
+    failures absorbed by push retries.  Sized like
+    ``fleet-guardrail-breach`` so the whole recovery path runs in the fast
+    test tier and the CI chaos smoke step.
+    """
+    faults = FaultPlanSpec(
+        machines=MachineFaultSpec(crash_rate_per_hour=40.0, mean_downtime=60.0),
+        controller_crash=ControllerCrashSpec(at=150.0, recovery_delay=5.0),
+        config_push=ConfigPushFaultSpec(failure_rate=0.5, max_failures=2),
+    )
+    return default_fleet_spec(
+        machines=machines,
+        stages=3,
+        seed=seed,
+        target_policy="blind",
+        guardrail=1.5,
+        calibration_qps=(300.0, 900.0),
+        calibration_duration=0.5,
+        calibration_warmup=0.1,
+        bake_buckets=2,
+        stage_buckets=2,
+        samples_per_machine_bucket=8,
+        faults=faults,
     )
 
 

@@ -22,14 +22,15 @@ from __future__ import annotations
 
 import math
 from contextlib import ExitStack
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..cluster.autopilot import Autopilot
+from ..cluster.autopilot import Autopilot, ManagedService
 from ..config.schema import FleetSpec, MachineGroupSpec, PerfIsoSpec, BlindIsolationSpec
 from ..config.validation import validate_fleet
+from ..faults.fleet import FaultyConfigStore, FleetFaultTimeline, ShardFaultPlan
 from ..metrics.latency import LatencyDigest
 from ..units import to_millis
 from .accounting import FleetResult, StageAccount
@@ -84,6 +85,13 @@ class FleetShardTask:
     #: every machine; any other value makes the remaining machines contribute
     #: their closed-form expected histogram instead.
     sampled: Optional[Tuple[int, ...]] = None
+    #: Fault timeline for this shard's machines over this task's buckets
+    #: (``None`` = healthy).  Omitted from the spec hash while unset so
+    #: fault-free tasks keep their exact historical cache keys (the metadata
+    #: key mirrors :data:`repro.runtime.spec_hash.OMIT_IF_DEFAULT`).
+    faults: Optional[ShardFaultPlan] = field(
+        default=None, metadata={"repro_hash_omit_if_default": True}
+    )
 
 
 @dataclass
@@ -117,6 +125,14 @@ def _simulate_shard(task: FleetShardTask) -> FleetShardResult:
     In sampled (hyperscale) mode only ``task.sampled`` machines are drawn;
     the rest contribute :func:`~repro.fleet.model.closed_form_histogram`
     expected counts from the calibrated row model.
+
+    A fault plan (``task.faults``) is folded in *after* the main draw, so the
+    uniform stream layout — and therefore every healthy machine's samples —
+    is identical with and without faults: down machines' samples are excluded
+    from the per-bucket digests (and the closed-form totals count only up
+    machines), degraded machines' samples are scaled by the slowdown during
+    the degraded buckets (unsampled degraded machines contribute the closed
+    form of the slowed curve), and down machines earn no batch capacity.
     """
     machines = len(task.placed_cores)
     buckets = len(task.loads)
@@ -141,14 +157,20 @@ def _simulate_shard(task: FleetShardTask) -> FleetShardResult:
     cells = prototype.counts_size
 
     modes = (
-        (task.baseline, baseline_index, task.samples_per_machine, baseline_all.size),
+        (task.baseline, baseline_index, task.samples_per_machine, baseline_all),
         (
             task.colocated,
             colocated_index,
             task.colocated_samples_per_machine,
-            colocated_all.size,
+            colocated_all,
         ),
     )
+    faults = task.faults
+    if faults is not None:
+        down_arrays = [np.asarray(faults.down[b], dtype=np.intp) for b in range(buckets)]
+        degraded_array = np.asarray(faults.degraded, dtype=np.intp)
+        degraded_bucket_set = frozenset(faults.degraded_buckets)
+        any_down = any(faults.down)
     # Per-bucket blended quantile curves, hoisted out of the sampling math
     # (the historical loop re-converted every calibration tuple per bucket).
     bucket_curves = tuple(
@@ -165,35 +187,90 @@ def _simulate_shard(task: FleetShardTask) -> FleetShardResult:
     mode_uniforms = (flat[:, :split], flat[:, split:])
 
     per_mode_digests: Tuple[List[LatencyDigest], List[LatencyDigest]] = ([], [])
-    for which, (calibration, index, per_machine, class_size) in enumerate(modes):
+    for which, (calibration, index, per_machine, class_all) in enumerate(modes):
         curves = bucket_curves[which]
         drawn = index.size
+        drawn_alive: Optional[np.ndarray] = None
         if drawn:
             samples = np.empty((buckets, drawn, per_machine), dtype=np.float64)
             uniforms = mode_uniforms[which].reshape(buckets, drawn, per_machine)
             for bucket in range(buckets):
                 samples[bucket] = np.interp(uniforms[bucket], grid, curves[bucket])
             samples *= skew[index][None, :, None]
-            block = samples.reshape(buckets, -1)
-            indices = np.searchsorted(edges, block, side="right")
-            offsets = (np.arange(buckets) * cells)[:, None]
-            counts = np.bincount(
-                (indices + offsets).ravel(), minlength=buckets * cells
-            ).reshape(buckets, cells)
-            sums = block.sum(axis=1)
-            maxima = block.max(axis=1)
-        unsampled = class_size - drawn
+            if faults is not None and degraded_array.size and degraded_bucket_set:
+                straggler_rows = np.flatnonzero(np.isin(index, degraded_array))
+                if straggler_rows.size:
+                    for bucket in faults.degraded_buckets:
+                        samples[bucket, straggler_rows, :] *= faults.slowdown
+            if faults is None or not any_down:
+                block = samples.reshape(buckets, -1)
+                indices = np.searchsorted(edges, block, side="right")
+                offsets = (np.arange(buckets) * cells)[:, None]
+                counts = np.bincount(
+                    (indices + offsets).ravel(), minlength=buckets * cells
+                ).reshape(buckets, cells)
+                sums = block.sum(axis=1)
+                maxima = block.max(axis=1)
+            else:
+                # Crash episodes: bin per bucket so each bucket's down
+                # machines contribute nothing to its digest.
+                counts = np.zeros((buckets, cells), dtype=np.int64)
+                sums = np.zeros(buckets, dtype=np.float64)
+                maxima = np.zeros(buckets, dtype=np.float64)
+                drawn_alive = np.zeros(buckets, dtype=np.intp)
+                for bucket in range(buckets):
+                    keep = np.ones(drawn, dtype=bool)
+                    keep[np.flatnonzero(np.isin(index, down_arrays[bucket]))] = False
+                    block = samples[bucket][keep].ravel()
+                    drawn_alive[bucket] = block.size
+                    if block.size:
+                        counts[bucket] = np.bincount(
+                            np.searchsorted(edges, block, side="right"), minlength=cells
+                        )
+                        sums[bucket] = block.sum()
+                        maxima[bucket] = block.max()
+        unsampled = class_all.size - drawn
+        unsampled_positions = (
+            np.setdiff1d(class_all, index) if faults is not None and unsampled else None
+        )
         for bucket in range(buckets):
             digest = LatencyDigest()
-            if drawn:
+            if drawn and (drawn_alive is None or drawn_alive[bucket]):
                 digest.add_counts(
                     counts[bucket], float(sums[bucket]), float(maxima[bucket])
                 )
             if unsampled:
-                closed_counts, closed_sum, closed_max = closed_form_histogram(
-                    curves[bucket], edges, unsampled * per_machine
-                )
-                digest.add_counts(closed_counts, closed_sum, closed_max)
+                if faults is None:
+                    closed_counts, closed_sum, closed_max = closed_form_histogram(
+                        curves[bucket], edges, unsampled * per_machine
+                    )
+                    digest.add_counts(closed_counts, closed_sum, closed_max)
+                else:
+                    # Closed-form correction: only *up* unsampled machines
+                    # contribute, degraded ones through the slowed curve.
+                    up = unsampled_positions[
+                        ~np.isin(unsampled_positions, down_arrays[bucket])
+                    ]
+                    straggling = (
+                        int(np.isin(up, degraded_array).sum())
+                        if bucket in degraded_bucket_set
+                        else 0
+                    )
+                    healthy = up.size - straggling
+                    if healthy:
+                        digest.add_counts(
+                            *closed_form_histogram(
+                                curves[bucket], edges, healthy * per_machine
+                            )
+                        )
+                    if straggling:
+                        digest.add_counts(
+                            *closed_form_histogram(
+                                curves[bucket] * faults.slowdown,
+                                edges,
+                                straggling * per_machine,
+                            )
+                        )
             per_mode_digests[which].append(digest)
     baseline_digests, colocated_digests = per_mode_digests
 
@@ -202,10 +279,15 @@ def _simulate_shard(task: FleetShardTask) -> FleetShardResult:
     reclaimed = 0.0
     progress = 0.0
     if colocated_all.size:
-        for qps in task.loads:
+        for bucket, qps in enumerate(task.loads):
             _, secondary_cpu, _ = mode_scalars(task.colocated, qps)
             granted = secondary_cpu * task.logical_cores
-            effective = np.minimum(placed[colocated_all], granted)
+            active = colocated_all
+            if faults is not None and down_arrays[bucket].size:
+                # A machine down for the bucket reclaims nothing; its batch
+                # work is simply lost (no failover model at this tier).
+                active = colocated_all[~np.isin(colocated_all, down_arrays[bucket])]
+            effective = np.minimum(placed[active], granted)
             reclaimed += float(effective.sum()) * task.bucket_seconds / 3600.0
             if granted > 0.0:
                 progress += float((effective / granted).sum()) * task.bucket_seconds / 3600.0
@@ -299,6 +381,8 @@ class FleetSimulation:
         self._telemetry = telemetry
         self.autopilot = Autopilot()
         self.rollout: Optional[StagedRollout] = None
+        self.fault_timeline: Optional[FleetFaultTimeline] = None
+        self.rollout_service: Optional[ManagedService] = None
 
     # ---------------------------------------------------------------- wiring
     def _config_entries(self) -> Dict[str, Tuple[PerfIsoSpec, PerfIsoSpec]]:
@@ -324,7 +408,55 @@ class FleetSimulation:
         calibrations = model.calibrate(runner)
         demands = build_demands(spec, calibrations)
 
-        rollout = StagedRollout(self.autopilot.config, spec.rollout, self._config_entries())
+        # ---------------------------------------------------- fault timeline
+        # An absent or all-disabled plan leaves every path below untouched:
+        # no timeline, no store wrapper, no crash service — byte-identical
+        # to a spec with no fault plan at all.
+        fault_plan = (
+            spec.faults if spec.faults is not None and not spec.faults.is_noop else None
+        )
+        timeline: Optional[FleetFaultTimeline] = None
+        if fault_plan is not None and (
+            (fault_plan.machines is not None and fault_plan.machines.enabled)
+            or (fault_plan.degraded is not None and fault_plan.degraded.enabled)
+        ):
+            timeline = FleetFaultTimeline(fault_plan, spec)
+        self.fault_timeline = timeline
+        store = self.autopilot.config
+        if (
+            fault_plan is not None
+            and fault_plan.config_push is not None
+            and fault_plan.config_push.enabled
+        ):
+            store = FaultyConfigStore(store, fault_plan.config_push, seed=spec.seed)
+        crash_spec = (
+            fault_plan.controller_crash
+            if fault_plan is not None
+            and fault_plan.controller_crash is not None
+            and fault_plan.controller_crash.enabled
+            else None
+        )
+        crash_pending = crash_spec is not None
+        # The rollout coordinator as an Autopilot-managed service: its state
+        # (rollout cursor) is checkpointed before every stage attempt, and a
+        # controller-crash fault restarts it through the same
+        # checkpoint/crash_and_recover path a production PerfIso instance
+        # recovers through.
+        controller_state: Dict[str, object] = {"stage": "bake", "bucket_cursor": 0}
+        self.rollout_service = None
+        if crash_spec is not None:
+            self.rollout_service = ManagedService(
+                name="rollout-controller",
+                machine="fleet-coordinator",
+                start=lambda: None,
+                stop=lambda: None,
+                save_state=lambda: dict(controller_state),
+                restore_state=controller_state.update,
+            )
+            self.autopilot.register(self.rollout_service)
+            self.autopilot.start("fleet-coordinator", "rollout-controller")
+
+        rollout = StagedRollout(store, spec.rollout, self._config_entries())
         self.rollout = rollout
         rollout.begin()
 
@@ -354,6 +486,7 @@ class FleetSimulation:
             tasks: List[FleetShardTask] = []
             group_loads: Dict[str, Tuple[float, ...]] = {}
             colocated_counts: Dict[str, int] = {}
+            window_start_time = bucket_cursor * spec.bucket_seconds
             for group in spec.groups:
                 names = model.machine_names(group)
                 # One arrival model per group per stage (load_at would build
@@ -413,6 +546,18 @@ class FleetSimulation:
                             )
                         )
                     )
+                    shard_faults = (
+                        timeline.shard_plan(
+                            group=group.name,
+                            start=start,
+                            stop=stop,
+                            start_time=window_start_time,
+                            bucket_seconds=spec.bucket_seconds,
+                            buckets=buckets,
+                        )
+                        if timeline is not None
+                        else None
+                    )
                     tasks.append(
                         FleetShardTask(
                             stage=stage,
@@ -428,6 +573,7 @@ class FleetSimulation:
                             baseline=calibration.baseline,
                             colocated=calibration.colocated,
                             sampled=shard_sampled,
+                            faults=shard_faults,
                         )
                     )
             if tracer is not None:
@@ -513,12 +659,6 @@ class FleetSimulation:
         # ----------------------------------------------------- rollout stages
         for stage_index, fraction in enumerate(spec.rollout.stage_fractions):
             stage = f"stage-{stage_index + 1}"
-            stage_stack = ExitStack()
-            stage_span = None
-            if tracer is not None:
-                stage_span = stage_stack.enter_context(
-                    tracer.span("rollout.stage", stage=stage, fraction=fraction)
-                )
             capacities: List[MachineCapacity] = []
             machines_enabled = 0
             for group in spec.groups:
@@ -532,71 +672,108 @@ class FleetSimulation:
             plan: PlacementPlan = plan_placement(capacities, demands, spec.placement.strategy)
             placed_by_machine = plan.placed_cores_by_machine()
 
-            merged, reclaimed, progress = run_buckets(
-                stage, spec.rollout.stage_buckets, placed_by_machine
-            )
-
-            stage_baseline = LatencyDigest()
-            stage_colocated = LatencyDigest()
-            worst_ratio = 0.0
-            violation_minutes = 0.0
-            for group in spec.groups:
-                group_colocated = LatencyDigest.merged(merged[group.name]["colocated"])
-                group_baseline = LatencyDigest.merged(merged[group.name]["baseline"])
-                stage_baseline.merge(group_baseline)
-                stage_colocated.merge(group_colocated)
-                # Guardrail reference: the *concurrent* baseline machines of
-                # the same stage, so colocated and reference P99s are always
-                # measured at the same diurnal phase.  (Comparing against the
-                # bake-time snapshot let a stage landing on the diurnal peak
-                # breach against a trough-time reference with zero isolation
-                # effect.)  The bake reference only remains as the fallback
-                # for a stage that left no baseline machines.
-                reference = (
-                    group_baseline.percentile(99.0)
-                    if group_baseline.count
-                    else reference_p99[group.name]
-                )
-                if group_colocated.count:
-                    ratio = rollout.monitor.ratio(group_colocated.percentile(99.0), reference)
-                    worst_ratio = max(worst_ratio, ratio)
-                for bucket, bucket_digest in enumerate(merged[group.name]["colocated"]):
-                    bucket_baseline = merged[group.name]["baseline"][bucket]
-                    bucket_reference = (
-                        bucket_baseline.percentile(99.0)
-                        if bucket_baseline.count
-                        else reference
+            # Churn semantics: each iteration is one *attempt* of the stage.
+            # A lost stage digest (controller crash inside the measurement
+            # window) fails safe to a "retry" decision, idles out the capped
+            # backoff, and re-measures; a genuine breach (or exhausted
+            # attempts) halts as before.  Healthy rollouts run exactly one
+            # attempt per stage and take their historical path verbatim.
+            while True:
+                stage_stack = ExitStack()
+                stage_span = None
+                if tracer is not None:
+                    stage_span = stage_stack.enter_context(
+                        tracer.span("rollout.stage", stage=stage, fraction=fraction)
                     )
-                    if bucket_digest.count and rollout.monitor.breached(
-                        bucket_digest.percentile(99.0), bucket_reference
-                    ):
-                        violation_minutes += spec.bucket_seconds / 60.0
-            result.baseline_digest.merge(stage_baseline)
-            result.colocated_digest.merge(stage_colocated)
+                if self.rollout_service is not None:
+                    controller_state["stage"] = stage
+                    controller_state["bucket_cursor"] = bucket_cursor
+                    self.autopilot.checkpoint("fleet-coordinator", "rollout-controller")
+                window_start = bucket_cursor * spec.bucket_seconds
 
-            decision = rollout.record_stage(stage, fraction, worst_ratio)
-            if stage_span is not None:
-                stage_span.attributes["decision"] = decision.action
-                stage_span.attributes["p99_ratio"] = round(worst_ratio, 4)
-            stage_stack.close()
-            result.stages.append(
-                StageAccount(
-                    stage=stage,
-                    fraction=fraction,
-                    buckets=spec.rollout.stage_buckets,
-                    machines_enabled=machines_enabled,
-                    colocated_machines=len(placed_by_machine),
-                    placed_jobs=plan.placed_jobs,
-                    unplaced_jobs=len(plan.unplaced),
-                    baseline_p99_ms=to_millis(stage_baseline.percentile(99.0)),
-                    colocated_p99_ms=to_millis(stage_colocated.percentile(99.0)),
-                    p99_ratio=worst_ratio,
-                    decision=decision.action,
-                    reclaimed_core_hours=reclaimed,
-                    batch_machine_hours=progress,
-                    slo_violation_minutes=violation_minutes,
+                merged, reclaimed, progress = run_buckets(
+                    stage, spec.rollout.stage_buckets, placed_by_machine
                 )
-            )
+                window_end = bucket_cursor * spec.bucket_seconds
+
+                stage_baseline = LatencyDigest()
+                stage_colocated = LatencyDigest()
+                worst_ratio = 0.0
+                violation_minutes = 0.0
+                for group in spec.groups:
+                    group_colocated = LatencyDigest.merged(merged[group.name]["colocated"])
+                    group_baseline = LatencyDigest.merged(merged[group.name]["baseline"])
+                    stage_baseline.merge(group_baseline)
+                    stage_colocated.merge(group_colocated)
+                    # Guardrail reference: the *concurrent* baseline machines
+                    # of the same stage, so colocated and reference P99s are
+                    # always measured at the same diurnal phase.  (Comparing
+                    # against the bake-time snapshot let a stage landing on
+                    # the diurnal peak breach against a trough-time reference
+                    # with zero isolation effect.)  The bake reference only
+                    # remains as the fallback for a stage that left no
+                    # baseline machines.
+                    reference = (
+                        group_baseline.percentile(99.0)
+                        if group_baseline.count
+                        else reference_p99[group.name]
+                    )
+                    if group_colocated.count:
+                        ratio = rollout.monitor.ratio(group_colocated.percentile(99.0), reference)
+                        worst_ratio = max(worst_ratio, ratio)
+                    for bucket, bucket_digest in enumerate(merged[group.name]["colocated"]):
+                        bucket_baseline = merged[group.name]["baseline"][bucket]
+                        bucket_reference = (
+                            bucket_baseline.percentile(99.0)
+                            if bucket_baseline.count
+                            else reference
+                        )
+                        if bucket_digest.count and rollout.monitor.breached(
+                            bucket_digest.percentile(99.0), bucket_reference
+                        ):
+                            violation_minutes += spec.bucket_seconds / 60.0
+                result.baseline_digest.merge(stage_baseline)
+                result.colocated_digest.merge(stage_colocated)
+
+                if crash_pending and window_start <= crash_spec.at < window_end:
+                    # The coordinating controller died inside this attempt's
+                    # measurement window: Autopilot restarts it from its last
+                    # checkpoint, but the attempt's guardrail digest is gone
+                    # — the verdict must fail safe, not advance on thin air.
+                    crash_pending = False
+                    self.autopilot.crash_and_recover("fleet-coordinator", "rollout-controller")
+                    worst_ratio = float("nan")
+
+                decision = rollout.record_stage(stage, fraction, worst_ratio)
+                if stage_span is not None:
+                    stage_span.attributes["decision"] = decision.action
+                    stage_span.attributes["attempt"] = decision.attempt
+                    stage_span.attributes["p99_ratio"] = (
+                        round(worst_ratio, 4) if math.isfinite(worst_ratio) else None
+                    )
+                stage_stack.close()
+                result.stages.append(
+                    StageAccount(
+                        stage=stage,
+                        fraction=fraction,
+                        buckets=spec.rollout.stage_buckets,
+                        machines_enabled=machines_enabled,
+                        colocated_machines=len(placed_by_machine),
+                        placed_jobs=plan.placed_jobs,
+                        unplaced_jobs=len(plan.unplaced),
+                        baseline_p99_ms=to_millis(stage_baseline.percentile(99.0)),
+                        colocated_p99_ms=to_millis(stage_colocated.percentile(99.0)),
+                        p99_ratio=worst_ratio,
+                        decision=decision.action,
+                        reclaimed_core_hours=reclaimed,
+                        batch_machine_hours=progress,
+                        slo_violation_minutes=violation_minutes,
+                    )
+                )
+                if decision.action == "retry":
+                    bucket_cursor += rollout.backoff_buckets(stage)
+                    continue
+                break
             if decision.breached:
                 result.status = "halted"
                 break

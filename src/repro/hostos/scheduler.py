@@ -102,6 +102,11 @@ class Scheduler:
         #: incrementally at dispatch/preempt time.
         self._cat_running: Dict[str, int] = {}
         self._per_core = spec.placement == "per_core"
+        #: Fault-injection seam: a machine-wide dispatch-rate multiplier
+        #: (``None`` = healthy).  Degraded/straggler-core faults set it to
+        #: ``1/slowdown`` for a window; it multiplies the SMT-adjusted rate
+        #: at dispatch time, so the healthy path pays one ``is None`` check.
+        self._speed_factor: Optional[float] = None
         self._local_queues: List[Deque[SimThread]] = [deque() for _ in range(core_count)]
         self._global_queue: Deque[SimThread] = deque()
         self._queued_threads = 0
@@ -127,6 +132,18 @@ class Scheduler:
     def set_io_submit(self, io_submit: IoSubmit) -> None:
         """Install the I/O submission hook (done by the kernel facade)."""
         self._io_submit = io_submit
+
+    def set_speed_factor(self, factor: Optional[float]) -> None:
+        """Set (or clear, with ``None``) the machine-wide dispatch-rate factor.
+
+        Used by fault injection to model degraded/straggler cores: every
+        subsequent dispatch progresses at ``factor`` times normal speed.
+        Slices already running keep the rate they were dispatched at; at
+        quantum granularity the boundary error is one slice per core.
+        """
+        if factor is not None and factor <= 0.0:
+            raise SchedulerError(f"speed factor must be positive, got {factor}")
+        self._speed_factor = factor
 
     # ------------------------------------------------------------ inspection
     @property
@@ -463,6 +480,8 @@ class Scheduler:
         rate = spec.smt_slowdown if phys_busy > 1 else 1.0
         if rate < 1.0:
             self.smt_shared_dispatches += 1
+        if self._speed_factor is not None:
+            rate *= self._speed_factor
         remaining = thread.remaining_in_phase
         quantum = spec.quantum
         if remaining == math.inf:

@@ -81,6 +81,8 @@ class ResultCache:
         self.misses = 0
         self.stores = 0
         self.evictions = 0
+        #: Corrupt disk entries renamed to ``*.pkl.corrupt`` instead of read.
+        self.quarantined = 0
 
     @property
     def max_entries(self) -> Optional[int]:
@@ -121,10 +123,14 @@ class ResultCache:
                 # A torn or stale entry is a miss, not a crash — unpickling a
                 # foreign file can fail in arbitrary ways (truncation, moved
                 # or renamed classes, protocol drift), and every one of them
-                # means the same thing here: drop the entry and let the
-                # caller recompute (the put will overwrite it).
+                # means the same thing here: quarantine the entry and let the
+                # caller recompute (the put will overwrite it).  Renaming to
+                # ``.pkl.corrupt`` rather than deleting keeps the bad bytes
+                # for post-mortem while taking the entry out of every
+                # ``*.pkl`` scan, so it is never re-read or re-counted.
                 try:
-                    path.unlink()
+                    path.rename(path.with_name(path.name + ".corrupt"))
+                    self.quarantined += 1
                     if self._disk_entries is not None and self._disk_entries > 0:
                         self._disk_entries -= 1
                 except OSError:

@@ -24,7 +24,9 @@ import dataclasses
 import multiprocessing
 import os
 import sys
+import time
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -97,6 +99,14 @@ def _call(payload: Tuple[Callable[..., Any], tuple]) -> Any:
 class ExperimentRunner:
     """Executes experiment batches across worker processes with caching."""
 
+    #: A dead worker (OOM kill, segfault, fork bomb victim) breaks the whole
+    #: :class:`ProcessPoolExecutor`, not just its own task.  The batch retries
+    #: on a fresh pool this many times with capped exponential backoff, then
+    #: degrades to serial execution rather than losing the batch.
+    POOL_ATTEMPTS = 3
+    POOL_BACKOFF_BASE = 0.1
+    POOL_BACKOFF_CAP = 2.0
+
     def __init__(
         self,
         max_workers: Optional[int] = None,
@@ -117,6 +127,8 @@ class ExperimentRunner:
         self._max_workers = max(1, int(max_workers))
         self._cache = cache if cache is not None else default_cache()
         self._use_cache = use_cache
+        #: Broken pools survived via retry or serial fallback (observability).
+        self.pool_failures = 0
         # Worker processes are forked so they inherit the imported simulator
         # and the parent's sys.path.  Fork is only safe on Linux (macOS
         # advertises it but fork-without-exec can abort inside system
@@ -142,14 +154,31 @@ class ExperimentRunner:
         return pending > 1 and self._max_workers > 1 and self._mp_context is not None
 
     def _fan_out(self, fn: Callable[[Any], Any], payloads: Sequence[Any]) -> List[Any]:
-        """The one execution strategy: process pool when it pays, else serial."""
+        """The one execution strategy: process pool when it pays, else serial.
+
+        A :class:`BrokenProcessPool` (a worker died mid-batch) is retried on
+        a fresh pool with capped exponential backoff; if every attempt dies
+        the batch runs serially — slower, but it completes, and a worker that
+        crashes deterministically then raises the real error in-process where
+        it is debuggable.
+        """
         if not self._parallel(len(payloads)):
             return [fn(payload) for payload in payloads]
         workers = min(self._max_workers, len(payloads))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=self._mp_context
-        ) as pool:
-            return list(pool.map(fn, payloads, chunksize=1))
+        for attempt in range(self.POOL_ATTEMPTS):
+            try:
+                with ProcessPoolExecutor(
+                    max_workers=workers, mp_context=self._mp_context
+                ) as pool:
+                    return list(pool.map(fn, payloads, chunksize=1))
+            except BrokenProcessPool:
+                self.pool_failures += 1
+                delay = min(
+                    self.POOL_BACKOFF_BASE * (2**attempt), self.POOL_BACKOFF_CAP
+                )
+                if delay > 0:
+                    time.sleep(delay)
+        return [fn(payload) for payload in payloads]
 
     # --------------------------------------------------------------- mapping
     def map(

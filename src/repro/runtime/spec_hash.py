@@ -23,7 +23,15 @@ from typing import Any
 
 import numpy as np
 
-__all__ = ["canonical_encoding", "spec_hash", "versioned_namespace"]
+__all__ = ["OMIT_IF_DEFAULT", "canonical_encoding", "spec_hash", "versioned_namespace"]
+
+#: Field-metadata flag: a dataclass field declared with
+#: ``field(default=None, metadata={OMIT_IF_DEFAULT: True})`` is left out of
+#: the canonical encoding while it still equals its declared default.  This
+#: lets a spec grow a new optional sub-spec without changing the hash of any
+#: configuration that does not use it — pinned goldens stay byte-identical —
+#: while any non-default value participates in the digest as usual.
+OMIT_IF_DEFAULT = "repro_hash_omit_if_default"
 
 
 def versioned_namespace(tag: str) -> str:
@@ -43,7 +51,13 @@ def _encode(value: Any) -> Any:
     """Convert a configuration value into a canonical JSON-serialisable form."""
     if dataclasses.is_dataclass(value) and not isinstance(value, type):
         fields = {
-            f.name: _encode(getattr(value, f.name)) for f in dataclasses.fields(value)
+            f.name: _encode(getattr(value, f.name))
+            for f in dataclasses.fields(value)
+            if not (
+                f.metadata.get(OMIT_IF_DEFAULT)
+                and f.default is not dataclasses.MISSING
+                and getattr(value, f.name) == f.default
+            )
         }
         return {"__dataclass__": type(value).__qualname__, "fields": fields}
     if isinstance(value, Enum):

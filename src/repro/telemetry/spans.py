@@ -21,6 +21,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterator, Optional
 
+from .log import get_logger
+
 __all__ = ["Span", "SpanTracer"]
 
 
@@ -79,7 +81,20 @@ class SpanTracer:
         self.count += 1
         self.tail.append(span)
         if self._sink is not None:
-            self._sink(span)
+            try:
+                self._sink(span)
+            except OSError as error:
+                # Tracing observes the simulation; it must not kill it.  A
+                # sink whose I/O died (writers already degrade themselves,
+                # but a raw file sink raises here) is dropped with one
+                # structured warning, and spans keep accumulating in the
+                # bounded tail.
+                self._sink = None
+                get_logger("repro.telemetry.spans").warning(
+                    "span sink disabled",
+                    span=span.name,
+                    error=f"{type(error).__name__}: {error}",
+                )
 
     def record(
         self,

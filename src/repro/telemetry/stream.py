@@ -22,6 +22,7 @@ import time as _time
 import uuid
 from typing import Any, Dict, List, Optional
 
+from .log import get_logger
 from .registry import MetricsRegistry, TelemetryError
 from .schema import SCHEMA_VERSION
 from .spans import Span, SpanTracer
@@ -168,6 +169,13 @@ class SnapshotWriter:
     Meta, snapshot and log records flush as written — the live console tails
     the file while the run is still producing — while the much more frequent
     span records buffer until the next flush (see :meth:`write_span`).
+
+    Telemetry is an observer, never a participant: an :class:`OSError` from
+    the underlying file (disk full, pipe closed, volume yanked) **disables**
+    the stream — one structured warning, handle closed, every later write a
+    silent no-op — instead of killing the simulation it was watching.
+    Writing to an explicitly :meth:`close`\\ d writer is still a programming
+    error and still raises.
     """
 
     def __init__(
@@ -183,6 +191,8 @@ class SnapshotWriter:
         self._seq = 0
         self.snapshots_written = 0
         self.spans_written = 0
+        #: True once an OSError disabled the stream (writes became no-ops).
+        self.disabled = False
         record: Dict[str, Any] = {
             "type": "meta",
             "schema": SCHEMA_VERSION,
@@ -195,13 +205,40 @@ class SnapshotWriter:
         self._write(record)
 
     # ------------------------------------------------------------------ sink
+    def _disable(self, error: OSError) -> None:
+        """Take the stream out of the run after an I/O failure.
+
+        Exactly one structured warning is emitted; the handle is closed
+        best-effort and every subsequent write becomes a no-op.  The
+        simulation being observed keeps running — telemetry loss must never
+        become simulation loss.
+        """
+        self.disabled = True
+        handle, self._handle = self._handle, None
+        if handle is not None:
+            try:
+                handle.close()
+            except OSError:
+                pass
+        get_logger("repro.telemetry.stream").warning(
+            "telemetry stream disabled",
+            path=self.path,
+            run_id=self.run_id,
+            error=f"{type(error).__name__}: {error}",
+        )
+
     def _write(self, record: Dict[str, Any], flush: bool = True) -> None:
+        if self.disabled:
+            return
         if self._handle is None:
             raise TelemetryError(f"telemetry stream {self.path} is closed")
-        self._handle.write(json.dumps(record, sort_keys=True, default=str))
-        self._handle.write("\n")
-        if flush:
-            self._handle.flush()
+        try:
+            self._handle.write(json.dumps(record, sort_keys=True, default=str))
+            self._handle.write("\n")
+            if flush:
+                self._handle.flush()
+        except OSError as error:
+            self._disable(error)
 
     def write_snapshot(
         self, time: float, metrics: Dict[str, Any], label: Optional[str] = None
@@ -220,11 +257,17 @@ class SnapshotWriter:
         # Snapshots fire at probe cadence from inside the engine's hot loop;
         # like spans they use the cached compact encoder, but keep the
         # per-record flush so the live console can tail mid-run.
+        if self.disabled:
+            return seq
         if self._handle is None:
             raise TelemetryError(f"telemetry stream {self.path} is closed")
-        self._handle.write(_SPAN_ENCODE(record))
-        self._handle.write("\n")
-        self._handle.flush()
+        try:
+            self._handle.write(_SPAN_ENCODE(record))
+            self._handle.write("\n")
+            self._handle.flush()
+        except OSError as error:
+            self._disable(error)
+            return seq
         self.snapshots_written += 1
         return seq
 
@@ -233,10 +276,16 @@ class SnapshotWriter:
         # until the next snapshot flush instead of paying a flush syscall
         # each, and use the known-shape fast serialiser.  The console's
         # tailer tolerates the trailing partial line.
+        if self.disabled:
+            return
         if self._handle is None:
             raise TelemetryError(f"telemetry stream {self.path} is closed")
-        self._handle.write(_span_line(span))
-        self._handle.write("\n")
+        try:
+            self._handle.write(_span_line(span))
+            self._handle.write("\n")
+        except OSError as error:
+            self._disable(error)
+            return
         self.spans_written += 1
 
     def write_log(self, level: str, event: str, fields: Dict[str, Any]) -> None:
@@ -247,7 +296,11 @@ class SnapshotWriter:
 
     def close(self) -> None:
         if self._handle is not None:
-            self._handle.close()
+            try:
+                self._handle.close()
+            except OSError as error:
+                self._disable(error)
+                return
             self._handle = None
 
     def __enter__(self) -> "SnapshotWriter":

@@ -5,7 +5,7 @@ import pytest
 from repro.cluster.autopilot import Autopilot, ManagedService
 from repro.cluster.layout import ClusterLayout
 from repro.config.schema import ClusterSpec, PerfIsoSpec
-from repro.errors import ClusterError
+from repro.errors import ClusterError, UnknownVersionError
 
 
 class TestClusterLayout:
@@ -113,6 +113,32 @@ class TestConfigStoreVersions:
             store.fetch_version("perfiso.json", 0, PerfIsoSpec)
         with pytest.raises(ClusterError):
             store.fetch_version("perfiso.json", 2, PerfIsoSpec)
+
+    def test_unknown_version_error_names_the_available_versions(self):
+        """Recovery code (rollouts rolling back through churn) needs to see
+        what versions *do* exist, so the dedicated error carries them."""
+        store = Autopilot().config
+        store.publish("perfiso.json", PerfIsoSpec())
+        store.publish("perfiso.json", PerfIsoSpec(cpu_policy="blind"))
+        with pytest.raises(UnknownVersionError) as excinfo:
+            store.fetch_version("perfiso.json", 9, PerfIsoSpec)
+        error = excinfo.value
+        assert error.name == "perfiso.json"
+        assert error.version == 9
+        assert error.available == (1, 2)
+        assert "available versions: 1, 2" in str(error)
+        # Same contract on the rollback path, and it is a ClusterError
+        # subclass so legacy except-clauses keep working.
+        assert isinstance(error, ClusterError)
+        with pytest.raises(UnknownVersionError, match="no version 7"):
+            store.rollback("perfiso.json", 7)
+
+    def test_unknown_file_is_not_a_version_error(self):
+        """Asking about a file the store has never seen is a different
+        mistake from asking for a missing version of a known file."""
+        with pytest.raises(ClusterError, match="no configuration file") as excinfo:
+            Autopilot().config.rollback("missing.json")
+        assert not isinstance(excinfo.value, UnknownVersionError)
 
 
 class TestAutopilotServices:

@@ -88,6 +88,17 @@ CASES = {
     "controller-oracle": lambda: sc.controller_showdown(
         policy="oracle", workload="trace", base_qps=500.0, peak_qps=1500.0, **SHORT
     ),
+    # ------------------------------------------------ chaos fault injection
+    "chaos-controller-crash": lambda: sc.chaos_controller_crash(**GOLDEN_PARAMS),
+    "chaos-telemetry-missing": lambda: sc.chaos_telemetry_dropout(
+        mode="missing", **GOLDEN_PARAMS
+    ),
+    "chaos-telemetry-frozen": lambda: sc.chaos_telemetry_dropout(
+        mode="frozen", **GOLDEN_PARAMS
+    ),
+    "chaos-degraded-cores": lambda: sc.chaos_degraded_cores(
+        slowdown=1.5, **GOLDEN_PARAMS
+    ),
 }
 
 

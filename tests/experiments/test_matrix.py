@@ -265,6 +265,48 @@ class TestCli:
         assert "--grid" in capsys.readouterr().err
 
 
+class TestCliFailureIsolation:
+    """One scenario blowing up mid-batch must not take the batch down."""
+
+    @pytest.fixture()
+    def boom_scenario(self):
+        def boom_builder(qps=500.0, duration=0.5, warmup=0.1, seed=5):
+            raise RuntimeError("injected mid-batch failure")
+
+        matrix.register(
+            matrix.Scenario(
+                name="boom-test",
+                description="always raises, for failure-isolation tests",
+                builder=boom_builder,
+            )
+        )
+        yield "boom-test"
+        matrix._REGISTRY.pop("boom-test", None)
+
+    def test_failure_isolated_and_partial_results_flushed(self, boom_scenario, capsys):
+        code = matrix.main(
+            ["--run", f"standalone,{boom_scenario}", "--qps", "500",
+             "--duration", "0.5", "--warmup", "0.1", "--seed", "5"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        # The healthy scenario's rows were still printed in full...
+        assert "standalone" in out and "p99_ms" in out
+        # ...and the failure shows up once, in the error table.
+        assert "1 of 2 scenarios failed" in out
+        assert "RuntimeError: injected mid-batch failure" in out
+
+    def test_failure_first_does_not_starve_later_scenarios(self, boom_scenario, capsys):
+        code = matrix.main(
+            ["--run", f"{boom_scenario},standalone", "--qps", "500",
+             "--duration", "0.5", "--warmup", "0.1", "--seed", "5", "--out", "csv"]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "standalone" in out  # ran despite the earlier crash
+        assert "boom-test" in out and "RuntimeError" in out
+
+
 class TestSecondaryJobSpec:
     def test_exactly_one_tenant_spec_required(self):
         from repro.config.schema import CpuBullySpec, DiskBullySpec

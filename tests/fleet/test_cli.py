@@ -81,3 +81,38 @@ class TestCli:
             cli.main(["--calibration-qps", "300,oops"])
         assert excinfo.value.code == 2
         assert "--calibration-qps" in capsys.readouterr().err
+
+
+class TestFailureIsolation:
+    """A scenario raising mid-batch yields exit 1, an error table, and the
+    completed scenarios' rows — never a bare traceback."""
+
+    @pytest.fixture()
+    def boom_scenario(self):
+        from repro.experiments import matrix
+
+        def boom_fleet(seed=7):
+            raise RuntimeError("injected fleet failure")
+
+        matrix.register(
+            matrix.Scenario(
+                name="boom-fleet",
+                description="always raises, for failure-isolation tests",
+                builder=boom_fleet,
+                kind="fleet",
+            )
+        )
+        yield "boom-fleet"
+        matrix._REGISTRY.pop("boom-fleet", None)
+
+    def test_partial_results_flushed_with_error_table(self, boom_scenario, capsys):
+        code = cli.main(["--scenario", f"{boom_scenario},fleet-guardrail-breach"])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "halted" in out  # the healthy scenario still ran and printed
+        assert "1 scenarios failed" in out
+        assert "RuntimeError: injected fleet failure" in out
+
+    def test_unknown_name_still_rejected_before_running(self, boom_scenario, capsys):
+        # Caller mistakes keep their pre-run exit-2 contract even in a batch.
+        assert cli.main(["--scenario", f"{boom_scenario},no-such-fleet"]) == 2

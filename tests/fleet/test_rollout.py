@@ -116,8 +116,9 @@ class TestStagedRollout:
     def test_nan_ratio_halts_the_rollout(self):
         """Regression: ``record_stage`` re-implemented the guardrail as a
         bare ``>`` comparison, so a NaN ratio silently advanced the stage
-        instead of routing through the monitor's fail-safe verdict."""
-        engine = make_rollout()
+        instead of routing through the monitor's fail-safe verdict.  With
+        retries disabled (``stage_attempts=1``) a NaN must halt outright."""
+        engine = make_rollout(stage_attempts=1)
         engine.begin()
         decision = engine.record_stage("stage-1", 0.02, p99_ratio=float("nan"))
         assert decision.breached and decision.action == "halt"
@@ -130,3 +131,110 @@ class TestStagedRollout:
         engine.record_stage("stage-2", 1.0, p99_ratio=1.4)
         assert [d.stage for d in engine.history] == ["stage-1", "stage-2"]
         assert all(not d.breached for d in engine.history)
+
+
+class TestChurnAwareRollout:
+    """Stage retries, push retries and rollback survival under churn."""
+
+    def test_nan_ratio_retries_while_attempts_remain(self):
+        """Failing-before regression: a transient digest loss (controller
+        crash mid-stage) used to halt and roll back the whole rollout; it
+        must now retry the stage and only halt once attempts are spent."""
+        engine = make_rollout(stage_attempts=3)
+        engine.begin()
+        first = engine.record_stage("stage-1", 0.02, p99_ratio=float("nan"))
+        assert first.action == "retry" and not first.breached and first.attempt == 1
+        assert engine.status == "in_progress"
+        second = engine.record_stage("stage-1", 0.02, p99_ratio=float("nan"))
+        assert second.action == "retry" and second.attempt == 2
+        third = engine.record_stage("stage-1", 0.02, p99_ratio=float("nan"))
+        assert third.action == "halt" and third.breached and third.attempt == 3
+        assert engine.status == "halted"
+
+    def test_retry_then_success_advances(self):
+        engine = make_rollout(stage_attempts=3)
+        engine.begin()
+        assert engine.record_stage("s", 0.02, p99_ratio=float("nan")).action == "retry"
+        decision = engine.record_stage("s", 0.02, p99_ratio=1.1)
+        assert decision.action == "advance" and decision.attempt == 2
+
+    def test_genuine_breach_never_retries(self):
+        engine = make_rollout(stage_attempts=3)
+        engine.begin()
+        decision = engine.record_stage("s", 0.02, p99_ratio=9.0)
+        assert decision.action == "halt" and decision.attempt == 1
+        assert engine.status == "halted"
+
+    def test_backoff_doubles_and_caps(self):
+        engine = make_rollout(
+            stage_attempts=6, retry_backoff_buckets=1, retry_backoff_cap_buckets=4
+        )
+        engine.begin()
+        observed = []
+        for _ in range(4):
+            engine.record_stage("s", 0.02, p99_ratio=float("nan"))
+            observed.append(engine.backoff_buckets("s"))
+        assert observed == [1, 2, 4, 4]
+
+    def test_zero_base_backoff_retries_immediately(self):
+        engine = make_rollout(retry_backoff_buckets=0)
+        engine.begin()
+        engine.record_stage("s", 0.02, p99_ratio=float("nan"))
+        assert engine.backoff_buckets("s") == 0
+
+    def test_transient_push_failures_are_retried(self):
+        """Failing-before regression: a single flaky publish used to
+        propagate out of ``begin()``; it is now absorbed and counted."""
+        from repro.config.schema import ConfigPushFaultSpec
+        from repro.faults import FaultyConfigStore
+
+        store = FaultyConfigStore(
+            Autopilot().config,
+            ConfigPushFaultSpec(failure_rate=1.0, max_failures=2),
+            seed=3,
+        )
+        engine = make_rollout(store=store, push_attempts=3)
+        engine.begin()
+        assert engine.status == "in_progress"
+        assert engine.push_failures == store.injected_failures == 2
+
+    def test_push_failures_beyond_attempts_reraise(self):
+        from repro.config.schema import ConfigPushFaultSpec
+        from repro.errors import ConfigPushError
+        from repro.faults import FaultyConfigStore
+
+        store = FaultyConfigStore(
+            Autopilot().config,
+            ConfigPushFaultSpec(failure_rate=1.0, max_failures=100),
+            seed=3,
+        )
+        engine = make_rollout(store=store, push_attempts=2)
+        with pytest.raises(ConfigPushError):
+            engine.begin()
+        assert engine.push_failures == 2
+
+    def test_rollback_survives_a_vanished_baseline_version(self, monkeypatch):
+        """Failing-before regression: one missing rollback target used to
+        abort mid-recovery, leaving the other files on the breached target
+        config; now the error is recorded and the rest still roll back."""
+        from repro.errors import UnknownVersionError
+
+        store = Autopilot().config
+        engine = make_rollout(store=store)
+        engine.begin()
+        original = store.rollback
+
+        def flaky_rollback(name, version=None):
+            if name == "perfiso-a.json":
+                raise UnknownVersionError(name, version, range(1, 3))
+            return original(name, version)
+
+        monkeypatch.setattr(store, "rollback", flaky_rollback)
+        decision = engine.record_stage("stage-1", 0.02, p99_ratio=9.0)
+        assert decision.action == "halt"
+        assert engine.status == "halted"
+        assert [e.name for e in engine.rollback_errors] == ["perfiso-a.json"]
+        # The survivor still rolled back to its exact baseline version.
+        assert store.active_version("perfiso-b.json") == engine.baseline_version(
+            "perfiso-b.json"
+        )
