@@ -74,10 +74,15 @@ def _read_committed():
         return json.load(handle)
 
 
-def _write_record(record):
-    with open(_BENCH_PATH, "w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+def _write_record(updates):
+    """Merge this run's measurements into the committed record.
+
+    Goes through the shared merge tool so the write is schema-validated and
+    keys another benchmark owns (e.g. the hyperscale fields) survive.
+    """
+    from repro.reporting.bench import merge_bench_record
+
+    return merge_bench_record(_BENCH_PATH, updates)
 
 
 def _guard(committed, key, measured):
@@ -120,8 +125,7 @@ def test_fleet_scale_benchmark():
     assert warm_seconds < serial_seconds
 
     machine_buckets = parallel.machine_buckets
-    record = _read_committed() or {}
-    record.update(
+    record = _write_record(
         {
             "benchmark": f"fleet staged rollout ({MACHINES} machines, {STAGES} stages)",
             "machines": MACHINES,
@@ -138,7 +142,6 @@ def test_fleet_scale_benchmark():
             "reclaimed_core_hours": serial.summary()["reclaimed_core_hours"],
         }
     )
-    _write_record(record)
     print(f"\nBENCH_fleet: {json.dumps(record, indent=2)}")
 
     _guard(committed, "machines_per_s_parallel", MACHINES / parallel_seconds)
@@ -169,8 +172,7 @@ def test_fleet_hyperscale_benchmark():
         f"{HYPERSCALE_MIN_MACHINES_PER_S:.0f} floor"
     )
 
-    record = _read_committed() or {}
-    record.update(
+    record = _write_record(
         {
             "hyperscale_machines": HYPERSCALE_MACHINES,
             "hyperscale_sample_fraction": spec.sample_fraction,
@@ -181,7 +183,6 @@ def test_fleet_hyperscale_benchmark():
             "hyperscale_reclaimed_core_hours": round(result.reclaimed_core_hours, 1),
         }
     )
-    _write_record(record)
     print(f"\nBENCH_fleet (hyperscale): {json.dumps(record, indent=2)}")
 
     _guard(committed, "hyperscale_machines_per_s", machines_per_s)

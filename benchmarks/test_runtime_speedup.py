@@ -112,7 +112,7 @@ def test_runtime_speedup_and_cache():
             "cpu_count is 1: the parallel run degenerates to the serial path, "
             "so speedup_parallel_cold carries no signal on this machine"
         )
-    with open(_BENCH_PATH, "w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    from repro.reporting.bench import merge_bench_record
+
+    record = merge_bench_record(_BENCH_PATH, record)
     print(f"\nBENCH_runtime: {json.dumps(record, indent=2)}")

@@ -229,9 +229,9 @@ def test_simcore_speed_and_guard():
             fleet_machines_per_s / FLEET_BASELINE_MACHINES_PER_S, 2
         ),
     }
-    with open(_BENCH_PATH, "w", encoding="utf-8") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
+    from repro.reporting.bench import merge_bench_record
+
+    record = merge_bench_record(_BENCH_PATH, record)
     print(f"\nBENCH_simcore: {json.dumps(record, indent=2)}")
 
     if os.environ.get(PERF_GUARD_ENV):

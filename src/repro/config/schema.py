@@ -61,6 +61,7 @@ __all__ = [
     "PlacementSpec",
     "RolloutSpec",
     "FleetSpec",
+    "CampaignSpec",
 ]
 
 #: Field metadata marking a spec field as hash-transparent while it equals
@@ -1407,3 +1408,50 @@ class ExperimentSpec:
                 jobs.append(SecondaryJobSpec(name, **{kind: spec}))
         jobs.extend(self.extra_secondaries)
         return tuple(jobs)
+
+
+# --------------------------------------------------------------------------- campaign
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A multi-seed replicate sweep of one registered scenario.
+
+    The campaign layer (:mod:`repro.reporting.campaign`) runs ``replicates``
+    executions of ``scenario``, each under a seed derived deterministically
+    from ``base_seed`` (replicate 0 *is* ``base_seed``, so the historical
+    single-seed run is the first replicate and is served from the result
+    cache when it was ever computed before), then reports per-metric
+    mean/stddev/95% CI instead of single-seed point estimates.
+
+    ``grid`` optionally overrides the scenario's axis grids, exactly like the
+    matrix CLI's ``--grid``; ``qps``/``duration``/``warmup`` are the common
+    builder overrides and are forwarded only where the builder accepts them.
+    """
+
+    scenario: str
+    replicates: int = 5
+    base_seed: int = 1
+    grid: Tuple[Tuple[str, Tuple[object, ...]], ...] = ()
+    qps: Optional[float] = None
+    duration: Optional[float] = None
+    warmup: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.scenario or not isinstance(self.scenario, str):
+            raise ConfigError("a campaign needs a non-empty scenario name")
+        if self.replicates < 1:
+            raise ConfigError(f"replicates must be >= 1, got {self.replicates}")
+        for axis, values in self.grid:
+            if not axis or not isinstance(axis, str):
+                raise ConfigError("campaign grid axes must be non-empty strings")
+            if not values:
+                raise ConfigError(f"campaign grid axis {axis!r} has no values")
+        if self.qps is not None and self.qps <= 0:
+            raise ConfigError("campaign qps override must be positive")
+        if self.duration is not None and self.duration <= 0:
+            raise ConfigError("campaign duration override must be positive")
+        if self.warmup is not None and self.warmup < 0:
+            raise ConfigError("campaign warmup override must be >= 0")
+
+    def replace(self, **changes) -> "CampaignSpec":
+        """Return a copy with ``changes`` applied (thin dataclasses.replace wrapper)."""
+        return dataclasses.replace(self, **changes)

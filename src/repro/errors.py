@@ -71,3 +71,7 @@ class ConfigPushError(ClusterError):
 class ExperimentError(ReproError):
     """An experiment harness was configured inconsistently."""
 
+
+class ReportingError(ReproError):
+    """A run-artifact bundle is malformed, corrupted or version-skewed."""
+

@@ -36,7 +36,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 from ...config.schema import ExperimentSpec
 from ...config.validation import validate_experiment, validate_fleet
 from ...errors import ConfigError
-from ..reporting import format_table, rows_to_csv, rows_to_json
+from ..reporting import format_table
 from ..single_machine import SingleMachineResult
 
 __all__ = [
@@ -386,25 +386,6 @@ def run_matrix(
 
 
 # ------------------------------------------------------------------------ CLI
-def _parse_grid_value(text: str) -> Any:
-    for convert in (int, float):
-        try:
-            return convert(text)
-        except ValueError:
-            continue
-    return text
-
-
-def _parse_grid(entries: Sequence[str]) -> Dict[str, Tuple[Any, ...]]:
-    grid: Dict[str, Tuple[Any, ...]] = {}
-    for entry in entries:
-        axis, sep, values = entry.partition("=")
-        if not sep or not axis or not values:
-            raise ConfigError(f"--grid expects axis=v1,v2,..., got {entry!r}")
-        grid[axis] = tuple(_parse_grid_value(value) for value in values.split(","))
-    return grid
-
-
 def _catalog_table() -> str:
     rows = []
     for item in iter_scenarios():
@@ -428,6 +409,22 @@ def _catalog_table() -> str:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from ...cli import (
+        EXIT_FAILURES,
+        EXIT_OK,
+        EXIT_USAGE,
+        add_bundle_option,
+        add_output_options,
+        add_profile_option,
+        add_seed_option,
+        add_telemetry_option,
+        add_workers_option,
+        parse_grid,
+        render_output,
+        resolve_output,
+        write_output,
+    )
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.matrix",
         description="List and run the registered experiment scenario catalog.",
@@ -447,29 +444,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         metavar="AXIS=V1,V2",
         help="override one axis grid (repeatable)",
     )
-    parser.add_argument("--workers", type=int, default=None, help="worker process count")
-    parser.add_argument(
-        "--out", choices=("table", "json", "csv"), default="table", help="output format"
-    )
-    parser.add_argument(
-        "--profile",
-        metavar="PATH",
-        default=None,
-        help="run under cProfile and write a cumulative-time report to PATH",
-    )
-    parser.add_argument(
-        "--telemetry",
-        nargs="?",
-        const="telemetry.jsonl",
-        default=None,
-        metavar="PATH",
-        help="stream JSONL telemetry to PATH (default telemetry.jsonl); "
-        "experiment variants run serially in-process while instrumented",
+    add_workers_option(parser)
+    add_output_options(parser)
+    add_profile_option(parser)
+    add_telemetry_option(
+        parser, detail="experiment variants run serially in-process while instrumented"
     )
     parser.add_argument("--qps", type=float, default=None, help="override workload QPS")
     parser.add_argument("--duration", type=float, default=None, help="override duration (s)")
     parser.add_argument("--warmup", type=float, default=None, help="override warmup (s)")
-    parser.add_argument("--seed", type=int, default=None, help="override the seed")
+    add_seed_option(parser, default=None, help="override the seed")
+    add_bundle_option(parser)
     args = parser.parse_args(argv)
 
     if args.list:
@@ -508,7 +493,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from ...runtime.runner import default_runner
 
         active = runner if runner is not None else default_runner()
-        grid = _parse_grid(args.grid)
+        grid = parse_grid(args.grid)
         results: List[MatrixResult] = []
         failures: List[Dict[str, str]] = []
         for name in names:
@@ -535,10 +520,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         if not names:
             raise ConfigError("--run expects at least one scenario name")
-        # Malformed grids and unknown names are caller mistakes, not run
-        # failures: reject the whole invocation (exit 2) before running
-        # anything rather than burning a batch on a typo.
-        _parse_grid(args.grid)
+        # Malformed grids, unknown names and unusable output flags are caller
+        # mistakes, not run failures: reject the whole invocation (exit 2)
+        # before running anything rather than burning a batch on a typo.
+        fmt, out_path = resolve_output(args.out, args.format)
+        parse_grid(args.grid)
         for name in names:
             get_scenario(name)
         if args.profile:
@@ -549,25 +535,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             results, failures = _execute()
     except ConfigError as error:
         log.error("command failed", error=str(error))
-        return 2
+        return EXIT_USAGE
     finally:
         if telemetry is not None:
             telemetry.close()
 
     rows = [row for result in results for row in result.rows()]
-    if args.out == "json":
-        print(rows_to_json(rows))
-    elif args.out == "csv":
-        print(rows_to_csv(rows), end="")
-    else:
+    if fmt == "table" and out_path is None:
         for result in results:
             print(f"== {result.scenario.name}: {result.scenario.description} ==")
             print(format_table(result.rows()))
             print(f"\n{len(result.rows())} variants, {result.cache_hits} served from cache")
+    else:
+        write_output(render_output(rows, fmt), out_path)
+    if args.bundle:
+        from ...reporting.bundle import write_bundle
+        from ...runtime import spec_hash
+
+        write_bundle(
+            args.bundle,
+            kind="matrix",
+            name=",".join(names),
+            rows=rows,
+            fmt=fmt if fmt != "table" else "json",
+            seeds=sorted(
+                {variant.spec.seed for result in results for variant in result.variants}
+            ),
+            spec_hashes=[
+                spec_hash(variant.spec)
+                for result in results
+                for variant in result.variants
+            ],
+            meta={"scenarios": names, "grid": args.grid},
+        )
     if failures:
         print(f"\n== {len(failures)} of {len(names)} scenarios failed ==")
         print(format_table(failures, columns=["scenario", "error"]))
-        return 1
-    return 0
+        return EXIT_FAILURES
+    return EXIT_OK
 
 

@@ -7,9 +7,7 @@ identical, diff-friendly output.
 
 from __future__ import annotations
 
-import csv
-import io
-import json
+import warnings
 from typing import Dict, Iterable, List, Mapping, Sequence, Union
 
 __all__ = ["format_table", "format_figure", "print_figure", "rows_to_csv", "rows_to_json"]
@@ -85,19 +83,36 @@ def _all_columns(rows: Sequence[Row]) -> List[str]:
 
 
 def rows_to_csv(rows: Sequence[Row], columns: Sequence[str] = None) -> str:
-    """Render rows as RFC-4180 CSV with a header line."""
-    rows = list(rows)
-    if columns is None:
-        columns = _all_columns(rows)
-    buffer = io.StringIO()
-    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore",
-                            lineterminator="\n")
-    writer.writeheader()
-    for row in rows:
-        writer.writerow({column: row.get(column, "") for column in columns})
-    return buffer.getvalue()
+    """Deprecated alias of :func:`repro.reporting.rows.rows_to_csv`.
+
+    The renderings moved to :mod:`repro.reporting.rows` so the CLIs, the
+    bundle writer and this legacy import all share one byte-level
+    implementation.  This shim delegates (output is byte-identical) and will
+    be removed in a future release.
+    """
+    warnings.warn(
+        "repro.experiments.reporting.rows_to_csv moved to "
+        "repro.reporting.rows.rows_to_csv",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..reporting.rows import rows_to_csv as _rows_to_csv
+
+    return _rows_to_csv(rows, columns=columns)
 
 
 def rows_to_json(rows: Sequence[Row], indent: int = 2) -> str:
-    """Render rows as a deterministic (sorted-key) JSON array."""
-    return json.dumps([dict(row) for row in rows], indent=indent, sort_keys=True)
+    """Deprecated alias of :func:`repro.reporting.rows.rows_to_json`.
+
+    Delegates to the shared renderer (output is byte-identical) and will be
+    removed in a future release.
+    """
+    warnings.warn(
+        "repro.experiments.reporting.rows_to_json moved to "
+        "repro.reporting.rows.rows_to_json",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from ..reporting.rows import rows_to_json as _rows_to_json
+
+    return _rows_to_json(rows, indent=indent)

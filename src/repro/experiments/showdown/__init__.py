@@ -33,8 +33,9 @@ from ...config.schema import (
     TelemetryFaultSpec,
 )
 from ...errors import ConfigError
-from ...runtime import ExperimentRunner, ExperimentTask
-from ..reporting import format_table, rows_to_csv
+from ...reporting.rows import rows_to_csv, rows_to_jsonl
+from ...runtime import ExperimentRunner, ExperimentTask, spec_hash
+from ..reporting import format_table
 from ..scenarios import CONTROLLER_POLICIES, SHOWDOWN_WORKLOADS, controller_showdown
 
 __all__ = ["ShowdownResult", "default_chaos_plan", "run_showdown", "main"]
@@ -74,6 +75,8 @@ class ShowdownResult:
     rows: List[Dict[str, object]] = field(default_factory=list)
     #: One row per controller, best first.
     ranking: List[Dict[str, object]] = field(default_factory=list)
+    #: Content hash of every cell spec that ran, in grid order.
+    spec_hashes: List[str] = field(default_factory=list)
 
     def winner(self) -> str:
         if not self.ranking:
@@ -174,6 +177,7 @@ def run_showdown(
                 spec = dataclasses.replace(spec, faults=cell_faults)
                 label += "+chaos"
             tasks.append(ExperimentTask(spec, scenario=label))
+    hashes = [spec_hash(task.spec) for task in tasks]
     if telemetry is not None:
         from ..single_machine import SingleMachineExperiment
 
@@ -187,7 +191,7 @@ def run_showdown(
         runner = runner if runner is not None else ExperimentRunner()
         runs = [outcome.result for outcome in runner.run_batch(tasks)]
 
-    result = ShowdownResult()
+    result = ShowdownResult(spec_hashes=hashes)
     labels = [
         (workload, controller)
         for workload in workloads
@@ -260,7 +264,52 @@ def _csv_list(text: str) -> List[str]:
     return [item.strip() for item in text.split(",") if item.strip()]
 
 
+def _render_showdown(result: ShowdownResult, fmt: str) -> str:
+    """Render the two-table showdown output in any shared format.
+
+    The legacy stdout bytes of table/json/csv are load-bearing (CI and the
+    README examples diff them), so each branch reproduces exactly what the
+    old ``print`` pipeline emitted.
+    """
+    if fmt == "json":
+        return (
+            json.dumps(
+                {"rows": result.rows, "ranking": result.ranking}, indent=2, sort_keys=True
+            )
+            + "\n"
+        )
+    if fmt == "jsonl":
+        return rows_to_jsonl(result.rows) + rows_to_jsonl(result.ranking)
+    if fmt == "csv":
+        return (
+            rows_to_csv(result.rows, columns=list(DETAIL_COLUMNS))
+            + "\n"
+            + rows_to_csv(result.ranking, columns=list(RANKING_COLUMNS))
+            + "\n"
+        )
+    return (
+        "Per-run results\n"
+        + format_table(result.rows, columns=list(DETAIL_COLUMNS))
+        + "\n\nController ranking (best first)\n"
+        + format_table(result.ranking, columns=list(RANKING_COLUMNS))
+        + f"\n\nwinner: {result.winner()}\n"
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    from ...cli import (
+        EXIT_OK,
+        EXIT_USAGE,
+        add_bundle_option,
+        add_output_options,
+        add_profile_option,
+        add_seed_option,
+        add_telemetry_option,
+        add_workers_option,
+        resolve_output,
+        write_output,
+    )
+
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.showdown",
         description="Race every CPU controller across trace-driven workloads.",
@@ -277,7 +326,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--duration", type=float, default=10.0, help="measured seconds per run")
     parser.add_argument("--warmup", type=float, default=1.0, help="warm-up seconds per run")
-    parser.add_argument("--seed", type=int, default=1, help="experiment seed shared by every cell")
+    add_seed_option(parser, default=1, help="experiment seed shared by every cell")
     parser.add_argument("--slo-ms", type=float, default=15.0, help="P99 SLO in milliseconds")
     parser.add_argument("--base-qps", type=float, default=None, help="override the base load")
     parser.add_argument("--peak-qps", type=float, default=None, help="override the peak load")
@@ -287,19 +336,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="inject the default chaos fault plan (degraded cores, telemetry "
         "dropout, controller crash) into every cell",
     )
-    parser.add_argument("--workers", type=int, default=None, help="worker process count")
-    parser.add_argument(
-        "--out", choices=("table", "json", "csv"), default="table", help="output format"
+    add_workers_option(parser)
+    add_output_options(parser)
+    add_profile_option(parser)
+    add_telemetry_option(
+        parser, detail="cells run serially in-process while instrumented"
     )
-    parser.add_argument(
-        "--telemetry",
-        nargs="?",
-        const="telemetry.jsonl",
-        default=None,
-        metavar="PATH",
-        help="stream JSONL telemetry to PATH (default telemetry.jsonl); "
-        "cells run serially in-process while instrumented",
-    )
+    add_bundle_option(parser)
     args = parser.parse_args(argv)
 
     telemetry = None
@@ -308,8 +351,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
         telemetry = TelemetrySession.to_path(args.telemetry, source="showdown")
 
-    try:
-        result = run_showdown(
+    def _execute():
+        return run_showdown(
             controllers=_csv_list(args.controllers),
             workloads=_csv_list(args.workloads),
             duration=args.duration,
@@ -324,26 +367,42 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 default_chaos_plan(args.duration, args.warmup) if args.chaos else None
             ),
         )
+
+    try:
+        fmt, out_path = resolve_output(args.out, args.format)
+        if args.profile:
+            from ...telemetry.profiling import run_profiled
+
+            result = run_profiled(_execute, args.profile)
+        else:
+            result = _execute()
     except ConfigError as exc:
         from ...telemetry.log import get_logger
 
         get_logger("repro.experiments.showdown").error("command failed", error=str(exc))
-        return 2
+        return EXIT_USAGE
     finally:
         if telemetry is not None:
             telemetry.close()
 
-    if args.out == "json":
-        print(json.dumps({"rows": result.rows, "ranking": result.ranking}, indent=2, sort_keys=True))
-    elif args.out == "csv":
-        print(rows_to_csv(result.rows, columns=list(DETAIL_COLUMNS)))
-        print(rows_to_csv(result.ranking, columns=list(RANKING_COLUMNS)))
-    else:
-        print("Per-run results")
-        print(format_table(result.rows, columns=list(DETAIL_COLUMNS)))
-        print()
-        print("Controller ranking (best first)")
-        print(format_table(result.ranking, columns=list(RANKING_COLUMNS)))
-        print()
-        print(f"winner: {result.winner()}")
-    return 0
+    write_output(_render_showdown(result, fmt), out_path)
+    if args.bundle:
+        from ...reporting.bundle import write_bundle
+
+        write_bundle(
+            args.bundle,
+            kind="showdown",
+            name="controller-showdown" + ("+chaos" if args.chaos else ""),
+            rows=result.rows,
+            fmt=fmt if fmt in ("json", "jsonl", "csv") else "json",
+            summary=result.ranking,
+            seeds=[args.seed],
+            spec_hashes=result.spec_hashes,
+            meta={
+                "controllers": _csv_list(args.controllers),
+                "workloads": _csv_list(args.workloads),
+                "chaos": args.chaos,
+                "winner": result.winner(),
+            },
+        )
+    return EXIT_OK

@@ -2,9 +2,10 @@
 
 Runs the canonical heterogeneous fleet (or any ``kind="fleet"`` scenario
 from the matrix catalog) through the staged-rollout simulation and prints
-per-stage accounting as a table, JSON or CSV.  Output is a pure function of
-the spec: serial runs, ``--workers N`` runs and cache-served repeats emit
-byte-identical bytes.
+per-stage accounting as a table, JSON, JSONL or CSV.  Output is a pure
+function of the spec: serial runs, ``--workers N`` runs and cache-served
+repeats emit byte-identical bytes.  ``--bundle DIR`` additionally captures
+the run as a versioned artifact bundle (:mod:`repro.reporting.bundle`).
 """
 
 from __future__ import annotations
@@ -12,8 +13,22 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
+from ..cli import (
+    EXIT_FAILURES,
+    EXIT_OK,
+    EXIT_USAGE,
+    add_bundle_option,
+    add_output_options,
+    add_profile_option,
+    add_seed_option,
+    add_telemetry_option,
+    add_workers_option,
+    render_output,
+    resolve_output,
+    write_output,
+)
 from ..errors import ConfigError, ReproError
-from ..experiments.reporting import format_table, rows_to_csv, rows_to_json
+from ..experiments.reporting import format_table
 
 __all__ = ["main"]
 
@@ -89,26 +104,14 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--calibration-warmup", type=float, default=None, help="calibration warmup (s)"
     )
-    parser.add_argument("--workers", type=int, default=None, help="worker process count")
-    parser.add_argument("--seed", type=int, default=7, help="fleet seed")
-    parser.add_argument(
-        "--out", choices=("table", "json", "csv"), default="table", help="output format"
+    add_workers_option(parser)
+    add_seed_option(parser, default=7, help="fleet seed")
+    add_output_options(parser)
+    add_profile_option(parser)
+    add_telemetry_option(
+        parser, detail="per-bucket fleet snapshots and rollout stage spans"
     )
-    parser.add_argument(
-        "--profile",
-        metavar="PATH",
-        default=None,
-        help="run under cProfile and write a cumulative-time report to PATH",
-    )
-    parser.add_argument(
-        "--telemetry",
-        nargs="?",
-        const="telemetry.jsonl",
-        default=None,
-        metavar="PATH",
-        help="stream JSONL telemetry (per-bucket fleet snapshots, rollout "
-        "stage spans) to PATH (default telemetry.jsonl)",
-    )
+    add_bundle_option(parser)
     return parser
 
 
@@ -157,7 +160,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     if args.list:
         print(format_table(_fleet_catalog_rows()))
-        return 0
+        return EXIT_OK
 
     from ..runtime.runner import ExperimentRunner
 
@@ -189,46 +192,58 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "build a custom fleet without --scenario"
                 )
             return _run_catalog_scenarios(args, runner, telemetry)
-        return _run_default_fleet(args, runner, telemetry), []
+        rows, hashes = _run_default_fleet(args, runner, telemetry)
+        return rows, [], hashes
 
     try:
+        fmt, out_path = resolve_output(args.out, args.format)
         if args.profile:
             from ..telemetry.profiling import run_profiled
 
-            rows, failures = run_profiled(_execute, args.profile)
+            rows, failures, spec_hashes = run_profiled(_execute, args.profile)
         else:
-            rows, failures = _execute()
+            rows, failures, spec_hashes = _execute()
     except ReproError as error:
         from ..telemetry.log import get_logger
 
         get_logger("repro.fleet").error("command failed", error=str(error))
-        return 2
+        return EXIT_USAGE
     finally:
         if telemetry is not None:
             telemetry.close()
 
-    if args.out == "json":
-        print(rows_to_json(rows))
-    elif args.out == "csv":
-        print(rows_to_csv(rows), end="")
-    else:
-        print(format_table(rows))
+    write_output(render_output(rows, fmt), out_path)
+    if args.bundle:
+        from ..reporting.bundle import write_bundle
+
+        write_bundle(
+            args.bundle,
+            kind="fleet",
+            name=args.scenario or "default-fleet",
+            rows=rows,
+            fmt=fmt if fmt != "table" else "json",
+            seeds=[args.seed],
+            spec_hashes=spec_hashes,
+            meta={"scenario": args.scenario or "default-fleet"},
+        )
     if failures:
         print(f"\n== {len(failures)} scenarios failed ==")
         print(format_table(failures, columns=["scenario", "error"]))
-        return 1
-    return 0
+        return EXIT_FAILURES
+    return EXIT_OK
 
 
 def _run_catalog_scenarios(args, runner, telemetry=None):
     """Run every requested catalog scenario, isolating per-scenario failures.
 
-    Returns ``(rows, failures)``: the concatenated result rows of every
-    scenario that completed, plus one ``{"scenario", "error"}`` row per
-    scenario that raised — completed work is always flushed, and the CLI
-    exits non-zero when ``failures`` is non-empty.
+    Returns ``(rows, failures, spec_hashes)``: the concatenated result rows
+    of every scenario that completed, one ``{"scenario", "error"}`` row per
+    scenario that raised, and the content hash of every spec that ran —
+    completed work is always flushed, and the CLI exits non-zero when
+    ``failures`` is non-empty.
     """
     from ..experiments import matrix
+    from ..runtime import spec_hash
     from ..runtime.runner import default_runner
     from ..telemetry.log import get_logger
 
@@ -247,12 +262,14 @@ def _run_catalog_scenarios(args, runner, telemetry=None):
     active = runner if runner is not None else default_runner()
     rows: List[dict] = []
     failures: List[dict] = []
+    hashes: List[str] = []
     for name in names:
         try:
             result = matrix.run_scenario(
                 name, runner=active, telemetry=telemetry, seed=args.seed
             )
             rows.extend(result.rows())
+            hashes.extend(spec_hash(variant.spec) for variant in result.variants)
         except Exception as error:
             get_logger("repro.fleet").error(
                 "scenario failed", scenario=name, error=str(error)
@@ -260,10 +277,11 @@ def _run_catalog_scenarios(args, runner, telemetry=None):
             failures.append(
                 {"scenario": name, "error": f"{type(error).__name__}: {error}"}
             )
-    return rows, failures
+    return rows, failures, hashes
 
 
-def _run_default_fleet(args, runner, telemetry=None) -> List[dict]:
+def _run_default_fleet(args, runner, telemetry=None):
+    from ..runtime import spec_hash
     from .scenarios import default_fleet_spec
     from .simulate import FleetSimulation
 
@@ -288,4 +306,4 @@ def _run_default_fleet(args, runner, telemetry=None) -> List[dict]:
     totals = {"stage": "total"}
     totals.update(result.totals())
     rows.append(totals)
-    return rows
+    return rows, [spec_hash(spec)]

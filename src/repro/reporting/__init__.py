@@ -1,0 +1,286 @@
+"""Campaigns, run-artifact bundles and the perf-trajectory report.
+
+This package is the reporting layer every scale and speed claim flows
+through:
+
+* :mod:`repro.reporting.rows` — canonical row rendering (json/jsonl/csv)
+  shared by every CLI and the bundle writer;
+* :mod:`repro.reporting.bundle` — versioned, schema-validated run-artifact
+  bundles (manifest + rows + digests) emitted by the matrix, fleet,
+  showdown and workloads CLIs;
+* :mod:`repro.reporting.campaign` — multi-seed replicate sweeps through the
+  content-addressed runner, reporting per-metric mean/stddev/95% CI instead
+  of single-seed point estimates;
+* :mod:`repro.reporting.trajectory` — the perf history across accumulated
+  bundles and the committed ``BENCH_*.json`` baselines;
+* :mod:`repro.reporting.bench` — merge-update tooling for those BENCH
+  records (no more hand edits).
+
+The ``python -m repro.reporting`` CLI fronts all of it::
+
+    # run a 5-seed replicate sweep, emit a bundle, print the CI table
+    python -m repro.reporting --scenario policy-showdown --seeds 5
+
+    # validate any bundle (schema version, digests, row counts)
+    python -m repro.reporting --validate bundles/policy-showdown
+
+    # render the perf history from accumulated bundles + committed BENCH
+    python -m repro.reporting --trajectory bundles --bench BENCH_simcore.json
+
+    # merge a fresh benchmark result into a BENCH record (schema-checked)
+    python -m repro.reporting --merge-bench BENCH_fleet.json --from run.json
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from ..errors import ConfigError, ReportingError
+from .bundle import (
+    BUNDLE_KINDS,
+    BUNDLE_SCHEMA_VERSION,
+    RunBundle,
+    load_bundle,
+    validate_bundle,
+    write_bundle,
+)
+from .rows import ROW_FORMATS, render_rows, rows_to_csv, rows_to_json, rows_to_jsonl
+from .stats import aggregate_rows, summarize, t_critical_95
+
+__all__ = [
+    "BUNDLE_KINDS",
+    "BUNDLE_SCHEMA_VERSION",
+    "RunBundle",
+    "load_bundle",
+    "validate_bundle",
+    "write_bundle",
+    "ROW_FORMATS",
+    "render_rows",
+    "rows_to_csv",
+    "rows_to_json",
+    "rows_to_jsonl",
+    "aggregate_rows",
+    "summarize",
+    "t_critical_95",
+    "main",
+]
+
+#: Column order of the printed campaign summary table.
+SUMMARY_COLUMNS = (
+    "scenario",
+    "label",
+    "metric",
+    "n",
+    "mean",
+    "stddev",
+    "ci95",
+    "ci95_lo",
+    "ci95_hi",
+)
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    from ..cli import (
+        add_bundle_option,
+        add_output_options,
+        add_seed_option,
+        add_workers_option,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.reporting",
+        description="Replicate campaigns, run-artifact bundles and the perf trajectory.",
+    )
+    action = parser.add_mutually_exclusive_group(required=True)
+    action.add_argument(
+        "--scenario",
+        metavar="NAME",
+        help="run a multi-seed replicate campaign of one registered scenario",
+    )
+    action.add_argument(
+        "--validate",
+        metavar="DIR",
+        help="validate a run-artifact bundle (schema version, digests, counts)",
+    )
+    action.add_argument(
+        "--trajectory",
+        metavar="DIR",
+        help="render the perf history from every bundle under DIR",
+    )
+    action.add_argument(
+        "--merge-bench",
+        metavar="TARGET",
+        help="merge updates into a BENCH_*.json record (schema-checked)",
+    )
+    parser.add_argument(
+        "--seeds",
+        type=int,
+        default=5,
+        metavar="N",
+        help="replicate count for --scenario (default 5)",
+    )
+    add_seed_option(
+        parser, default=1, help="base seed; replicate 0 runs it verbatim (default 1)"
+    )
+    parser.add_argument(
+        "--grid",
+        action="append",
+        default=[],
+        metavar="AXIS=V1,V2",
+        help="override one scenario axis grid (repeatable)",
+    )
+    parser.add_argument("--qps", type=float, default=None, help="override workload QPS")
+    parser.add_argument("--duration", type=float, default=None, help="override duration (s)")
+    parser.add_argument("--warmup", type=float, default=None, help="override warmup (s)")
+    add_workers_option(parser)
+    add_output_options(parser)
+    add_bundle_option(parser)
+    parser.add_argument(
+        "--bench",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help="with --trajectory: fold a committed BENCH_*.json into the history "
+        "(repeatable)",
+    )
+    parser.add_argument(
+        "--from",
+        dest="from_source",
+        metavar="SRC",
+        default=None,
+        help="with --merge-bench: take updates from a bundle directory's "
+        "bench.json or a flat JSON file",
+    )
+    parser.add_argument(
+        "--set",
+        dest="set_values",
+        action="append",
+        default=[],
+        metavar="KEY=VALUE",
+        help="with --merge-bench: set one key (repeatable; numbers are parsed)",
+    )
+    return parser
+
+
+def _run_campaign_action(args) -> int:
+    from ..cli import (
+        EXIT_FAILURES,
+        EXIT_OK,
+        parse_grid,
+        render_output,
+        resolve_output,
+        write_output,
+    )
+    from ..experiments.reporting import format_table
+    from .campaign import make_campaign, run_campaign, write_campaign_bundle
+
+    fmt, path = resolve_output(args.out, args.format)
+    spec = make_campaign(
+        args.scenario,
+        replicates=args.seeds,
+        base_seed=args.seed,
+        grid=parse_grid(args.grid),
+        qps=args.qps,
+        duration=args.duration,
+        warmup=args.warmup,
+    )
+    runner = None
+    if args.workers is not None:
+        from ..runtime import ExperimentRunner
+
+        runner = ExperimentRunner(max_workers=args.workers)
+    result = run_campaign(spec, runner=runner)
+
+    bundle_dir = args.bundle or f"bundles/{args.scenario}"
+    bundle_fmt = fmt if fmt in ROW_FORMATS else "json"
+    write_campaign_bundle(result, bundle_dir, fmt=bundle_fmt)
+
+    write_output(render_output(result.summary_rows(), fmt, columns=SUMMARY_COLUMNS), path)
+    print(
+        f"{len(result.replicates)} of {len(result.seeds)} replicates x "
+        f"{result.variant_count} variants, {result.cache_hits} runs served "
+        f"from cache; bundle: {bundle_dir}"
+    )
+    if result.failures:
+        print(f"\n== {len(result.failures)} replicates failed ==")
+        print(format_table(result.failures, columns=["replicate", "seed", "error"]))
+        return EXIT_FAILURES
+    return EXIT_OK
+
+
+def _validate_action(args) -> int:
+    from ..cli import EXIT_OK
+
+    manifest = validate_bundle(args.validate)
+    rows_entry = manifest["rows"]
+    print(
+        f"ok: {args.validate}: kind={manifest['kind']} name={manifest['name']} "
+        f"schema={manifest['schema']} rows={rows_entry['count']} "
+        f"files={len(manifest['files'])}"
+    )
+    return EXIT_OK
+
+
+def _trajectory_action(args) -> int:
+    from pathlib import Path
+
+    from ..cli import EXIT_OK, render_output, resolve_output, write_output
+    from .trajectory import collect_bundles, trajectory_rows
+
+    fmt, path = resolve_output(args.out, args.format)
+    bundles = collect_bundles(args.trajectory)
+    rows = trajectory_rows(bundles, bench_files=args.bench, root=Path(args.trajectory))
+    if not rows:
+        print(f"(no bundles under {args.trajectory})")
+        return EXIT_OK
+    write_output(render_output(rows, fmt), path)
+    return EXIT_OK
+
+
+def _merge_bench_action(args) -> int:
+    from ..cli import EXIT_OK
+    from .bench import bench_updates_from_source, merge_bench_record
+
+    updates = {}
+    if args.from_source:
+        updates.update(bench_updates_from_source(args.from_source))
+    for entry in args.set_values:
+        key, sep, value = entry.partition("=")
+        if not sep or not key:
+            raise ConfigError(f"--set expects KEY=VALUE, got {entry!r}")
+        updates[key] = _parse_scalar(value)
+    if not updates:
+        raise ConfigError("--merge-bench needs --from and/or --set updates")
+    merge_bench_record(args.merge_bench, updates)
+    print(f"merged {len(updates)} keys into {args.merge_bench}")
+    return EXIT_OK
+
+
+def _parse_scalar(text: str):
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    from ..cli import EXIT_USAGE
+    from ..telemetry.log import get_logger
+    from ..telemetry.registry import TelemetryError
+
+    args = _build_parser().parse_args(argv)
+    log = get_logger("repro.reporting")
+    try:
+        if args.scenario:
+            return _run_campaign_action(args)
+        if args.validate:
+            return _validate_action(args)
+        if args.trajectory:
+            return _trajectory_action(args)
+        return _merge_bench_action(args)
+    except (ConfigError, ReportingError, TelemetryError) as error:
+        log.error("command failed", error=str(error))
+        return EXIT_USAGE

@@ -1,0 +1,175 @@
+"""Multi-seed replicate sweeps over the registered scenario catalog.
+
+A campaign runs one scenario ``n`` times under deterministically derived
+seeds (:mod:`repro.runtime.seeds`) through the shared content-addressed
+runner, then aggregates every numeric metric across replicates into
+mean/stddev/95% CI rows (:mod:`repro.reporting.stats`).  Because replicate
+seeds are a pure function of the base seed and execution goes through the
+cached :class:`~repro.runtime.runner.ExperimentRunner`, re-running a campaign
+is served entirely from the result cache, and the emitted rows — raw and
+aggregated — are byte-identical at any worker count.
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..config.schema import CampaignSpec
+from ..errors import ConfigError
+from .bundle import write_bundle
+from .stats import aggregate_rows
+
+__all__ = ["CampaignResult", "run_campaign", "write_campaign_bundle"]
+
+
+@dataclass
+class CampaignResult:
+    """Everything one campaign ran and measured."""
+
+    spec: CampaignSpec
+    #: Replicate seeds, in execution order (index 0 is the base seed).
+    seeds: Tuple[int, ...] = ()
+    #: One row list per *completed* replicate, aligned with ``seeds`` minus
+    #: any failed entries.
+    replicates: List[List[dict]] = field(default_factory=list)
+    #: Original replicate index of every entry in ``replicates``.
+    replicate_indices: List[int] = field(default_factory=list)
+    #: ``{"replicate", "seed", "error"}`` per replicate that raised.
+    failures: List[Dict[str, object]] = field(default_factory=list)
+    #: Axis names of the scenario (excluded from metric aggregation).
+    axis_names: Tuple[str, ...] = ()
+    #: Sorted unique spec hashes of every variant run.
+    spec_hashes: Tuple[str, ...] = ()
+    #: Runner cache hits observed across the whole campaign.
+    cache_hits: int = 0
+
+    @property
+    def variant_count(self) -> int:
+        return len(self.replicates[0]) if self.replicates else 0
+
+    def raw_rows(self) -> List[dict]:
+        """Every replicate's rows, each tagged with its replicate and seed."""
+        rows: List[dict] = []
+        for index, replicate in zip(self.replicate_indices, self.replicates):
+            for row in replicate:
+                rows.append({"replicate": index, "seed": self.seeds[index], **row})
+        return rows
+
+    def summary_rows(self) -> List[dict]:
+        """Per-(label, metric) mean/stddev/95% CI across replicates."""
+        return aggregate_rows(self.replicates, exclude=self.axis_names)
+
+
+def run_campaign(spec: CampaignSpec, runner=None) -> CampaignResult:
+    """Run every replicate of ``spec`` and aggregate the results.
+
+    Unknown scenarios, bad grids and non-seedable scenarios are caller errors
+    raised before anything runs; a replicate failing *mid-campaign* is
+    isolated (recorded in ``failures``, the remaining replicates still run).
+    """
+    from ..experiments import matrix
+    from ..runtime import default_runner, replicate_seeds, spec_hash
+
+    scenario_obj = matrix.get_scenario(spec.scenario)
+    builder_params = inspect.signature(scenario_obj.builder).parameters
+    if "seed" not in builder_params:
+        raise ConfigError(
+            f"scenario {spec.scenario!r} does not accept a seed; its replicates "
+            "would be identical — campaigns need a seedable scenario"
+        )
+    grid = dict(spec.grid) or None
+    # Validate the grid against the scenario before running anything.
+    scenario_obj.variant_count(grid)
+
+    seeds = replicate_seeds(spec.base_seed, spec.replicates)
+    active = runner if runner is not None else default_runner()
+    result = CampaignResult(spec=spec, seeds=seeds, axis_names=scenario_obj.axis_names)
+
+    hashes = set()
+    hits_before = active.cache.hits
+    for index, seed in enumerate(seeds):
+        try:
+            matrix_result = matrix.run_scenario(
+                spec.scenario,
+                runner=active,
+                grid=grid,
+                seed=seed,
+                qps=spec.qps,
+                duration=spec.duration,
+                warmup=spec.warmup,
+            )
+        except Exception as error:  # isolated per replicate
+            result.failures.append(
+                {
+                    "replicate": index,
+                    "seed": seed,
+                    "error": f"{type(error).__name__}: {error}",
+                }
+            )
+            continue
+        result.replicates.append(matrix_result.rows())
+        result.replicate_indices.append(index)
+        hashes.update(spec_hash(variant.spec) for variant in matrix_result.variants)
+    result.cache_hits = active.cache.hits - hits_before
+    result.spec_hashes = tuple(sorted(hashes))
+    return result
+
+
+def write_campaign_bundle(result: CampaignResult, directory, fmt: str = "json"):
+    """Emit a campaign's run-artifact bundle; returns the bundle directory.
+
+    Rows are the seed-tagged raw replicate rows; ``summary.json`` holds the
+    aggregated CI table.  Failed replicates are recorded in the manifest
+    meta, never silently dropped.
+    """
+    spec = result.spec
+    meta: Dict[str, object] = {
+        "scenario": spec.scenario,
+        "replicates": spec.replicates,
+        "base_seed": spec.base_seed,
+    }
+    if spec.grid:
+        meta["grid"] = {axis: list(values) for axis, values in spec.grid}
+    overrides = {
+        key: getattr(spec, key)
+        for key in ("qps", "duration", "warmup")
+        if getattr(spec, key) is not None
+    }
+    if overrides:
+        meta["overrides"] = overrides
+    if result.failures:
+        meta["failed_replicates"] = [dict(f) for f in result.failures]
+    return write_bundle(
+        directory,
+        kind="campaign",
+        name=spec.scenario,
+        rows=result.raw_rows(),
+        fmt=fmt,
+        summary=result.summary_rows(),
+        seeds=result.seeds,
+        spec_hashes=result.spec_hashes,
+        meta=meta,
+    )
+
+
+def make_campaign(
+    scenario: str,
+    replicates: int = 5,
+    base_seed: int = 1,
+    grid: Optional[Dict[str, tuple]] = None,
+    qps: Optional[float] = None,
+    duration: Optional[float] = None,
+    warmup: Optional[float] = None,
+) -> CampaignSpec:
+    """Build a :class:`CampaignSpec` from loosely-typed CLI inputs."""
+    return CampaignSpec(
+        scenario=scenario,
+        replicates=replicates,
+        base_seed=base_seed,
+        grid=tuple((axis, tuple(values)) for axis, values in (grid or {}).items()),
+        qps=qps,
+        duration=duration,
+        warmup=warmup,
+    )

@@ -1,0 +1,116 @@
+"""Canonical row rendering shared by every CLI and the bundle writer.
+
+A *row* is a flat mapping of column name to string/number — the shape every
+harness in this repository already produces (``MatrixResult.rows()``, the
+fleet accounting rows, the showdown detail table).  This module owns the
+byte-level renderings of row sequences so the CLIs, the artifact-bundle
+writer and the legacy :mod:`repro.experiments.reporting` helpers all emit
+identical bytes for identical rows:
+
+* ``json`` — a deterministic (sorted-key, indent-2) JSON array;
+* ``jsonl`` — one compact sorted-key JSON object per line;
+* ``csv`` — RFC-4180 with a header line.
+
+Rendering is a pure function of the rows, so output files are byte-identical
+across worker counts, cache states and repeat invocations.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import List, Mapping, Optional, Sequence, Union
+
+from ..errors import ConfigError
+
+__all__ = [
+    "ROW_FORMATS",
+    "all_columns",
+    "parse_rows",
+    "render_rows",
+    "rows_to_csv",
+    "rows_to_json",
+    "rows_to_jsonl",
+]
+
+Number = Union[int, float]
+Row = Mapping[str, Union[str, Number]]
+
+#: Machine-readable row formats (the table rendering is presentation, not a
+#: row format, and lives in :mod:`repro.experiments.reporting`).
+ROW_FORMATS = ("json", "jsonl", "csv")
+
+
+def all_columns(rows: Sequence[Row]) -> List[str]:
+    """Union of row keys, in first-appearance order (rows may be ragged)."""
+    columns: List[str] = []
+    for row in rows:
+        for key in row:
+            if key not in columns:
+                columns.append(key)
+    return columns
+
+
+def rows_to_json(rows: Sequence[Row], indent: int = 2) -> str:
+    """Render rows as a deterministic (sorted-key) JSON array."""
+    return json.dumps([dict(row) for row in rows], indent=indent, sort_keys=True)
+
+
+def rows_to_jsonl(rows: Sequence[Row]) -> str:
+    """Render rows as JSON Lines: one compact sorted-key object per line."""
+    return "".join(
+        json.dumps(dict(row), sort_keys=True, separators=(",", ":")) + "\n"
+        for row in rows
+    )
+
+
+def rows_to_csv(rows: Sequence[Row], columns: Optional[Sequence[str]] = None) -> str:
+    """Render rows as RFC-4180 CSV with a header line."""
+    rows = list(rows)
+    if columns is None:
+        columns = all_columns(rows)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(columns), extrasaction="ignore",
+                            lineterminator="\n")
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({column: row.get(column, "") for column in columns})
+    return buffer.getvalue()
+
+
+def render_rows(
+    rows: Sequence[Row], fmt: str, columns: Optional[Sequence[str]] = None
+) -> str:
+    """Render rows in one of :data:`ROW_FORMATS`.
+
+    Every rendering ends with exactly one trailing newline, so the returned
+    text can be written to a file (or a terminal) verbatim.
+    """
+    if fmt == "json":
+        return rows_to_json(rows) + "\n"
+    if fmt == "jsonl":
+        return rows_to_jsonl(rows)
+    if fmt == "csv":
+        return rows_to_csv(rows, columns=columns)
+    raise ConfigError(f"unknown row format {fmt!r} (expected one of {ROW_FORMATS})")
+
+
+def parse_rows(text: str, fmt: str) -> List[dict]:
+    """Parse text produced by :func:`render_rows` back into rows.
+
+    JSON and JSONL round-trip values exactly; CSV — which is untyped — yields
+    every cell as a string, and re-rendering those string rows as CSV is
+    byte-identical to the original file.
+    """
+    if fmt == "json":
+        rows = json.loads(text)
+        if not isinstance(rows, list):
+            raise ConfigError("a JSON row file must contain a top-level array")
+        return rows
+    if fmt == "jsonl":
+        return [json.loads(line) for line in text.splitlines() if line.strip()]
+    if fmt == "csv":
+        reader = csv.DictReader(io.StringIO(text))
+        return [dict(row) for row in reader]
+    raise ConfigError(f"unknown row format {fmt!r} (expected one of {ROW_FORMATS})")

@@ -12,10 +12,13 @@ from .runner import (
     default_runner,
     reset_default_runner,
 )
+from .seeds import derive_seed, replicate_seeds
 from .spec_hash import canonical_encoding, spec_hash, versioned_namespace
 
 __all__ = [
     "versioned_namespace",
+    "derive_seed",
+    "replicate_seeds",
     "ResultCache",
     "default_cache",
     "reset_default_cache",

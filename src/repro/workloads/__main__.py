@@ -26,6 +26,7 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
+from ..cli import EXIT_OK, EXIT_USAGE, add_bundle_option, add_seed_option
 from ..config.schema import BurstySpec, DiurnalSpec, FlashCrowdSpec, TraceSpec
 from ..config.traces import TRACE_FORMATS, load_trace_file, save_trace_file
 from ..errors import ConfigError, TenantError
@@ -111,7 +112,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument(
         "--bucket-seconds", type=float, default=1.0, help="width of one QPS bucket (s)"
     )
-    parser.add_argument("--seed", type=int, default=0, help="seed for stochastic models")
+    add_seed_option(parser, default=0, help="seed for stochastic models")
+    add_bundle_option(parser)
     # Diurnal parameters.
     parser.add_argument("--peak-qps", type=float, default=4000.0)
     parser.add_argument("--trough-qps", type=float, default=1600.0)
@@ -134,19 +136,55 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.validate:
             trace = load_trace_file(args.validate, fmt=args.format)
             print(_summarise(trace, args.validate))
-            return 0
+            if args.bundle:
+                _write_trace_bundle(args.bundle, trace, args.validate, seed=args.seed)
+            return EXIT_OK
         if not args.out:
             parser.error("--synthesize requires --out PATH")
         model = _build_model(args)
         trace = synthesize_trace(model, duration=args.duration, bucket_seconds=args.bucket_seconds)
         path = save_trace_file(trace, args.out, fmt=args.format)
         print(_summarise(trace, str(path)))
-        return 0
+        if args.bundle:
+            _write_trace_bundle(
+                args.bundle, trace, str(path), seed=args.seed, model=args.synthesize
+            )
+        return EXIT_OK
     except (ConfigError, TenantError) as error:
         from ..telemetry.log import get_logger
 
         get_logger("repro.workloads").error("command failed", error=str(error))
-        return 2
+        return EXIT_USAGE
+
+
+def _write_trace_bundle(directory, trace: TraceSpec, label: str, seed: int, model=None):
+    """Capture a synthesized or validated trace as a run-artifact bundle."""
+    from ..reporting.bundle import write_bundle
+    from ..runtime import spec_hash
+
+    rows = [
+        {"bucket": index, "t": index * trace.bucket_seconds, "qps": qps}
+        for index, qps in enumerate(trace.qps)
+    ]
+    meta = {
+        "trace": label,
+        "buckets": len(trace.qps),
+        "bucket_seconds": trace.bucket_seconds,
+        "mean_qps": trace.mean_qps,
+        "peak_qps": trace.peak_qps,
+        "source": trace.source,
+    }
+    if model is not None:
+        meta["model"] = model
+    write_bundle(
+        directory,
+        kind="workloads",
+        name=model or label,
+        rows=rows,
+        seeds=[seed],
+        spec_hashes=[spec_hash(trace)],
+        meta=meta,
+    )
 
 
 if __name__ == "__main__":

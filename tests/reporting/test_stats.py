@@ -1,0 +1,102 @@
+"""Replicate statistics: t table, summaries, long-format aggregation."""
+
+import math
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.reporting.stats import aggregate_rows, summarize, t_critical_95
+
+
+class TestTCritical:
+    def test_tabled_values(self):
+        assert t_critical_95(1) == 12.706
+        assert t_critical_95(2) == 4.303
+        assert t_critical_95(30) == 2.042
+
+    def test_untabled_df_uses_largest_tabled_below(self):
+        # Conservative: df 35 gets the df-30 value, never the narrower df-40.
+        assert t_critical_95(35) == t_critical_95(30)
+        assert t_critical_95(119) == t_critical_95(60)
+
+    def test_large_df_approaches_normal_limit(self):
+        assert t_critical_95(10_000) == 1.960
+
+    def test_invalid_df_rejected(self):
+        with pytest.raises(ConfigError):
+            t_critical_95(0)
+
+
+class TestSummarize:
+    def test_known_triple(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert summary["n"] == 3
+        assert summary["mean"] == 2.0
+        assert summary["stddev"] == pytest.approx(1.0)
+        assert summary["ci95"] == pytest.approx(4.303 / math.sqrt(3))
+        assert summary["ci95_lo"] == pytest.approx(2.0 - summary["ci95"])
+        assert summary["ci95_hi"] == pytest.approx(2.0 + summary["ci95"])
+
+    def test_single_replicate_has_zero_width(self):
+        summary = summarize([7.5])
+        assert summary["mean"] == 7.5
+        assert summary["stddev"] == 0.0
+        assert summary["ci95"] == 0.0
+        assert summary["ci95_lo"] == summary["ci95_hi"] == 7.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            summarize([])
+
+
+def _replicate(label, p99, progress, seed_only=None):
+    row = {"scenario": "s", "label": label, "p99_ms": p99, "progress": progress}
+    if seed_only is not None:
+        row["seed_only"] = seed_only
+    return row
+
+
+class TestAggregateRows:
+    def test_long_format_output(self):
+        replicates = [
+            [_replicate("a", 10.0, 100), _replicate("b", 20.0, 200)],
+            [_replicate("a", 12.0, 100), _replicate("b", 22.0, 200)],
+        ]
+        out = aggregate_rows(replicates)
+        # Label-major, then column order: a/p99, a/progress, b/p99, b/progress.
+        assert [(row["label"], row["metric"]) for row in out] == [
+            ("a", "p99_ms"), ("a", "progress"), ("b", "p99_ms"), ("b", "progress"),
+        ]
+        first = out[0]
+        assert first["scenario"] == "s"
+        assert first["n"] == 2
+        assert first["mean"] == pytest.approx(11.0)
+
+    def test_excluded_and_identity_columns_are_not_metrics(self):
+        replicates = [[{"scenario": "s", "label": "a", "axis": 3, "p99_ms": 1.0}]]
+        out = aggregate_rows(replicates, exclude=("axis",))
+        assert [row["metric"] for row in out] == ["p99_ms"]
+
+    def test_bools_aggregate_as_rates(self):
+        replicates = [
+            [{"label": "a", "slo_met": True}],
+            [{"label": "a", "slo_met": False}],
+        ]
+        (row,) = aggregate_rows(replicates, identity=("label",))
+        assert row["mean"] == 0.5
+
+    def test_variant_count_mismatch_rejected(self):
+        with pytest.raises(ConfigError, match="variant count"):
+            aggregate_rows([[_replicate("a", 1, 1)], []])
+
+    def test_label_misalignment_rejected(self):
+        with pytest.raises(ConfigError, match="misaligned"):
+            aggregate_rows([[_replicate("a", 1, 1)], [_replicate("b", 1, 1)]])
+
+    def test_non_finite_values_skipped(self):
+        replicates = [
+            [{"label": "a", "p99_ms": 1.0}],
+            [{"label": "a", "p99_ms": float("nan")}],
+        ]
+        (row,) = aggregate_rows(replicates, identity=("label",))
+        assert row["n"] == 1
